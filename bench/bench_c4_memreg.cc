@@ -1,0 +1,199 @@
+// C4 — §4.5's memory-management claims: RDMA devices demand registered memory;
+// registering per-operation is ruinously expensive; pre-registering application pools
+// burns pinned memory and still requires app-level bookkeeping; the Demikernel's
+// transparent registration (register whole arenas once, allocate everything from
+// them) gets zero per-op cost without any application registration calls.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/harness.h"
+
+namespace demi {
+namespace {
+
+struct RegResult {
+  double ns_per_op = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t pinned_bytes = 0;
+  std::uint64_t app_reg_calls = 0;  // registration calls written by the APPLICATION
+};
+
+constexpr std::size_t kMsgBytes = 4096;
+constexpr int kOps = 400;
+
+// Connected QP pair with a sink that swallows receive completions forever.
+struct RdmaPair {
+  explicit RdmaPair(TestHarness& env)
+      : server_host(env.AddHost("server", "10.0.0.1", Opts())),
+        client_host(env.AddHost("client", "10.0.0.2", Opts())) {
+    (void)server_host.rdma->Listen("sink");
+    client_qp = client_host.rdma->Connect("sink");
+    env.RunUntil([&] { return client_qp->connected(); }, kSecond);
+    server_qp = server_host.rdma->Accept("sink");
+    // Keep the server fed with registered receive buffers.
+    for (int i = 0; i < 256; ++i) {
+      Buffer b = Buffer::Allocate(kMsgBytes);
+      (void)server_host.rdma->RegisterMemory(b.shared_storage());
+      (void)server_qp->PostRecv(static_cast<std::uint64_t>(i) | (1ULL << 62), b);
+    }
+  }
+  static HostOptions Opts() {
+    HostOptions o;
+    o.with_rdma = true;
+    o.with_nic = false;
+    o.with_kernel = false;
+    return o;
+  }
+  TestHarness::Host& server_host;
+  TestHarness::Host& client_host;
+  std::shared_ptr<RdmaQp> client_qp;
+  std::shared_ptr<RdmaQp> server_qp;
+};
+
+// Sends one message and waits for its completion (also draining server recvs).
+void SendOne(TestHarness& env, RdmaPair& pair, std::uint64_t id, Buffer buf) {
+  (void)pair.client_qp->PostSend(id, {std::move(buf)});
+  env.RunUntil(
+      [&] {
+        (void)pair.server_qp->PollCq(8);
+        for (const auto& wc : pair.client_qp->PollCq(8)) {
+          if (wc.wr_id == id) {
+            return true;
+          }
+        }
+        return false;
+      },
+      10 * kSecond);
+  // Re-post a recv to keep the pool steady.
+  Buffer b = Buffer::Allocate(kMsgBytes);
+  (void)pair.server_host.rdma->RegisterMemory(b.shared_storage());
+  (void)pair.server_qp->PostRecv(id | (1ULL << 61), b);
+}
+
+// (a) Per-op registration: register, send, deregister — every single message.
+RegResult RunPerOp() {
+  TestHarness env;
+  RdmaPair pair(env);
+  RdmaNic& nic = *pair.client_host.rdma;
+  const TimeNs start = env.sim().now();
+  std::uint64_t app_calls = 0;
+  for (int i = 0; i < kOps; ++i) {
+    Buffer buf = Buffer::Allocate(kMsgBytes);
+    auto rkey = nic.RegisterMemory(buf.shared_storage());
+    ++app_calls;
+    SendOne(env, pair, static_cast<std::uint64_t>(i + 1), buf);
+    (void)nic.DeregisterMemory(*rkey);
+  }
+  RegResult out;
+  out.ns_per_op = static_cast<double>(env.sim().now() - start) / kOps;
+  out.registrations = pair.client_host.cpu->counters().Get(Counter::kMemRegistrations);
+  out.pinned_bytes = nic.pinned_bytes();
+  out.app_reg_calls = app_calls;
+  return out;
+}
+
+// (b) Explicit pre-registered pool: the application registers a big pool up front and
+// hand-manages recycling (the "enormous engineering effort" path of Section 1).
+RegResult RunExplicitPool() {
+  TestHarness env;
+  RdmaPair pair(env);
+  RdmaNic& nic = *pair.client_host.rdma;
+  const TimeNs start = env.sim().now();
+  std::uint64_t app_calls = 0;
+
+  constexpr int kPool = 32;
+  std::vector<Buffer> pool;
+  for (int i = 0; i < kPool; ++i) {
+    Buffer b = Buffer::Allocate(kMsgBytes);
+    (void)nic.RegisterMemory(b.shared_storage());
+    ++app_calls;
+    pool.push_back(std::move(b));
+  }
+  for (int i = 0; i < kOps; ++i) {
+    SendOne(env, pair, static_cast<std::uint64_t>(i + 1), pool[i % kPool]);
+  }
+  RegResult out;
+  out.ns_per_op = static_cast<double>(env.sim().now() - start) / kOps;
+  out.registrations = pair.client_host.cpu->counters().Get(Counter::kMemRegistrations);
+  out.pinned_bytes = nic.pinned_bytes();
+  out.app_reg_calls = app_calls;
+  return out;
+}
+
+// (c) Demikernel transparent registration: the memory manager registers arenas; the
+// application allocates and sends — zero registration calls in app code.
+RegResult RunTransparent() {
+  TestHarness env;
+  RdmaPair pair(env);
+  RdmaNic& nic = *pair.client_host.rdma;
+
+  MemoryManager manager(pair.client_host.cpu.get());
+  manager.AttachDevice([&nic](std::shared_ptr<BufferStorage> arena) {
+    (void)nic.RegisterMemory(std::move(arena));
+  });
+
+  const TimeNs start = env.sim().now();
+  for (int i = 0; i < kOps; ++i) {
+    Buffer buf = manager.Allocate(kMsgBytes);  // registered by construction
+    SendOne(env, pair, static_cast<std::uint64_t>(i + 1), buf);
+  }
+  RegResult out;
+  out.ns_per_op = static_cast<double>(env.sim().now() - start) / kOps;
+  out.registrations = pair.client_host.cpu->counters().Get(Counter::kMemRegistrations);
+  out.pinned_bytes = nic.pinned_bytes();
+  out.app_reg_calls = 0;
+  return out;
+}
+
+int Run() {
+  bench::Header("C4", "memory registration strategies (Section 4.5)",
+                "transparent arena registration removes the per-op registration cost "
+                "AND the application-side registration code, trading some pinned "
+                "memory for it");
+  CostModel cost;
+  bench::PrintCostModel(cost);
+
+  const RegResult per_op = RunPerOp();
+  const RegResult pool = RunExplicitPool();
+  const RegResult transparent = RunTransparent();
+
+  std::printf("%d x %zuB sends over RDMA, client-side registration strategy:\n\n",
+              kOps, kMsgBytes);
+  bench::Row("%-30s %12s %8s %12s %10s\n", "strategy", "ns/op", "regs",
+             "pinned B", "app calls");
+  bench::Row("-------------------------------------------------------------------------------\n");
+  bench::Row("%-30s %12.0f %8llu %12llu %10llu\n", "register per operation",
+             per_op.ns_per_op, static_cast<unsigned long long>(per_op.registrations),
+             static_cast<unsigned long long>(per_op.pinned_bytes),
+             static_cast<unsigned long long>(per_op.app_reg_calls));
+  bench::Row("%-30s %12.0f %8llu %12llu %10llu\n", "explicit app-managed pool",
+             pool.ns_per_op, static_cast<unsigned long long>(pool.registrations),
+             static_cast<unsigned long long>(pool.pinned_bytes),
+             static_cast<unsigned long long>(pool.app_reg_calls));
+  bench::Row("%-30s %12.0f %8llu %12llu %10llu\n", "demikernel transparent",
+             transparent.ns_per_op,
+             static_cast<unsigned long long>(transparent.registrations),
+             static_cast<unsigned long long>(transparent.pinned_bytes),
+             static_cast<unsigned long long>(transparent.app_reg_calls));
+
+  std::printf("\nper-op registration pays ibv_reg_mr (%lld ns + %lld ns/page) on the "
+              "critical path of every send;\ntransparent registration amortizes one "
+              "arena registration over thousands of allocations\nand needs ZERO "
+              "registration logic in the application (the paper's simplification claim).\n",
+              static_cast<long long>(cost.mem_reg_base_ns),
+              static_cast<long long>(cost.mem_reg_per_page_ns));
+
+  const bool shape_ok = per_op.ns_per_op > 1.2 * transparent.ns_per_op &&
+                        transparent.app_reg_calls == 0 &&
+                        transparent.registrations <= 4 &&
+                        pool.ns_per_op <= per_op.ns_per_op;
+  bench::Verdict(shape_ok, "transparent registration matches the hand-built pool's "
+                           "speed with no app code, and beats per-op registration");
+  return 0;
+}
+
+}  // namespace
+}  // namespace demi
+
+int main() { return demi::Run(); }

@@ -1,0 +1,142 @@
+// E3 — §5.3 storage: log appends through the kernel write path (write + fsync:
+// syscalls, VFS, page-cache copies, journal-style per-op overhead) vs the Catfish
+// libOS writing the device's submission queue directly with a log-native layout.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/harness.h"
+
+namespace demi {
+namespace {
+
+struct StorageResult {
+  double ns_per_append = 0;
+  double appends_per_sec = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t bytes_copied = 0;
+  std::uint64_t nvme_ops = 0;
+  bool ok = false;
+};
+
+constexpr int kRecords = 300;
+
+StorageResult RunKernelLog(std::size_t record_bytes) {
+  TestHarness env;
+  HostOptions opts;
+  opts.with_nic = false;
+  opts.with_block_device = true;
+  auto& host = env.AddHost("storage", "10.0.0.1", opts);
+  SimKernel& kernel = *host.kernel;
+
+  const std::uint64_t sys0 = host.cpu->counters().Get(Counter::kSyscalls);
+  const std::uint64_t cp0 = host.cpu->counters().Get(Counter::kBytesCopied);
+  const std::uint64_t nv0 = host.cpu->counters().Get(Counter::kNvmeOps);
+  const TimeNs start = env.sim().now();
+
+  const int fd = *kernel.OpenFile("/wal/log", /*create=*/true);
+  const std::string record(record_bytes, 'r');
+  bool ok = true;
+  for (int i = 0; i < kRecords && ok; ++i) {
+    ok = kernel.WriteFile(fd, Buffer::CopyOf(record)).ok();
+    auto token = kernel.FsyncStart(fd);  // durability per append, like a WAL
+    ok = ok && token.ok() &&
+         env.RunUntil([&] { return kernel.FsyncDone(*token); }, 60 * kSecond);
+  }
+
+  StorageResult out;
+  const TimeNs elapsed = env.sim().now() - start;
+  out.ns_per_append = static_cast<double>(elapsed) / kRecords;
+  out.appends_per_sec = static_cast<double>(kRecords) / ToSeconds(elapsed);
+  out.syscalls = host.cpu->counters().Get(Counter::kSyscalls) - sys0;
+  out.bytes_copied = host.cpu->counters().Get(Counter::kBytesCopied) - cp0;
+  out.nvme_ops = host.cpu->counters().Get(Counter::kNvmeOps) - nv0;
+  out.ok = ok;
+  return out;
+}
+
+StorageResult RunCatfishLog(std::size_t record_bytes) {
+  TestHarness env;
+  HostOptions opts;
+  opts.with_nic = false;
+  opts.with_kernel = false;
+  opts.with_block_device = true;
+  auto& host = env.AddHost("storage", "10.0.0.1", opts);
+  CatfishLibOS& libos = env.Catfish(host);
+
+  const std::uint64_t sys0 = host.cpu->counters().Get(Counter::kSyscalls);
+  const std::uint64_t cp0 = host.cpu->counters().Get(Counter::kBytesCopied);
+  const std::uint64_t nv0 = host.cpu->counters().Get(Counter::kNvmeOps);
+  const TimeNs start = env.sim().now();
+
+  const QDesc log = *libos.Creat("/wal/log");
+  const std::string record(record_bytes, 'r');
+  bool ok = true;
+  for (int i = 0; i < kRecords && ok; ++i) {
+    auto r = libos.BlockingPush(log, SgArray::FromString(record));
+    ok = r.ok() && r->status.ok();  // push completion == durable on the device
+  }
+
+  StorageResult out;
+  const TimeNs elapsed = env.sim().now() - start;
+  out.ns_per_append = static_cast<double>(elapsed) / kRecords;
+  out.appends_per_sec = static_cast<double>(kRecords) / ToSeconds(elapsed);
+  out.syscalls = host.cpu->counters().Get(Counter::kSyscalls) - sys0;
+  out.bytes_copied = host.cpu->counters().Get(Counter::kBytesCopied) - cp0;
+  out.nvme_ops = host.cpu->counters().Get(Counter::kNvmeOps) - nv0;
+  out.ok = ok;
+  return out;
+}
+
+int Run() {
+  bench::Header("E3", "durable log appends: kernel VFS vs Catfish storage queues "
+                      "(Section 5.3)",
+                "a libOS-owned, log-native layout on a kernel-bypass device removes "
+                "syscalls, copies, and filesystem overhead from the persistence path");
+  CostModel cost;
+  bench::PrintCostModel(cost);
+
+  std::printf("%d durable appends per run:\n\n", kRecords);
+  bench::Row("%-8s | %-10s %-12s %-8s %-10s %-8s | %-10s %-12s %-8s %-10s %-8s\n",
+             "record", "kernel", "kernel", "kernel", "kernel", "kernel", "catfish",
+             "catfish", "catfish", "catfish", "catfish");
+  bench::Row("%-8s | %-10s %-12s %-8s %-10s %-8s | %-10s %-12s %-8s %-10s %-8s\n",
+             "bytes", "us/op", "ops/s", "sys/op", "copyB/op", "nvme/op", "us/op",
+             "ops/s", "sys/op", "copyB/op", "nvme/op");
+  bench::Row("----------------------------------------------------------------------------------------------------------------\n");
+
+  bool shape_ok = true;
+  double ratio_small = 0;
+  for (const std::size_t record_bytes : {128u, 1024u, 4096u, 16384u}) {
+    const StorageResult kernel = RunKernelLog(record_bytes);
+    const StorageResult catfish = RunCatfishLog(record_bytes);
+    bench::Row("%-8zu | %10.1f %12.0f %8.1f %10.0f %8.1f | %10.1f %12.0f %8.1f %10.0f %8.1f\n",
+               record_bytes, kernel.ns_per_append / 1000.0, kernel.appends_per_sec,
+               static_cast<double>(kernel.syscalls) / kRecords,
+               static_cast<double>(kernel.bytes_copied) / kRecords,
+               static_cast<double>(kernel.nvme_ops) / kRecords,
+               catfish.ns_per_append / 1000.0, catfish.appends_per_sec,
+               static_cast<double>(catfish.syscalls) / kRecords,
+               static_cast<double>(catfish.bytes_copied) / kRecords,
+               static_cast<double>(catfish.nvme_ops) / kRecords);
+    shape_ok = shape_ok && kernel.ok && catfish.ok && catfish.syscalls == 0 &&
+               catfish.bytes_copied == 0 &&
+               catfish.ns_per_append < kernel.ns_per_append;
+    if (record_bytes == 128) {
+      ratio_small = kernel.ns_per_append / catfish.ns_per_append;
+    }
+  }
+
+  std::printf("\nsmall-record appends: catfish is %.2fx faster — the device write "
+              "dominates both, but the kernel\nadds write+fsync syscalls, a page-cache "
+              "copy, and VFS overhead per record.\n", ratio_small);
+  bench::Verdict(shape_ok, "catfish persists with zero syscalls/copies and lower "
+                           "latency at every record size");
+  return 0;
+}
+
+}  // namespace
+}  // namespace demi
+
+int main() { return demi::Run(); }

@@ -1,0 +1,141 @@
+// M1 — google-benchmark microbenchmarks of the hot substrate paths (wall-clock
+// nanoseconds of this implementation, not simulated time): descriptor rings, buffer
+// slicing, pooled allocation, framing, RESP parsing, checksums, and the discrete-event
+// core. These guard against accidental slowdowns in the simulator itself.
+
+#include <benchmark/benchmark.h>
+
+#include "src/apps/resp.h"
+#include "src/common/buffer.h"
+#include "src/common/checksum.h"
+#include "src/common/histogram.h"
+#include "src/common/random.h"
+#include "src/common/ring_buffer.h"
+#include "src/memory/memory_manager.h"
+#include "src/net/framing.h"
+#include "src/net/packet.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+namespace {
+
+void BM_RingPushPop(benchmark::State& state) {
+  RingBuffer<int> ring(256);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.Push(i++));
+    benchmark::DoNotOptimize(ring.Pop());
+  }
+}
+BENCHMARK(BM_RingPushPop);
+
+void BM_BufferSlice(benchmark::State& state) {
+  Buffer buf = Buffer::Allocate(4096);
+  for (auto _ : state) {
+    Buffer s = buf.Slice(128, 1024);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_BufferSlice);
+
+void BM_PooledAlloc(benchmark::State& state) {
+  Simulation sim;
+  HostCpu host(&sim, "m");
+  MemoryManager manager(&host);
+  const auto size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Buffer b = manager.Allocate(size);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_PooledAlloc)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  SgArray sga = SgArray::FromString(std::string(size, 'x'));
+  for (auto _ : state) {
+    FrameDecoder decoder;
+    for (Buffer& part : EncodeFrame(sga)) {
+      decoder.Feed(std::move(part));
+    }
+    auto r = decoder.Next();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+BENCHMARK(BM_FrameEncodeDecode)->Arg(64)->Arg(1460)->Arg(16384);
+
+void BM_RespParse(benchmark::State& state) {
+  const std::string wire = EncodeRespCommand({"SET", "key0000000001", std::string(64, 'v')});
+  Buffer buf = Buffer::CopyOf(wire);
+  for (auto _ : state) {
+    auto args = ParseRespCommandBuffers(buf);
+    benchmark::DoNotOptimize(args);
+  }
+}
+BENCHMARK(BM_RespParse);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  Buffer buf = Buffer::Allocate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InternetChecksum(buf.span()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1460);
+
+void BM_Crc32c(benchmark::State& state) {
+  Buffer buf = Buffer::Allocate(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(buf.span()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Crc32c);
+
+void BM_TcpHeaderWrite(benchmark::State& state) {
+  Buffer seg = Buffer::Allocate(kTcpHeaderSize + 64);
+  const Ipv4Address src = Ipv4Address::Parse("10.0.0.1");
+  const Ipv4Address dst = Ipv4Address::Parse("10.0.0.2");
+  TcpHeader h{1234, 80, 1, 1, kTcpAck, 65535};
+  for (auto _ : state) {
+    WriteTcpHeader(seg.mutable_span(), h, src, dst, seg.span().subspan(kTcpHeaderSize));
+    ++h.seq;
+  }
+}
+BENCHMARK(BM_TcpHeaderWrite);
+
+void BM_SimScheduleRun(benchmark::State& state) {
+  Simulation sim;
+  for (auto _ : state) {
+    sim.Schedule(10, [] {});
+    sim.StepOnce();
+  }
+}
+BENCHMARK(BM_SimScheduleRun);
+
+void BM_ZipfNext(benchmark::State& state) {
+  Rng rng(1);
+  ZipfGenerator zipf(1000000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram hist;
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v * 1664525 + 1013904223;
+    v &= 0xFFFFFF;
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+}  // namespace demi
+
+BENCHMARK_MAIN();

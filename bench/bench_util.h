@@ -1,0 +1,45 @@
+// Shared reporting helpers for the experiment benches. Every bench prints:
+//   - the experiment id and the paper claim it reproduces,
+//   - the cost model in force (so numbers are auditable),
+//   - a fixed-width table of results,
+//   - a PASS/FAIL verdict on the claim's *shape* (who wins, by roughly how much).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/sim/cost_model.h"
+
+namespace demi::bench {
+
+inline void Header(const char* id, const char* title, const char* claim) {
+  std::printf("================================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("================================================================================\n");
+}
+
+inline void PrintCostModel(const CostModel& cost) {
+  std::printf("%s", cost.Describe().c_str());
+  std::printf("--------------------------------------------------------------------------------\n");
+}
+
+// printf-style row helper so tables line up without iostream ceremony.
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+}
+
+inline void Verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n\n", ok ? "SHAPE-OK" : "SHAPE-FAIL", what.c_str());
+}
+
+}  // namespace demi::bench
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,148 @@
+// Shared KV-experiment runners for C1, C2, and E2: a KV server in the given
+// architecture, a preloaded store, and a fleet of closed-loop clients.
+
+#ifndef BENCH_KV_RUNNERS_H_
+#define BENCH_KV_RUNNERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/actors.h"
+#include "src/core/harness.h"
+
+namespace demi::bench {
+
+constexpr std::uint16_t kKvPort = 6379;
+
+struct KvRunOptions {
+  std::string kind = "catnip";  // catnip | catnap | catmint | posix
+  int clients = 1;
+  std::uint64_t requests_per_client = 1000;
+  KvWorkloadConfig workload;
+  CostModel cost;
+  int client_fragments = 1;       // posix only: split each request into N writes
+  TimeNs fragment_gap_ns = 0;     // posix only: spacing between fragments
+};
+
+struct KvRunResult {
+  Histogram latency;
+  std::uint64_t completed = 0;
+  std::uint64_t server_requests = 0;
+  std::uint64_t incomplete_scans = 0;
+  Counters server_counters;
+  std::uint64_t server_cpu_ns = 0;
+  TimeNs elapsed = 0;
+  bool ok = false;
+
+  double throughput_rps() const {
+    return elapsed > 0 ? static_cast<double>(completed) / ToSeconds(elapsed) : 0.0;
+  }
+};
+
+inline KvRunResult RunKv(KvRunOptions opt) {
+  TestHarness env(opt.cost);
+  KvRunResult out;
+
+  HostOptions server_opts;
+  HostOptions client_opts;
+  client_opts.charges_clock = false;
+  if (opt.kind == "catmint") {
+    server_opts.with_rdma = true;
+    server_opts.with_nic = false;
+    server_opts.with_kernel = false;
+    client_opts.with_rdma = true;
+    client_opts.with_nic = false;
+    client_opts.with_kernel = false;
+  }
+  auto& sh = env.AddHost("server", "10.0.0.1", server_opts);
+
+  std::unique_ptr<DemiKvServer> demi_server;
+  std::unique_ptr<PosixKvServer> posix_server;
+  KvEngine* engine = nullptr;
+  if (opt.kind == "posix") {
+    posix_server = std::make_unique<PosixKvServer>(sh.kernel.get(), kKvPort);
+    engine = &posix_server->engine();
+  } else {
+    LibOS* sl = opt.kind == "catnip"   ? static_cast<LibOS*>(&env.Catnip(sh))
+                : opt.kind == "catnap" ? static_cast<LibOS*>(&env.Catnap(sh))
+                                       : static_cast<LibOS*>(&env.Catmint(sh));
+    demi_server = std::make_unique<DemiKvServer>(sl, kKvPort);
+    engine = &demi_server->engine();
+  }
+
+  // Preload the store (control path; not measured).
+  {
+    KvWorkload loader(opt.workload);
+    for (std::uint64_t k = 0; k < opt.workload.num_keys; ++k) {
+      (void)engine->Execute(loader.LoadCommand(k));
+    }
+  }
+  const std::uint64_t cpu0 = sh.cpu->busy_ns();
+  const Counters counters0 = sh.cpu->counters();
+  (void)counters0;
+
+  std::vector<std::unique_ptr<KvWorkload>> workloads;
+  std::vector<std::unique_ptr<DemiKvClient>> demi_clients;
+  std::vector<std::unique_ptr<PosixKvClient>> posix_clients;
+  for (int i = 0; i < opt.clients; ++i) {
+    auto& ch = env.AddHost("client" + std::to_string(i),
+                           "10.0.1." + std::to_string(1 + i), client_opts);
+    KvWorkloadConfig wcfg = opt.workload;
+    wcfg.seed = opt.workload.seed + 7919 * static_cast<std::uint64_t>(i + 1);
+    workloads.push_back(std::make_unique<KvWorkload>(wcfg));
+    if (opt.kind == "posix") {
+      posix_clients.push_back(std::make_unique<PosixKvClient>(
+          ch.kernel.get(), Endpoint{sh.ip, kKvPort}, workloads.back().get(),
+          opt.requests_per_client, opt.client_fragments, opt.fragment_gap_ns));
+    } else {
+      LibOS* cl = opt.kind == "catnip"   ? static_cast<LibOS*>(&env.Catnip(ch))
+                  : opt.kind == "catnap" ? static_cast<LibOS*>(&env.Catnap(ch))
+                                         : static_cast<LibOS*>(&env.Catmint(ch));
+      demi_clients.push_back(std::make_unique<DemiKvClient>(
+          cl, Endpoint{sh.ip, kKvPort}, workloads.back().get(), opt.requests_per_client));
+    }
+  }
+
+  const TimeNs start = env.sim().now();
+  out.ok = env.RunUntil(
+      [&] {
+        for (const auto& c : demi_clients) {
+          if (!c->done()) {
+            return false;
+          }
+        }
+        for (const auto& c : posix_clients) {
+          if (!c->done()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      3600 * kSecond);
+  out.elapsed = env.sim().now() - start;
+
+  for (const auto& c : demi_clients) {
+    out.latency.Merge(c->latency());
+    out.completed += c->completed();
+    out.ok = out.ok && !c->failed();
+  }
+  for (const auto& c : posix_clients) {
+    out.latency.Merge(c->latency());
+    out.completed += c->completed();
+  }
+  if (demi_server) {
+    out.server_requests = demi_server->requests();
+  }
+  if (posix_server) {
+    out.server_requests = posix_server->stats().requests;
+    out.incomplete_scans = posix_server->stats().incomplete_scans;
+  }
+  out.server_counters = sh.cpu->counters();
+  out.server_cpu_ns = sh.cpu->busy_ns() - cpu0;
+  return out;
+}
+
+}  // namespace demi::bench
+
+#endif  // BENCH_KV_RUNNERS_H_

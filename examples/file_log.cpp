@@ -1,0 +1,58 @@
+// Storage queues with the Catfish libOS (§5.3): an append-only event log written
+// straight to a simulated NVMe device — no kernel, no copies, push == durable — then
+// replayed after reopen, including the CRC validation of the log-structured layout.
+//
+// Usage: ./build/examples/file_log
+
+#include <cstdio>
+#include <string>
+
+#include "include/demikernel/demikernel.h"
+
+int main() {
+  using namespace demi;
+
+  TestHarness env;
+  HostOptions opts;
+  opts.with_nic = false;
+  opts.with_kernel = false;
+  opts.with_block_device = true;
+  auto& host = env.AddHost("storage", "10.0.0.1", opts);
+  CatfishLibOS& libos = env.Catfish(host);
+
+  // --- write a little transaction log ---
+  const QDesc log = *libos.Creat("/wal/orders");
+  const char* events[] = {
+      "order#1 create item=widget qty=3",
+      "order#1 pay amount=42.00",
+      "order#2 create item=gizmo qty=1",
+      "order#1 ship carrier=owl",
+      "order#2 cancel reason=out-of-stock",
+  };
+  const TimeNs t0 = env.sim().now();
+  for (const char* event : events) {
+    auto r = libos.BlockingPush(log, SgArray::FromString(event));
+    std::printf("append %-40s -> %s (durable at +%.1f us)\n", event,
+                r->status.ToString().c_str(), ToMicros(env.sim().now() - t0));
+  }
+  (void)libos.Close(log);
+
+  // --- reopen and replay: data comes back from the device blocks ---
+  std::puts("\nreplaying after close/reopen:");
+  const QDesc replay = *libos.Open("/wal/orders");
+  int index = 0;
+  while (true) {
+    auto r = libos.BlockingPop(replay);
+    if (!r.ok() || !r->status.ok()) {
+      std::printf("end of log: %s\n",
+                  r.ok() ? r->status.ToString().c_str() : r.status().ToString().c_str());
+      break;
+    }
+    std::printf("  [%d] %s\n", index++, r->sga.ToString().c_str());
+  }
+
+  std::printf("\nNVMe commands issued: %llu, syscalls: %llu (storage path bypasses the kernel)\n",
+              static_cast<unsigned long long>(host.cpu->counters().Get(Counter::kNvmeOps)),
+              static_cast<unsigned long long>(host.cpu->counters().Get(Counter::kSyscalls)));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Queue combinators and device offload (§4.2/§4.3): a telemetry pipeline built from
+// filter/map/sort queues over a UDP socket, with the filter offloaded to a SmartNIC
+// when the hardware supports it.
+//
+// The pipeline:   nic -> udp queue -> filter(severity >= WARN) -> map(annotate)
+// and a sort() priority queue drained by severity, demonstrating every queue-
+// manipulation call in Figure 3 (including qconnect to splice into a sink).
+//
+// Usage: ./build/examples/offload_pipeline [--no-offload]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "include/demikernel/demikernel.h"
+
+int main(int argc, char** argv) {
+  using namespace demi;
+  const bool use_offload = !(argc > 1 && std::string(argv[1]) == "--no-offload");
+
+  TestHarness env;
+  HostOptions server_opts;
+  server_opts.nic_offload = use_offload;  // SmartNIC vs plain NIC
+  auto& collector_host = env.AddHost("collector", "10.0.0.1", server_opts);
+  auto& sensor_host = env.AddHost("sensor", "10.0.0.2");
+  CatnipLibOS& collector = env.Catnip(collector_host);
+  CatnipLibOS& sensor = env.Catnip(sensor_host);
+
+  // Collector: a UDP queue; each datagram is one telemetry record ("LEVEL message").
+  const QDesc udp_qd = *collector.SocketUdp();
+  if (!collector.Bind(udp_qd, 9999).ok()) {
+    return 1;
+  }
+
+  // filter: only WARN/ERROR records reach the host. On a SmartNIC this program runs
+  // on the device and dropped packets never cost host CPU (§4.3).
+  ElementPredicate important{
+      [](const SgArray& sga) {
+        const std::string s = sga.ToString();
+        return s.rfind("WARN", 0) == 0 || s.rfind("ERROR", 0) == 0;
+      },
+      /*host_cost_ns=*/400};
+  const QDesc filtered = *collector.Filter(udp_qd, important);
+
+  // map: annotate each record.
+  ElementTransform annotate{
+      [](const SgArray& sga) {
+        return SgArray::FromString("[collector] " + sga.ToString());
+      },
+      /*host_cost_ns=*/200};
+  const QDesc annotated = *collector.MapQueue(filtered, annotate);
+
+  // sort: ERROR pops before WARN. qconnect splices the pipeline into it.
+  ElementComparator by_severity{
+      [](const SgArray& a, const SgArray& b) {
+        return a.ToString().find("ERROR") != std::string::npos &&
+               b.ToString().find("ERROR") == std::string::npos;
+      },
+      /*host_cost_ns=*/50};
+  const QDesc inbox = *collector.QueueCreate();
+  const QDesc priority_inbox = *collector.Sort(inbox, by_severity);
+  (void)collector.QConnect(annotated, priority_inbox);
+
+  // Sensor: blast mixed-severity telemetry datagrams.
+  const QDesc tx = *sensor.SocketUdp();
+  (void)sensor.Connect(tx, Endpoint{collector_host.ip, 9999});
+  const char* records[] = {
+      "INFO heartbeat ok",          "WARN fan speed degraded",
+      "INFO cpu 35%",               "ERROR disk smart failure",
+      "INFO heartbeat ok",          "WARN temperature 81C",
+      "INFO network ok",            "ERROR power supply lost",
+  };
+  for (const char* rec : records) {
+    (void)sensor.BlockingPush(tx, SgArray::FromString(rec));
+  }
+  env.sim().RunFor(5 * kMillisecond);  // let the pipeline drain
+
+  std::printf("mode: %s\n", use_offload ? "filter OFFLOADED to SmartNIC"
+                                        : "filter on host CPU");
+  std::puts("priority-ordered records reaching the application:");
+  for (int i = 0; i < 4; ++i) {
+    auto r = collector.BlockingPop(priority_inbox);
+    if (!r.ok() || !r->status.ok()) {
+      break;
+    }
+    std::printf("  %s\n", r->sga.ToString().c_str());
+  }
+
+  const auto& counters = collector_host.cpu->counters();
+  std::printf("\ncollector host CPU spent: %.1f us; device compute: %.1f us\n",
+              static_cast<double>(counters.Get(Counter::kHostCpuNs)) / 1000.0,
+              static_cast<double>(counters.Get(Counter::kDeviceComputeNs)) / 1000.0);
+  std::printf("packets that reached host memory: %llu of 8 sent\n",
+              static_cast<unsigned long long>(counters.Get(Counter::kPacketsRx)));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Demikernel reproduction — public umbrella header.
+//
+// This exposes the paper's system-call interface (Figure 3) in C++ form:
+//
+//   control path (network):  Socket/Bind/Listen/Accept/Connect/Close
+//   control path (files):    Open/Creat
+//   control path (queues):   QueueCreate/Merge/Filter/Sort/MapQueue/QConnect
+//   data path:               Push/Pop/Wait/WaitAny/WaitAll/BlockingPush/BlockingPop
+//   memory:                  SgaAlloc (transparent registration + free-protection)
+//
+// plus the four library OSes:
+//
+//   CatnapLibOS  — portability: Demikernel queues over legacy kernel sockets
+//   CatnipLibOS  — DPDK-style NIC + user-level TCP stack, zero copy
+//   CatmintLibOS — RDMA NIC, message-native queues, transparent registration
+//   CatfishLibOS — SPDK-style NVMe device, log-structured file queues
+//
+// and the simulation environment (TestHarness) used to stand in for kernel-bypass
+// hardware (see DESIGN.md §2 for the substitution rationale).
+
+#ifndef INCLUDE_DEMIKERNEL_DEMIKERNEL_H_
+#define INCLUDE_DEMIKERNEL_DEMIKERNEL_H_
+
+#include "src/core/catfish.h"
+#include "src/core/catmint.h"
+#include "src/core/catnap.h"
+#include "src/core/catnip.h"
+#include "src/core/harness.h"
+#include "src/core/libos.h"
+#include "src/core/queue_ops.h"
+#include "src/core/types.h"
+#include "src/memory/sgarray.h"
+
+#endif  // INCLUDE_DEMIKERNEL_DEMIKERNEL_H_

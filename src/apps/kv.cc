@@ -1,0 +1,169 @@
+#include "src/apps/kv.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace demi {
+
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return out;
+}
+
+bool ParseInt(std::string_view s, std::int64_t& out) {
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+KvReply Simple(std::string s) {
+  return KvReply{RespValue::Kind::kSimple, std::move(s), 0, {}};
+}
+KvReply Error(std::string s) {
+  return KvReply{RespValue::Kind::kError, std::move(s), 0, {}};
+}
+KvReply Integer(std::int64_t v) { return KvReply{RespValue::Kind::kInteger, "", v, {}}; }
+KvReply BulkRef(Buffer b) {
+  return KvReply{RespValue::Kind::kBulk, "", 0, std::move(b)};
+}
+KvReply Nil() { return KvReply{}; }
+
+}  // namespace
+
+RespValue KvReply::ToValue() const {
+  switch (kind) {
+    case RespValue::Kind::kSimple:
+      return RespValue::Simple(text);
+    case RespValue::Kind::kError:
+      return RespValue::Error(text);
+    case RespValue::Kind::kInteger:
+      return RespValue::Integer(integer);
+    case RespValue::Kind::kBulk:
+      return RespValue::Bulk(bulk.ToString());
+    case RespValue::Kind::kNil:
+      return RespValue::Nil();
+  }
+  return RespValue::Nil();
+}
+
+KvReply KvEngine::Execute(std::span<const Buffer> args) {
+  // §3.2: the application spends ~2 µs of CPU per request (hash, alloc, bookkeeping).
+  host_->Work(host_->cost().kv_request_cpu_ns);
+  host_->Count(Counter::kKvRequests);
+  ++requests_;
+
+  if (args.empty()) {
+    return Error("ERR empty command");
+  }
+  const std::string op = ToUpper(args[0].AsStringView());
+  auto key_of = [&](std::size_t i) { return args[i].ToString(); };
+
+  if (op == "PING") {
+    return Simple("PONG");
+  }
+  if (op == "ECHO") {
+    if (args.size() != 2) {
+      return Error("ERR wrong number of arguments for 'echo'");
+    }
+    return BulkRef(args[1]);
+  }
+  if (op == "GET") {
+    if (args.size() != 2) {
+      return Error("ERR wrong number of arguments for 'get'");
+    }
+    auto it = store_.find(key_of(1));
+    if (it == store_.end()) {
+      return Nil();
+    }
+    return BulkRef(it->second);  // reference, not a copy (§4.5)
+  }
+  if (op == "SET") {
+    if (args.size() != 3) {
+      return Error("ERR wrong number of arguments for 'set'");
+    }
+    // New value buffer replaces the old reference — never an in-place update.
+    store_[key_of(1)] = args[2];
+    return Simple("OK");
+  }
+  if (op == "DEL") {
+    if (args.size() < 2) {
+      return Error("ERR wrong number of arguments for 'del'");
+    }
+    std::int64_t removed = 0;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      removed += static_cast<std::int64_t>(store_.erase(key_of(i)));
+    }
+    return Integer(removed);
+  }
+  if (op == "EXISTS") {
+    if (args.size() != 2) {
+      return Error("ERR wrong number of arguments for 'exists'");
+    }
+    return Integer(store_.contains(key_of(1)) ? 1 : 0);
+  }
+  if (op == "INCR" || op == "DECR") {
+    if (args.size() != 2) {
+      return Error("ERR wrong number of arguments");
+    }
+    std::int64_t value = 0;
+    auto it = store_.find(key_of(1));
+    if (it != store_.end() && !ParseInt(it->second.AsStringView(), value)) {
+      return Error("ERR value is not an integer or out of range");
+    }
+    value += op == "INCR" ? 1 : -1;
+    store_[key_of(1)] = Buffer::CopyOf(std::to_string(value));
+    return Integer(value);
+  }
+  if (op == "APPEND") {
+    if (args.size() != 3) {
+      return Error("ERR wrong number of arguments for 'append'");
+    }
+    const std::string key = key_of(1);
+    auto it = store_.find(key);
+    if (it == store_.end()) {
+      store_[key] = args[2];
+      return Integer(static_cast<std::int64_t>(args[2].size()));
+    }
+    const Buffer parts[] = {it->second, args[2]};
+    it->second = ConcatCopy(parts);  // append allocates a fresh value buffer
+    return Integer(static_cast<std::int64_t>(it->second.size()));
+  }
+  if (op == "STRLEN") {
+    if (args.size() != 2) {
+      return Error("ERR wrong number of arguments for 'strlen'");
+    }
+    auto it = store_.find(key_of(1));
+    return Integer(it == store_.end() ? 0 : static_cast<std::int64_t>(it->second.size()));
+  }
+  if (op == "DBSIZE") {
+    return Integer(static_cast<std::int64_t>(store_.size()));
+  }
+  if (op == "FLUSHALL") {
+    store_.clear();
+    return Simple("OK");
+  }
+  if (op == "MSET") {
+    if (args.size() < 3 || args.size() % 2 != 1) {
+      return Error("ERR wrong number of arguments for 'mset'");
+    }
+    for (std::size_t i = 1; i + 1 < args.size(); i += 2) {
+      store_[key_of(i)] = args[i + 1];
+    }
+    return Simple("OK");
+  }
+  return Error("ERR unknown command '" + args[0].ToString() + "'");
+}
+
+RespValue KvEngine::Execute(const RespCommand& cmd) {
+  RespArgs args;
+  args.reserve(cmd.size());
+  for (const std::string& arg : cmd) {
+    args.push_back(Buffer::CopyOf(arg));
+  }
+  return Execute(std::span<const Buffer>(args)).ToValue();
+}
+
+}  // namespace demi

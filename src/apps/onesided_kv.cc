@@ -1,0 +1,148 @@
+#include "src/apps/onesided_kv.h"
+
+#include <cstring>
+
+#include "src/common/byte_order.h"
+#include "src/common/checksum.h"
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+
+// Slot layout: [u32 magic][u32 key_len][u32 value_len][u32 crc(value)][key][value].
+constexpr std::size_t kHeaderBytes = 16;
+static_assert(kHeaderBytes + OneSidedSlotLayout::kKeyMax + OneSidedSlotLayout::kValueMax <=
+              OneSidedSlotLayout::kSlotBytes);
+
+}  // namespace
+
+std::uint64_t OneSidedKvServer::HashKey(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+OneSidedKvServer::OneSidedKvServer(HostCpu* host, RdmaNic* nic, const std::string& addr,
+                                   std::size_t slots)
+    : host_(host), nic_(nic), addr_(addr), slots_(slots) {
+  table_ = Buffer::Allocate(slots_ * OneSidedSlotLayout::kSlotBytes);
+  std::memset(table_.mutable_data(), 0, table_.size());
+  auto rkey = nic_->RegisterMemory(table_.shared_storage());
+  DEMI_CHECK(rkey.ok());
+  rkey_ = *rkey;
+  DEMI_CHECK(nic_->Listen(addr_).ok());
+}
+
+std::size_t OneSidedKvServer::SlotIndex(const std::string& key) const {
+  return static_cast<std::size_t>(HashKey(key) % slots_);
+}
+
+std::byte* OneSidedKvServer::SlotAt(std::size_t index) {
+  return table_.mutable_data() + index * OneSidedSlotLayout::kSlotBytes;
+}
+
+Status OneSidedKvServer::Put(const std::string& key, const std::string& value) {
+  if (key.size() > OneSidedSlotLayout::kKeyMax) {
+    return InvalidArgument("key exceeds the fixed slot layout");
+  }
+  if (value.size() > OneSidedSlotLayout::kValueMax) {
+    return InvalidArgument("value exceeds the fixed slot layout");
+  }
+  std::byte* slot = SlotAt(SlotIndex(key));
+  ByteReader r(std::span<const std::byte>(slot, kHeaderBytes));
+  const std::uint32_t magic = r.U32();
+  const std::uint32_t existing_key_len = r.U32();
+  if (magic == OneSidedSlotLayout::kValidMagic) {
+    const std::string_view existing(reinterpret_cast<const char*>(slot + kHeaderBytes),
+                                    existing_key_len);
+    if (existing != key) {
+      // The fixed-layout price: no chaining, no resize — a collision is an error the
+      // operator must size the table around.
+      return ResourceExhausted("slot collision in fixed-layout table");
+    }
+  }
+  host_->Work(host_->cost().kv_request_cpu_ns);  // server-side update work
+
+  // Invalidate -> write -> validate, so a concurrent one-sided reader sees either the
+  // old entry, an invalid slot, or the new entry with a matching CRC.
+  ByteWriter inv(std::span<std::byte>(slot, 4));
+  inv.U32(0);
+  ByteWriter w(std::span<std::byte>(slot + 4, kHeaderBytes - 4));
+  w.U32(static_cast<std::uint32_t>(key.size()));
+  w.U32(static_cast<std::uint32_t>(value.size()));
+  w.U32(Crc32c(std::as_bytes(std::span<const char>(value.data(), value.size()))));
+  std::memcpy(slot + kHeaderBytes, key.data(), key.size());
+  std::memcpy(slot + kHeaderBytes + OneSidedSlotLayout::kKeyMax, value.data(),
+              value.size());
+  ByteWriter val(std::span<std::byte>(slot, 4));
+  val.U32(OneSidedSlotLayout::kValidMagic);
+  return OkStatus();
+}
+
+Status OneSidedKvServer::Remove(const std::string& key) {
+  std::byte* slot = SlotAt(SlotIndex(key));
+  ByteWriter w(std::span<std::byte>(slot, 4));
+  w.U32(0);
+  return OkStatus();
+}
+
+std::shared_ptr<RdmaQp> OneSidedKvServer::Accept() { return nic_->Accept(addr_); }
+
+OneSidedKvClient::OneSidedKvClient(HostCpu* host, RdmaNic* nic,
+                                   std::shared_ptr<RdmaQp> qp, RKey rkey,
+                                   std::size_t slots)
+    : host_(host), qp_(std::move(qp)), rkey_(rkey), slots_(slots) {
+  scratch_ = Buffer::Allocate(OneSidedSlotLayout::kSlotBytes);
+  DEMI_CHECK(nic->RegisterMemory(scratch_.shared_storage()).ok());
+}
+
+Result<std::string> OneSidedKvClient::Get(Simulation& sim, const std::string& key,
+                                          TimeNs timeout) {
+  const std::size_t index =
+      static_cast<std::size_t>(OneSidedKvServer::HashKey(key) % slots_);
+  const std::uint64_t wr = next_wr_++;
+  ++reads_;
+  RETURN_IF_ERROR(qp_->PostRead(wr, scratch_, rkey_,
+                                index * OneSidedSlotLayout::kSlotBytes));
+  Status read_status = TimedOut("rdma read");
+  const bool done = sim.RunUntil(
+      [&] {
+        for (const WorkCompletion& wc : qp_->PollCq(8)) {
+          if (wc.wr_id == wr) {
+            read_status = wc.status;
+            return true;
+          }
+        }
+        return false;
+      },
+      sim.now() + timeout);
+  if (!done || !read_status.ok()) {
+    return read_status.ok() ? TimedOut("rdma read") : read_status;
+  }
+
+  // Client-side validation: the "OS functionality" these designs push into clients.
+  host_->Work(host_->cost().libos_call_ns);
+  ByteReader r(scratch_.span().subspan(0, kHeaderBytes));
+  const std::uint32_t magic = r.U32();
+  const std::uint32_t key_len = r.U32();
+  const std::uint32_t value_len = r.U32();
+  const std::uint32_t crc = r.U32();
+  if (magic != OneSidedSlotLayout::kValidMagic) {
+    return NotFound(key);
+  }
+  if (key_len != key.size() ||
+      std::memcmp(scratch_.data() + kHeaderBytes, key.data(), key.size()) != 0) {
+    return NotFound(key);  // different key hashed here
+  }
+  const auto value_span =
+      scratch_.span().subspan(kHeaderBytes + OneSidedSlotLayout::kKeyMax, value_len);
+  if (Crc32c(value_span) != crc) {
+    return Status(ErrorCode::kProtocolError, "torn read: checksum mismatch");
+  }
+  return std::string(reinterpret_cast<const char*>(value_span.data()), value_len);
+}
+
+}  // namespace demi

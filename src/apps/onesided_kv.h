@@ -1,0 +1,94 @@
+// A one-sided RDMA key-value store (Pilaf/FaRM-style, §6 of the paper).
+//
+// The paper contrasts the Demikernel's portable two-sided design with the "many
+// distributed RDMA storage systems completely re-designed to use the RDMA NIC
+// interface" [11,16,29,30,44,60]. This module implements the archetype of those
+// systems so the trade-off is measurable (bench_a2_onesided):
+//
+//   - the server exposes a registered region laid out as a fixed-slot hash table;
+//   - clients GET by computing the slot and issuing an RDMA READ — the server's CPU
+//     never runs (its cost signature: zero);
+//   - entries carry a CRC so a client can detect slots caught mid-update;
+//   - writes go through the server (read-mostly design, as in Pilaf).
+//
+// This is exactly the hardware-coupled specialization the Demikernel trades away for
+// portability: the client must know the server's memory layout, rkey, and slot
+// geometry — change any of them and every client breaks.
+
+#ifndef SRC_APPS_ONESIDED_KV_H_
+#define SRC_APPS_ONESIDED_KV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/hw/rdma.h"
+
+namespace demi {
+
+// Fixed slot geometry (part of the client<->server hardware contract).
+struct OneSidedSlotLayout {
+  static constexpr std::size_t kKeyMax = 64;
+  static constexpr std::size_t kValueMax = 160;
+  static constexpr std::size_t kSlotBytes = 256;  // header + key + value, padded
+  static constexpr std::uint32_t kValidMagic = 0x51A7F00D;
+};
+
+class OneSidedKvServer {
+ public:
+  // Exposes `slots` table slots in registered memory and listens at `addr` for client
+  // QPs (used only for connection setup and SET RPCs; GETs never reach us).
+  OneSidedKvServer(HostCpu* host, RdmaNic* nic, const std::string& addr,
+                   std::size_t slots);
+
+  // Server-local store (preload or applied SETs). Fails on slot collision or
+  // oversized key/value: the fixed layout is the price of one-sided access.
+  Status Put(const std::string& key, const std::string& value);
+  Status Remove(const std::string& key);
+
+  // Accepts one pending client connection (control path).
+  std::shared_ptr<RdmaQp> Accept();
+
+  RKey rkey() const { return rkey_; }
+  std::size_t slots() const { return slots_; }
+  std::size_t SlotIndex(const std::string& key) const;
+  static std::uint64_t HashKey(const std::string& key);
+
+ private:
+  std::byte* SlotAt(std::size_t index);
+
+  HostCpu* host_;
+  RdmaNic* nic_;
+  std::string addr_;
+  std::size_t slots_;
+  Buffer table_;
+  RKey rkey_ = 0;
+};
+
+class OneSidedKvClient {
+ public:
+  // `qp` must be connected to the server; `rkey`/`slots` come from the control path.
+  OneSidedKvClient(HostCpu* host, RdmaNic* nic, std::shared_ptr<RdmaQp> qp, RKey rkey,
+                   std::size_t slots);
+
+  // Blocking GET: one RDMA READ of the key's slot, then local validation (magic, key
+  // match, CRC). Drives the simulation; call from top-level code only.
+  Result<std::string> Get(Simulation& sim, const std::string& key,
+                          TimeNs timeout = 10 * kSecond);
+
+  std::uint64_t reads_issued() const { return reads_; }
+
+ private:
+  HostCpu* host_;
+  std::shared_ptr<RdmaQp> qp_;
+  RKey rkey_;
+  std::size_t slots_;
+  Buffer scratch_;  // registered landing buffer for slot reads
+  std::uint64_t next_wr_ = 1;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_APPS_ONESIDED_KV_H_

@@ -1,0 +1,48 @@
+#include "src/apps/workload.h"
+
+#include <cstdio>
+
+namespace demi {
+
+KvWorkload::KvWorkload(KvWorkloadConfig config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.num_keys, config.zipf_theta) {}
+
+std::string KvWorkload::KeyName(std::uint64_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key%012llu", static_cast<unsigned long long>(index));
+  std::string key(buf);
+  if (key.size() < config_.key_bytes) {
+    key.append(config_.key_bytes - key.size(), 'k');
+  }
+  key.resize(config_.key_bytes);
+  return key;
+}
+
+std::string KvWorkload::MakeValue(std::uint64_t salt) const {
+  std::string value(config_.value_bytes, 'v');
+  // Stamp the salt so distinct writes are distinguishable in validation.
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(salt));
+  for (int i = 0; i < n && static_cast<std::size_t>(i) < value.size(); ++i) {
+    value[i] = buf[i];
+  }
+  return value;
+}
+
+RespCommand KvWorkload::LoadCommand(std::uint64_t key_index) const {
+  return {"SET", KeyName(key_index), MakeValue(key_index)};
+}
+
+RespCommand KvWorkload::Next() {
+  const std::uint64_t key = zipf_.Next(rng_);
+  if (rng_.NextBool(config_.get_ratio)) {
+    ++gets_;
+    return {"GET", KeyName(key)};
+  }
+  ++sets_;
+  return {"SET", KeyName(key), MakeValue(rng_.NextU64() % 1000000)};
+}
+
+}  // namespace demi

@@ -1,0 +1,51 @@
+// Workload generation for the KV experiments: YCSB-style key popularity (Zipf),
+// configurable value sizes and read ratios, deterministic per seed.
+
+#ifndef SRC_APPS_WORKLOAD_H_
+#define SRC_APPS_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/resp.h"
+#include "src/common/random.h"
+
+namespace demi {
+
+struct KvWorkloadConfig {
+  std::uint64_t num_keys = 10000;
+  double zipf_theta = 0.99;   // YCSB default skew; 0 = uniform
+  double get_ratio = 0.9;     // fraction of GETs (rest are SETs)
+  std::size_t key_bytes = 16;
+  std::size_t value_bytes = 64;
+  std::uint64_t seed = 1234;
+};
+
+class KvWorkload {
+ public:
+  explicit KvWorkload(KvWorkloadConfig config);
+
+  // The next operation in the sequence.
+  RespCommand Next();
+
+  // Commands that preload every key (for warmup before measurement).
+  RespCommand LoadCommand(std::uint64_t key_index) const;
+
+  const KvWorkloadConfig& config() const { return config_; }
+  std::uint64_t gets_issued() const { return gets_; }
+  std::uint64_t sets_issued() const { return sets_; }
+
+ private:
+  std::string KeyName(std::uint64_t index) const;
+  std::string MakeValue(std::uint64_t salt) const;
+
+  KvWorkloadConfig config_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  std::uint64_t gets_ = 0;
+  std::uint64_t sets_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_APPS_WORKLOAD_H_

@@ -1,0 +1,111 @@
+// Reference-counted byte buffers with zero-copy slicing.
+//
+// Buffer is the unit of data ownership on every I/O path in this project. A Buffer is a
+// view [offset, offset+size) into a shared backing Storage. Slicing (e.g. stripping a
+// packet header) never copies; the last view to die releases the storage.
+//
+// The shared refcount is also the mechanism behind the paper's *free-protection* (§4.5):
+// while a simulated device DMA holds a Buffer, the application may drop its own reference,
+// but the backing store is not recycled until the device completes. The memory manager
+// (src/memory) plugs in a custom Storage whose destructor returns memory to a registered
+// region.
+
+#ifndef SRC_COMMON_BUFFER_H_
+#define SRC_COMMON_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace demi {
+
+// Abstract backing storage for Buffers. Default implementation owns a heap array;
+// the memory manager provides pool-backed subclasses.
+class BufferStorage {
+ public:
+  BufferStorage(std::byte* data, std::size_t capacity) : data_(data), capacity_(capacity) {}
+  virtual ~BufferStorage() = default;
+  BufferStorage(const BufferStorage&) = delete;
+  BufferStorage& operator=(const BufferStorage&) = delete;
+
+  std::byte* data() const { return data_; }
+  std::size_t capacity() const { return capacity_; }
+
+  // The storage object whose registration with a device covers this storage. Pool
+  // allocations carved out of a large registered arena return the arena here, so a
+  // device can validate any sub-buffer against one region registration (§4.5:
+  // "register memory regions ... then allocate application memory from those regions").
+  virtual const BufferStorage* registration_root() const { return this; }
+
+ protected:
+  std::byte* data_;
+  std::size_t capacity_;
+};
+
+// A shared, sliceable view of bytes. Copying a Buffer is cheap (one refcount bump).
+class Buffer {
+ public:
+  // An empty buffer (size 0, no storage).
+  Buffer() = default;
+
+  // Allocates `size` uninitialized bytes on the heap.
+  static Buffer Allocate(std::size_t size);
+
+  // Allocates and fills from the given bytes.
+  static Buffer CopyOf(std::span<const std::byte> bytes);
+  static Buffer CopyOf(std::string_view text);
+
+  // Wraps externally managed storage (used by the memory manager's pools).
+  static Buffer FromStorage(std::shared_ptr<BufferStorage> storage, std::size_t offset,
+                            std::size_t size);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  const std::byte* data() const { return storage_ ? storage_->data() + offset_ : nullptr; }
+  std::byte* mutable_data() { return storage_ ? storage_->data() + offset_ : nullptr; }
+
+  std::span<const std::byte> span() const { return {data(), size_}; }
+  std::span<std::byte> mutable_span() { return {mutable_data(), size_}; }
+
+  std::string_view AsStringView() const {
+    return {reinterpret_cast<const char*>(data()), size_};
+  }
+  std::string ToString() const { return std::string(AsStringView()); }
+
+  // Returns a sub-view; no copy. Clamps to the buffer bounds.
+  Buffer Slice(std::size_t offset, std::size_t length) const;
+  Buffer Slice(std::size_t offset) const { return Slice(offset, size_ - offset); }
+
+  // Number of Buffer views (and device holds) sharing the backing storage.
+  // Used by free-protection tests and pinned-memory accounting.
+  long use_count() const { return storage_.use_count(); }
+
+  // Identity of the backing storage, for aliasing checks in tests.
+  const BufferStorage* storage() const { return storage_.get(); }
+  std::shared_ptr<BufferStorage> shared_storage() const { return storage_; }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.AsStringView() == b.AsStringView();
+  }
+
+ private:
+  Buffer(std::shared_ptr<BufferStorage> storage, std::size_t offset, std::size_t size)
+      : storage_(std::move(storage)), offset_(offset), size_(size) {}
+
+  std::shared_ptr<BufferStorage> storage_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
+};
+
+// Concatenates buffers into one freshly allocated buffer (copies; used only off the
+// zero-copy fast path, e.g. by the POSIX baseline and by tests).
+Buffer ConcatCopy(std::span<const Buffer> parts);
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_BUFFER_H_

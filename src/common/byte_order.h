@@ -1,0 +1,99 @@
+// Network byte-order serialization helpers used by the protocol stack and framing code.
+
+#ifndef SRC_COMMON_BYTE_ORDER_H_
+#define SRC_COMMON_BYTE_ORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+// Writes fixed-width big-endian integers into a byte span, advancing a cursor.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::byte> out) : out_(out) {}
+
+  void U8(std::uint8_t v) {
+    DEMI_CHECK(pos_ + 1 <= out_.size());
+    out_[pos_++] = std::byte{v};
+  }
+  void U16(std::uint16_t v) {
+    U8(static_cast<std::uint8_t>(v >> 8));
+    U8(static_cast<std::uint8_t>(v));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v >> 16));
+    U16(static_cast<std::uint16_t>(v));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v >> 32));
+    U32(static_cast<std::uint32_t>(v));
+  }
+  void Bytes(std::span<const std::byte> bytes) {
+    DEMI_CHECK(pos_ + bytes.size() <= out_.size());
+    if (!bytes.empty()) {
+      std::memcpy(out_.data() + pos_, bytes.data(), bytes.size());
+      pos_ += bytes.size();
+    }
+  }
+  void Skip(std::size_t n) {
+    DEMI_CHECK(pos_ + n <= out_.size());
+    std::memset(out_.data() + pos_, 0, n);
+    pos_ += n;
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::span<std::byte> out_;
+  std::size_t pos_ = 0;
+};
+
+// Reads fixed-width big-endian integers from a byte span, advancing a cursor.
+// Out-of-bounds reads are programmer errors (callers validate lengths first).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint8_t U8() {
+    DEMI_CHECK(pos_ + 1 <= in_.size());
+    return std::to_integer<std::uint8_t>(in_[pos_++]);
+  }
+  std::uint16_t U16() {
+    const std::uint16_t hi = U8();
+    return static_cast<std::uint16_t>(hi << 8 | U8());
+  }
+  std::uint32_t U32() {
+    const std::uint32_t hi = U16();
+    return hi << 16 | U16();
+  }
+  std::uint64_t U64() {
+    const std::uint64_t hi = U32();
+    return hi << 32 | U32();
+  }
+  std::span<const std::byte> Bytes(std::size_t n) {
+    DEMI_CHECK(pos_ + n <= in_.size());
+    auto out = in_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  void Skip(std::size_t n) {
+    DEMI_CHECK(pos_ + n <= in_.size());
+    pos_ += n;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_BYTE_ORDER_H_

@@ -1,0 +1,56 @@
+#include "src/common/checksum.h"
+
+#include <array>
+
+namespace demi {
+
+std::uint32_t ChecksumPartial(std::span<const std::byte> data, std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i])) << 8 |
+           std::to_integer<std::uint8_t>(data[i + 1]);
+  }
+  if (i < data.size()) {
+    acc += static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(data[i])) << 8;
+  }
+  return acc;
+}
+
+std::uint16_t FoldChecksum(std::uint32_t acc) {
+  while (acc >> 16) {
+    acc = (acc & 0xFFFF) + (acc >> 16);
+  }
+  return static_cast<std::uint16_t>(~acc);
+}
+
+std::uint16_t InternetChecksum(std::span<const std::byte> data, std::uint32_t initial) {
+  return FoldChecksum(ChecksumPartial(data, initial));
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeCrc32cTable() {
+  std::array<std::uint32_t, 256> table{};
+  constexpr std::uint32_t kPoly = 0x82F63B78;  // reflected Castagnoli polynomial
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t initial) {
+  static const std::array<std::uint32_t, 256> kTable = MakeCrc32cTable();
+  std::uint32_t crc = ~initial;
+  for (std::byte b : data) {
+    crc = kTable[(crc ^ std::to_integer<std::uint8_t>(b)) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace demi

@@ -1,0 +1,26 @@
+// Checksums used by the network stack (RFC 1071 Internet checksum) and the storage log
+// (CRC32C, as used by ext4/NVMe metadata).
+
+#ifndef SRC_COMMON_CHECKSUM_H_
+#define SRC_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace demi {
+
+// One's-complement Internet checksum (RFC 1071) over the given bytes.
+// `initial` allows chaining across pseudo-header + payload.
+std::uint16_t InternetChecksum(std::span<const std::byte> data, std::uint32_t initial = 0);
+
+// Partial sum for chaining; fold with FoldChecksum at the end.
+std::uint32_t ChecksumPartial(std::span<const std::byte> data, std::uint32_t acc);
+std::uint16_t FoldChecksum(std::uint32_t acc);
+
+// CRC32C (Castagnoli), table-driven.
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t initial = 0);
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_CHECKSUM_H_

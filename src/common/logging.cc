@@ -1,0 +1,58 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace demi {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) {
+  const std::size_t pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace log_internal {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace log_internal
+
+void PanicImpl(std::string_view file, int line, std::string_view msg) {
+  std::fprintf(stderr, "[PANIC %.*s:%d] %.*s\n", static_cast<int>(Basename(file).size()),
+               Basename(file).data(), line, static_cast<int>(msg.size()), msg.data());
+  std::abort();
+}
+
+}  // namespace demi

@@ -1,0 +1,86 @@
+// Result<T>: a Status or a value, in the style of absl::StatusOr / std::expected.
+
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace demi {
+
+// Holds either an OK status and a T, or a non-OK status and no value.
+//
+// Usage:
+//   Result<Connection*> r = stack.Connect(remote);
+//   if (!r.ok()) return r.status();
+//   Connection* conn = r.value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value (success) or a status (failure) keeps call
+  // sites terse: `return conn;` or `return InvalidArgument("...")`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+  Result(ErrorCode code) : status_(code) {  // NOLINT(google-explicit-constructor)
+    assert(code != ErrorCode::kOk);
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+
+  // Value accessors; callers must check ok() first.
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Returns the value or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller: `RETURN_IF_ERROR(DoThing());`
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::demi::Status status_macro_tmp__ = (expr); \
+    if (!status_macro_tmp__.ok()) {             \
+      return status_macro_tmp__;                \
+    }                                           \
+  } while (false)
+
+// Unwraps a Result into `lhs`, propagating errors: `ASSIGN_OR_RETURN(auto v, Compute());`
+#define ASSIGN_OR_RETURN(lhs, expr)        \
+  auto RESULT_MACRO_CONCAT__(result_tmp__, __LINE__) = (expr); \
+  if (!RESULT_MACRO_CONCAT__(result_tmp__, __LINE__).ok()) {   \
+    return RESULT_MACRO_CONCAT__(result_tmp__, __LINE__).status(); \
+  }                                        \
+  lhs = std::move(RESULT_MACRO_CONCAT__(result_tmp__, __LINE__)).value()
+
+#define RESULT_MACRO_CONCAT_INNER__(a, b) a##b
+#define RESULT_MACRO_CONCAT__(a, b) RESULT_MACRO_CONCAT_INNER__(a, b)
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_RESULT_H_

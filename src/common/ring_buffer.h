@@ -1,0 +1,75 @@
+// Fixed-capacity FIFO ring, the shape of every hardware descriptor ring in src/hw.
+//
+// Single-threaded by design (the whole simulation is polled on one core, like a DPDK
+// poll-mode driver thread); we keep the power-of-two masking idiom of real descriptor
+// rings so the bench microcosts are representative.
+
+#ifndef SRC_COMMON_RING_BUFFER_H_
+#define SRC_COMMON_RING_BUFFER_H_
+
+#include <bit>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+// FIFO ring of T with capacity rounded up to a power of two.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        slots_(mask_ + 1) {}
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t size() const { return head_ - tail_; }
+  bool empty() const { return head_ == tail_; }
+  bool full() const { return size() == capacity(); }
+
+  // Enqueues; returns false when the ring is full (the hardware analogue is a TX
+  // descriptor-ring overflow, which callers must handle, not assume away).
+  [[nodiscard]] bool Push(T value) {
+    if (full()) {
+      return false;
+    }
+    slots_[head_ & mask_] = std::move(value);
+    ++head_;
+    return true;
+  }
+
+  // Dequeues the oldest element, or nullopt when empty.
+  std::optional<T> Pop() {
+    if (empty()) {
+      return std::nullopt;
+    }
+    T out = std::move(slots_[tail_ & mask_]);
+    ++tail_;
+    return out;
+  }
+
+  // Peeks at the oldest element without consuming it.
+  const T* Front() const { return empty() ? nullptr : &slots_[tail_ & mask_]; }
+  T* Front() { return empty() ? nullptr : &slots_[tail_ & mask_]; }
+
+  void Clear() {
+    head_ = 0;
+    tail_ = 0;
+    for (T& slot : slots_) {
+      slot = T{};
+    }
+  }
+
+ private:
+  std::size_t mask_;
+  std::vector<T> slots_;
+  std::size_t head_ = 0;  // next write position
+  std::size_t tail_ = 0;  // next read position
+};
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_RING_BUFFER_H_

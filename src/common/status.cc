@@ -1,0 +1,67 @@
+#include "src/common/status.h"
+
+#include <ostream>
+
+namespace demi {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kBadDescriptor:
+      return "bad_descriptor";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kWouldBlock:
+      return "would_block";
+    case ErrorCode::kConnectionRefused:
+      return "connection_refused";
+    case ErrorCode::kConnectionReset:
+      return "connection_reset";
+    case ErrorCode::kNotConnected:
+      return "not_connected";
+    case ErrorCode::kAlreadyConnected:
+      return "already_connected";
+    case ErrorCode::kAddressInUse:
+      return "address_in_use";
+    case ErrorCode::kTimedOut:
+      return "timed_out";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kEndOfFile:
+      return "end_of_file";
+    case ErrorCode::kCancelled:
+      return "cancelled";
+    case ErrorCode::kProtocolError:
+      return "protocol_error";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace demi

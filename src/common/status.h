@@ -1,0 +1,109 @@
+// Error handling primitives used throughout the Demikernel reproduction.
+//
+// We follow the "no exceptions on the I/O path" convention of datacenter systems code:
+// fallible operations return Status (or Result<T> for value-producing operations), and the
+// caller decides how to react. ErrorCode values intentionally mirror the POSIX errno values
+// a real Demikernel would surface through its C ABI.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace demi {
+
+// Canonical error space for the whole project.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // EINVAL: caller passed something nonsensical.
+  kBadDescriptor,       // EBADF: unknown or closed queue/file descriptor.
+  kNotFound,            // ENOENT: named entity does not exist.
+  kAlreadyExists,       // EEXIST: named entity already exists.
+  kResourceExhausted,   // ENOMEM/ENOSPC: out of buffers, ring slots, or blocks.
+  kWouldBlock,          // EAGAIN: operation cannot complete right now.
+  kConnectionRefused,   // ECONNREFUSED: no listener at the remote endpoint.
+  kConnectionReset,     // ECONNRESET: peer aborted the connection.
+  kNotConnected,        // ENOTCONN: operation requires an established connection.
+  kAlreadyConnected,    // EISCONN.
+  kAddressInUse,        // EADDRINUSE.
+  kTimedOut,            // ETIMEDOUT.
+  kPermissionDenied,    // EACCES.
+  kUnsupported,         // ENOTSUP: valid request, not offered by this device/libOS.
+  kEndOfFile,           // Terminal: stream or queue is cleanly finished.
+  kCancelled,           // Operation cancelled (e.g. queue closed while op pending).
+  kProtocolError,       // Malformed peer data (bad frame, bad checksum, bad RESP).
+  kInternal,            // Invariant violation; always a bug.
+};
+
+// Returns the canonical lower-case token for an error code, e.g. "invalid_argument".
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A Status is an ErrorCode plus an optional human-readable detail message.
+// Statuses are cheap to copy in the OK case (empty string).
+class Status {
+ public:
+  Status() = default;
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience constructors, mirroring absl::*Error.
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status BadDescriptor(std::string msg) {
+  return Status(ErrorCode::kBadDescriptor, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status WouldBlock() { return Status(ErrorCode::kWouldBlock); }
+inline Status ConnectionRefused(std::string msg) {
+  return Status(ErrorCode::kConnectionRefused, std::move(msg));
+}
+inline Status ConnectionReset(std::string msg) {
+  return Status(ErrorCode::kConnectionReset, std::move(msg));
+}
+inline Status NotConnected(std::string msg) {
+  return Status(ErrorCode::kNotConnected, std::move(msg));
+}
+inline Status TimedOut(std::string msg) { return Status(ErrorCode::kTimedOut, std::move(msg)); }
+inline Status Unsupported(std::string msg) {
+  return Status(ErrorCode::kUnsupported, std::move(msg));
+}
+inline Status EndOfFile() { return Status(ErrorCode::kEndOfFile); }
+inline Status Cancelled(std::string msg) { return Status(ErrorCode::kCancelled, std::move(msg)); }
+inline Status ProtocolError(std::string msg) {
+  return Status(ErrorCode::kProtocolError, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
+
+}  // namespace demi
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,301 @@
+#include "src/core/catfish.h"
+
+#include <cstring>
+
+#include "src/common/byte_order.h"
+#include "src/common/checksum.h"
+#include "src/common/logging.h"
+
+namespace demi {
+
+CatfishLibOS::CatfishLibOS(HostCpu* host, BlockDevice* bdev, CatfishConfig config)
+    : LibOS(host), bdev_(bdev), config_(config) {}
+
+Result<std::unique_ptr<IoQueue>> CatfishLibOS::NewFileQueue(const std::string& path,
+                                                            bool create) {
+  auto it = catalog_.find(path);
+  if (it == catalog_.end()) {
+    if (!create) {
+      return NotFound(path);
+    }
+    FileMeta meta;
+    meta.base_lba = next_free_lba_;
+    meta.extent_blocks = config_.extent_blocks;
+    next_free_lba_ += config_.extent_blocks;
+    if (meta.base_lba + meta.extent_blocks > bdev_->num_blocks()) {
+      return ResourceExhausted("device full");
+    }
+    it = catalog_.emplace(path, meta).first;
+  }
+  return std::unique_ptr<IoQueue>(new CatfishFileQueue(this, &it->second));
+}
+
+std::uint64_t CatfishLibOS::SubmitWrite(std::uint64_t lba, Buffer data, CompletionFn done) {
+  const std::uint64_t cmd = next_cmd_++;
+  const Status status = bdev_->SubmitWrite(cmd, lba, data);
+  if (status.code() == ErrorCode::kResourceExhausted) {
+    deferred_.push_back(Deferred{true, lba, std::move(data), std::move(done)});
+    return cmd;
+  }
+  if (!status.ok()) {
+    done(status);
+    return cmd;
+  }
+  callbacks_[cmd] = std::move(done);
+  return cmd;
+}
+
+std::uint64_t CatfishLibOS::SubmitRead(std::uint64_t lba, Buffer dest, CompletionFn done) {
+  const std::uint64_t cmd = next_cmd_++;
+  const Status status = bdev_->SubmitRead(cmd, lba, 1, dest);
+  if (status.code() == ErrorCode::kResourceExhausted) {
+    deferred_.push_back(Deferred{false, lba, std::move(dest), std::move(done)});
+    return cmd;
+  }
+  if (!status.ok()) {
+    done(status);
+    return cmd;
+  }
+  callbacks_[cmd] = std::move(done);
+  return cmd;
+}
+
+bool CatfishLibOS::PollDevice() {
+  bool progress = false;
+  for (const BlockCompletion& c : bdev_->PollCompletions(64)) {
+    auto it = callbacks_.find(c.id);
+    if (it != callbacks_.end()) {
+      CompletionFn fn = std::move(it->second);
+      callbacks_.erase(it);
+      fn(c.status);
+      progress = true;
+    }
+  }
+  // Resubmit commands deferred on a full submission queue.
+  while (!deferred_.empty()) {
+    Deferred d = std::move(deferred_.front());
+    deferred_.pop_front();
+    const std::uint64_t cmd = next_cmd_++;
+    const Status status = d.is_write ? bdev_->SubmitWrite(cmd, d.lba, d.buf)
+                                     : bdev_->SubmitRead(cmd, d.lba, 1, d.buf);
+    if (status.code() == ErrorCode::kResourceExhausted) {
+      deferred_.push_front(std::move(d));
+      break;
+    }
+    progress = true;
+    if (!status.ok()) {
+      d.done(status);
+    } else {
+      callbacks_[cmd] = std::move(d.done);
+    }
+  }
+  return progress;
+}
+
+// --- CatfishFileQueue ---
+
+CatfishFileQueue::CatfishFileQueue(CatfishLibOS* libos, CatfishLibOS::FileMeta* meta)
+    : libos_(libos), meta_(meta), alive_(std::make_shared<bool>(true)) {}
+
+CatfishFileQueue::~CatfishFileQueue() { *alive_ = false; }
+
+std::vector<std::byte>& CatfishFileQueue::CachedBlock(std::uint64_t index) {
+  auto [it, inserted] = block_cache_.try_emplace(index);
+  if (inserted) {
+    it->second.assign(kBlock, std::byte{0});
+  }
+  return it->second;
+}
+
+bool CatfishFileQueue::BlockResident(std::uint64_t index) const {
+  return block_cache_.contains(index);
+}
+
+void CatfishFileQueue::FetchBlock(std::uint64_t index) {
+  if (fetch_in_flight_.contains(index)) {
+    return;
+  }
+  fetch_in_flight_[index] = true;
+  Buffer dest = Buffer::Allocate(kBlock);
+  std::weak_ptr<bool> alive = alive_;
+  libos_->SubmitRead(meta_->base_lba + index, dest,
+                     [this, alive, index, dest](const Status& status) {
+                       auto locked = alive.lock();
+                       if (!locked || !*locked) {
+                         return;  // queue closed before the read landed
+                       }
+                       fetch_in_flight_.erase(index);
+                       if (status.ok()) {
+                         auto& block = CachedBlock(index);
+                         std::memcpy(block.data(), dest.data(), kBlock);
+                       }
+                     });
+}
+
+bool CatfishFileQueue::ReadLogBytes(std::uint64_t offset, std::size_t len, std::byte* out) {
+  // First pass: ensure residency (kick fetches for every cold block).
+  bool all_resident = true;
+  for (std::uint64_t index = offset / kBlock; index <= (offset + len - 1) / kBlock;
+       ++index) {
+    if (!BlockResident(index)) {
+      FetchBlock(index);
+      all_resident = false;
+    }
+  }
+  if (!all_resident) {
+    return false;
+  }
+  std::size_t at = 0;
+  while (at < len) {
+    const std::uint64_t pos = offset + at;
+    const std::uint64_t index = pos / kBlock;
+    const std::size_t in_block = pos % kBlock;
+    const std::size_t take = std::min(kBlock - in_block, len - at);
+    std::memcpy(out + at, block_cache_[index].data() + in_block, take);
+    at += take;
+  }
+  return true;
+}
+
+void CatfishFileQueue::WriteBlockOut(std::uint64_t index, PendingPush* push) {
+  Buffer data = Buffer::CopyOf(std::span<const std::byte>(CachedBlock(index)));
+  ++push->writes_outstanding;
+  std::weak_ptr<bool> alive = alive_;
+  libos_->SubmitWrite(meta_->base_lba + index, std::move(data),
+                      [alive, push](const Status& status) {
+                        auto locked = alive.lock();
+                        if (!locked || !*locked) {
+                          return;
+                        }
+                        if (!status.ok() && push->status.ok()) {
+                          push->status = status;
+                        }
+                        --push->writes_outstanding;
+                      });
+}
+
+Status CatfishFileQueue::StartPush(QToken token, const SgArray& sga) {
+  if (closed_) {
+    return BadDescriptor("push on closed file queue");
+  }
+  const std::size_t record_len = kRecordHeader + sga.total_bytes();
+  if (meta_->used_bytes + record_len > meta_->extent_blocks * kBlock) {
+    return ResourceExhausted("file extent full");
+  }
+
+  // Serialize the record into the cached tail blocks.
+  Buffer payload = sga.Flatten();
+  std::byte header[kRecordHeader];
+  ByteWriter w(header);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(Crc32c(payload.span()));
+
+  const std::uint64_t start = meta_->used_bytes;
+  auto write_bytes = [this](std::uint64_t offset, std::span<const std::byte> bytes) {
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+      const std::uint64_t pos = offset + at;
+      const std::uint64_t index = pos / kBlock;
+      const std::size_t in_block = pos % kBlock;
+      const std::size_t take = std::min(kBlock - in_block, bytes.size() - at);
+      std::memcpy(CachedBlock(index).data() + in_block, bytes.data() + at, take);
+      at += take;
+    }
+  };
+  write_bytes(start, header);
+  write_bytes(start + kRecordHeader, payload.span());
+  meta_->used_bytes += record_len;
+  ++meta_->records;
+
+  // Persist every touched block (the tail block is rewritten in place — the classic
+  // small-append pattern of a log on a block device).
+  auto push = std::make_unique<PendingPush>();
+  push->token = token;
+  const std::uint64_t first_block = start / kBlock;
+  const std::uint64_t last_block = (start + record_len - 1) / kBlock;
+  for (std::uint64_t index = first_block; index <= last_block; ++index) {
+    WriteBlockOut(index, push.get());
+  }
+  push->submitted = true;
+  pending_pushes_.push_back(std::move(push));
+  return OkStatus();
+}
+
+Status CatfishFileQueue::StartPop(QToken token) {
+  if (closed_) {
+    return BadDescriptor("pop on closed file queue");
+  }
+  pending_pops_.push_back(token);
+  return OkStatus();
+}
+
+bool CatfishFileQueue::Progress(CompletionSink& sink) {
+  bool progress = false;
+
+  // Complete durable pushes in order.
+  while (!pending_pushes_.empty()) {
+    PendingPush& push = *pending_pushes_.front();
+    if (!push.submitted || push.writes_outstanding > 0) {
+      break;
+    }
+    QResult res;
+    res.op = OpType::kPush;
+    res.status = push.status;
+    sink.CompleteOp(push.token, std::move(res));
+    pending_pushes_.pop_front();
+    progress = true;
+  }
+
+  // Replay records for pops.
+  while (!pending_pops_.empty()) {
+    if (read_offset_ >= meta_->used_bytes) {
+      // End of log snapshot: nothing (more) to replay.
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = EndOfFile();
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+      continue;
+    }
+    std::byte header[kRecordHeader];
+    if (!ReadLogBytes(read_offset_, kRecordHeader, header)) {
+      break;  // cold blocks; fetches in flight
+    }
+    ByteReader r(header);
+    const std::uint32_t len = r.U32();
+    const std::uint32_t crc = r.U32();
+    if (read_offset_ + kRecordHeader + len > meta_->used_bytes) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = ProtocolError("truncated record");
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+      continue;
+    }
+    Buffer payload = Buffer::Allocate(len);
+    if (!ReadLogBytes(read_offset_ + kRecordHeader, len, payload.mutable_data())) {
+      break;
+    }
+    QResult res;
+    res.op = OpType::kPop;
+    if (Crc32c(payload.span()) != crc) {
+      res.status = ProtocolError("record checksum mismatch");
+    } else {
+      res.sga = SgArray(std::move(payload));
+    }
+    read_offset_ += kRecordHeader + len;
+    sink.CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+    progress = true;
+  }
+  return progress;
+}
+
+Status CatfishFileQueue::Close() {
+  closed_ = true;
+  return OkStatus();
+}
+
+}  // namespace demi

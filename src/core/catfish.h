@@ -1,0 +1,127 @@
+// Catfish: the SPDK-style storage library OS.
+//
+// File queues over a raw NVMe-class device with a custom, accelerator-friendly log
+// layout — the "accelerator-specific storage layout" future work of §5.3:
+//   - push(file_qd, sga) appends one record ([len][crc32c][payload]) to the file's
+//     log and completes when the device write completes (durability == completion);
+//   - pop(file_qd) replays records in append order, fetching blocks from the device
+//     when they are not memory-resident (e.g. after close/reopen);
+//   - the atomic-unit guarantee holds on storage exactly as on the network: an sga
+//     pushed as one element pops as one element, CRC-verified.
+//
+// The catalog (path -> extent) is an in-memory superblock owned by the libOS; record
+// data itself lives in the simulated device and survives queue close/reopen. Each
+// libOS serves a single application (§5.3: no UNIX file system needed), so there are
+// no permissions, directories, or sharing.
+
+#ifndef SRC_CORE_CATFISH_H_
+#define SRC_CORE_CATFISH_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/libos.h"
+#include "src/hw/block_device.h"
+
+namespace demi {
+
+struct CatfishConfig {
+  std::uint64_t extent_blocks = 4096;  // 16 MiB per file at 4 KiB blocks
+};
+
+class CatfishLibOS final : public LibOS {
+ public:
+  CatfishLibOS(HostCpu* host, BlockDevice* bdev, CatfishConfig config = CatfishConfig{});
+
+  std::string name() const override { return "catfish"; }
+  BlockDevice& bdev() { return *bdev_; }
+
+  struct FileMeta {
+    std::uint64_t base_lba = 0;
+    std::uint64_t extent_blocks = 0;
+    std::uint64_t used_bytes = 0;  // bytes of log written so far
+    std::uint64_t records = 0;
+  };
+
+  // Completion routing: the device CQ is shared; each command's continuation runs
+  // when its completion arrives (guarded against the owning queue being gone).
+  using CompletionFn = std::function<void(const Status&)>;
+  std::uint64_t SubmitWrite(std::uint64_t lba, Buffer data, CompletionFn done);
+  std::uint64_t SubmitRead(std::uint64_t lba, Buffer dest, CompletionFn done);
+  std::size_t inflight_commands() const { return callbacks_.size(); }
+
+ protected:
+  Result<std::unique_ptr<IoQueue>> NewSocketQueue() override {
+    return Status(ErrorCode::kUnsupported, "catfish has no network device");
+  }
+  Result<std::unique_ptr<IoQueue>> NewFileQueue(const std::string& path,
+                                                bool create) override;
+  bool PollDevice() override;
+
+ private:
+  friend class CatfishFileQueue;
+
+  BlockDevice* bdev_;
+  CatfishConfig config_;
+  std::unordered_map<std::string, FileMeta> catalog_;
+  std::uint64_t next_free_lba_ = 1;  // LBA 0 reserved
+  std::uint64_t next_cmd_ = 1;
+  std::unordered_map<std::uint64_t, CompletionFn> callbacks_;
+  // Commands the device rejected (SQ full) awaiting resubmission.
+  struct Deferred {
+    bool is_write;
+    std::uint64_t lba;
+    Buffer buf;
+    CompletionFn done;
+  };
+  std::deque<Deferred> deferred_;
+};
+
+class CatfishFileQueue final : public IoQueue {
+ public:
+  static constexpr std::size_t kRecordHeader = 8;  // u32 len + u32 crc32c
+
+  CatfishFileQueue(CatfishLibOS* libos, CatfishLibOS::FileMeta* meta);
+  ~CatfishFileQueue() override;
+
+  Status StartPush(QToken token, const SgArray& sga) override;
+  Status StartPop(QToken token) override;
+  bool Progress(CompletionSink& sink) override;
+  Status Close() override;
+
+ private:
+  static constexpr std::size_t kBlock = 4096;
+
+  struct PendingPush {
+    QToken token;
+    std::size_t writes_outstanding = 0;
+    Status status;
+    bool submitted = false;
+  };
+
+  std::vector<std::byte>& CachedBlock(std::uint64_t index);
+  bool BlockResident(std::uint64_t index) const;
+  void FetchBlock(std::uint64_t index);
+  // Copies `len` log bytes at `offset` into `out`; false if any block is cold
+  // (fetches are started as a side effect).
+  bool ReadLogBytes(std::uint64_t offset, std::size_t len, std::byte* out);
+  void WriteBlockOut(std::uint64_t index, PendingPush* push);
+
+  CatfishLibOS* libos_;
+  CatfishLibOS::FileMeta* meta_;
+  std::shared_ptr<bool> alive_;  // guards device-completion continuations
+  bool closed_ = false;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> block_cache_;
+  std::unordered_map<std::uint64_t, bool> fetch_in_flight_;
+  std::deque<std::unique_ptr<PendingPush>> pending_pushes_;
+  std::deque<QToken> pending_pops_;
+  std::deque<std::pair<QToken, QResult>> ready_;
+  std::uint64_t read_offset_ = 0;  // replay cursor
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_CATFISH_H_

@@ -1,0 +1,166 @@
+#include "src/core/catnap.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+CatnapLibOS::CatnapLibOS(HostCpu* host, SimKernel* kernel) : LibOS(host), kernel_(kernel) {}
+
+Result<std::unique_ptr<IoQueue>> CatnapLibOS::NewSocketQueue() {
+  auto fd = kernel_->Socket();
+  RETURN_IF_ERROR(fd.status());
+  return std::unique_ptr<IoQueue>(new CatnapSocketQueue(kernel_, host_, *fd));
+}
+
+Status CatnapSocketQueue::Bind(std::uint16_t port) { return kernel_->Bind(fd_, port); }
+
+Status CatnapSocketQueue::Listen() {
+  RETURN_IF_ERROR(kernel_->Listen(fd_));
+  listening_ = true;
+  return OkStatus();
+}
+
+Result<std::unique_ptr<IoQueue>> CatnapSocketQueue::TryAccept() {
+  if (!kernel_->AcceptReady(fd_)) {
+    return Status(ErrorCode::kWouldBlock);  // stay parked; no syscall burned
+  }
+  auto new_fd = kernel_->Accept(fd_);
+  RETURN_IF_ERROR(new_fd.status());
+  return std::unique_ptr<IoQueue>(new CatnapSocketQueue(kernel_, host_, *new_fd));
+}
+
+Status CatnapSocketQueue::StartConnect(Endpoint remote) {
+  return kernel_->Connect(fd_, remote);
+}
+
+Status CatnapSocketQueue::ConnectStatus() {
+  if (kernel_->ConnectSucceeded(fd_)) {
+    return OkStatus();
+  }
+  if (kernel_->ConnectInProgress(fd_)) {
+    return WouldBlock();
+  }
+  return ConnectionRefused("connect failed");
+}
+
+Status CatnapSocketQueue::StartPush(QToken token, const SgArray& sga) {
+  if (closed_) {
+    return BadDescriptor("push on closed queue");
+  }
+  PendingPush push;
+  push.token = token;
+  // writev-style: one syscall for the whole framed element (header + segments). The
+  // serialization into one iovec-equivalent buffer is application-side assembly.
+  push.parts.push_back(ConcatCopy(EncodeFrame(sga)));
+  pending_pushes_.push_back(std::move(push));
+  return OkStatus();
+}
+
+Status CatnapSocketQueue::StartPop(QToken token) {
+  if (closed_) {
+    return BadDescriptor("pop on closed queue");
+  }
+  pending_pops_.push_back(token);
+  return OkStatus();
+}
+
+bool CatnapSocketQueue::Progress(CompletionSink& sink) {
+  if (closed_ || listening_) {
+    return false;
+  }
+  bool progress = false;
+
+  // Drain pushes through write(2): every byte crosses the kernel boundary with a copy.
+  while (!pending_pushes_.empty()) {
+    PendingPush& push = pending_pushes_.front();
+    bool stalled = false;
+    while (!push.parts.empty()) {
+      auto written = kernel_->WriteSock(fd_, push.parts.front());
+      if (written.ok()) {
+        push.parts.pop_front();
+        progress = true;
+        continue;
+      }
+      if (written.code() == ErrorCode::kResourceExhausted ||
+          written.code() == ErrorCode::kWouldBlock) {
+        stalled = true;  // socket buffer full; retry next poll
+        break;
+      }
+      // Hard error: fail this push.
+      QResult res;
+      res.op = OpType::kPush;
+      res.status = written.status();
+      sink.CompleteOp(push.token, std::move(res));
+      pending_pushes_.pop_front();
+      progress = true;
+      stalled = true;
+      break;
+    }
+    if (stalled) {
+      break;
+    }
+    QResult res;
+    res.op = OpType::kPush;
+    sink.CompleteOp(push.token, std::move(res));
+    pending_pushes_.pop_front();
+    progress = true;
+  }
+
+  // Drain the kernel socket through read(2) and reassemble atomic units. Reads are
+  // gated on readiness (the libOS watches the fd as epoll would) so idle polls do not
+  // burn syscalls on EAGAIN.
+  TcpConnection* conn = kernel_->SockConnection(fd_);
+  const bool socket_ready = conn != nullptr && (conn->readable() || conn->reset());
+  if (!pending_pops_.empty() && !peer_eof_ && stream_error_.ok() && socket_ready) {
+    while (true) {
+      auto data = kernel_->ReadSock(fd_, 65536);
+      if (data.ok()) {
+        decoder_.Feed(std::move(*data));
+        progress = true;
+        continue;
+      }
+      if (data.code() == ErrorCode::kEndOfFile) {
+        peer_eof_ = true;
+      } else if (data.code() != ErrorCode::kWouldBlock) {
+        stream_error_ = data.status();
+      }
+      break;
+    }
+  }
+  while (!pending_pops_.empty()) {
+    auto decoded = decoder_.Next();
+    if (!decoded.ok()) {
+      stream_error_ = decoded.status();
+    }
+    if (decoded.ok() && decoded->has_value()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.sga = std::move(**decoded);
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+      continue;
+    }
+    if (peer_eof_ || !stream_error_.ok()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = !stream_error_.ok() ? stream_error_ : EndOfFile();
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+      continue;
+    }
+    break;  // need more bytes
+  }
+  return progress;
+}
+
+Status CatnapSocketQueue::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
+  closed_ = true;
+  return kernel_->CloseFd(fd_);
+}
+
+}  // namespace demi

@@ -1,0 +1,344 @@
+#include "src/core/catnip.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
+                         CatnipConfig config)
+    : LibOS(host), nic_(nic) {
+  // Control path (Figure 2): ask the kernel for a dedicated NIC queue, once.
+  if (control_kernel != nullptr) {
+    auto lease = control_kernel->AllocateNicQueue();
+    DEMI_CHECK(lease.ok() && "no NIC queue available for the libOS");
+    nic_queue_ = *lease;
+    // Map the libOS arenas for device DMA (IOMMU setup) — also control path.
+    (void)control_kernel->MapForDevice(2 * 1024 * 1024);
+  }
+  NetStackConfig net_cfg;
+  net_cfg.ip = config.ip;
+  net_cfg.nic_queue = nic_queue_;
+  net_cfg.tcp = config.tcp;
+  net_cfg.seed = config.seed;
+  // Costs default to the user-level stack entries of the cost model.
+  stack_ = std::make_unique<NetStack>(host, nic, net_cfg);
+}
+
+Result<std::unique_ptr<IoQueue>> CatnipLibOS::NewSocketQueue() {
+  return std::unique_ptr<IoQueue>(new CatnipTcpQueue(this, nullptr));
+}
+
+Result<QDesc> CatnipLibOS::SocketUdp() {
+  ChargeCall();
+  return InstallQueue(std::make_unique<CatnipUdpQueue>(this));
+}
+
+// --- CatnipTcpQueue ---
+
+Status CatnipTcpQueue::Bind(std::uint16_t port) {
+  bound_port_ = port;
+  return OkStatus();
+}
+
+Status CatnipTcpQueue::Listen() {
+  if (bound_port_ == 0) {
+    return InvalidArgument("listen requires bind");
+  }
+  auto listener = libos_->stack().TcpListen(bound_port_);
+  RETURN_IF_ERROR(listener.status());
+  listener_ = *listener;
+  return OkStatus();
+}
+
+Result<std::unique_ptr<IoQueue>> CatnipTcpQueue::TryAccept() {
+  if (listener_ == nullptr) {
+    return Status(ErrorCode::kInvalidArgument, "not listening");
+  }
+  TcpConnection* conn = listener_->Accept();
+  if (conn == nullptr) {
+    return Status(ErrorCode::kWouldBlock);
+  }
+  return std::unique_ptr<IoQueue>(new CatnipTcpQueue(libos_, conn));
+}
+
+Status CatnipTcpQueue::StartConnect(Endpoint remote) {
+  if (conn_ != nullptr) {
+    return Status(ErrorCode::kAlreadyConnected, "connect");
+  }
+  auto conn = libos_->stack().TcpConnect(remote);
+  RETURN_IF_ERROR(conn.status());
+  conn_ = *conn;
+  return OkStatus();
+}
+
+Status CatnipTcpQueue::ConnectStatus() {
+  if (conn_ == nullptr) {
+    return NotConnected("connect not started");
+  }
+  if (conn_->established()) {
+    return OkStatus();
+  }
+  if (conn_->dead()) {
+    return ConnectionRefused("connect failed");
+  }
+  return WouldBlock();
+}
+
+Status CatnipTcpQueue::StartPush(QToken token, const SgArray& sga) {
+  if (closed_) {
+    return BadDescriptor("push on closed queue");
+  }
+  if (conn_ == nullptr) {
+    return NotConnected("push before connect");
+  }
+  PendingPush push;
+  push.token = token;
+  // Zero copy: the wire parts reference the application's sga segments. The TCP stack
+  // holds those references until acknowledged — free-protection does the rest (§4.5).
+  for (Buffer& part : EncodeFrame(sga)) {
+    push.parts.push_back(std::move(part));
+  }
+  pending_pushes_.push_back(std::move(push));
+  return OkStatus();
+}
+
+Status CatnipTcpQueue::StartPop(QToken token) {
+  if (closed_) {
+    return BadDescriptor("pop on closed queue");
+  }
+  if (conn_ == nullptr) {
+    return NotConnected("pop before connect");
+  }
+  pending_pops_.push_back(token);
+  return OkStatus();
+}
+
+bool CatnipTcpQueue::Progress(CompletionSink& sink) {
+  if (closed_ || conn_ == nullptr) {
+    return false;
+  }
+  bool progress = false;
+
+  while (!pending_pushes_.empty() && conn_->established()) {
+    PendingPush& push = pending_pushes_.front();
+    bool stalled = false;
+    while (!push.parts.empty()) {
+      const Status status = conn_->Send(push.parts.front());
+      if (status.ok()) {
+        push.parts.pop_front();
+        progress = true;
+        continue;
+      }
+      if (status.code() == ErrorCode::kResourceExhausted) {
+        stalled = true;
+        break;
+      }
+      QResult res;
+      res.op = OpType::kPush;
+      res.status = status;
+      sink.CompleteOp(push.token, std::move(res));
+      pending_pushes_.pop_front();
+      progress = true;
+      stalled = true;
+      break;
+    }
+    if (stalled) {
+      break;
+    }
+    QResult res;
+    res.op = OpType::kPush;
+    sink.CompleteOp(push.token, std::move(res));
+    pending_pushes_.pop_front();
+    progress = true;
+  }
+
+  // Zero-copy receive: stream slices feed the frame decoder directly.
+  if (!pending_pops_.empty()) {
+    while (true) {
+      Buffer chunk = conn_->Recv(65536);
+      if (chunk.empty()) {
+        break;
+      }
+      decoder_.Feed(std::move(chunk));
+      progress = true;
+    }
+  }
+  while (!pending_pops_.empty()) {
+    auto decoded = decoder_.Next();
+    if (!decoded.ok()) {
+      stream_error_ = decoded.status();
+    }
+    if (decoded.ok() && decoded->has_value()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.sga = std::move(**decoded);
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+      continue;
+    }
+    Status terminal;
+    if (!stream_error_.ok()) {
+      terminal = stream_error_;
+    } else if (conn_->reset()) {
+      terminal = ConnectionReset("peer reset");
+    } else if (conn_->recv_eof()) {
+      terminal = EndOfFile();
+    } else {
+      break;  // need more bytes
+    }
+    QResult res;
+    res.op = OpType::kPop;
+    res.status = terminal;
+    sink.CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+    progress = true;
+  }
+  return progress;
+}
+
+Status CatnipTcpQueue::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
+  closed_ = true;
+  if (conn_ != nullptr) {
+    conn_->Close();
+  }
+  return OkStatus();
+}
+
+// --- CatnipUdpQueue ---
+
+CatnipUdpQueue::~CatnipUdpQueue() {
+  if (bound_) {
+    libos_->stack().UdpUnbind(bound_port_);
+  }
+}
+
+Status CatnipUdpQueue::Bind(std::uint16_t port) {
+  if (bound_) {
+    return Status(ErrorCode::kAlreadyExists, "already bound");
+  }
+  RETURN_IF_ERROR(libos_->stack().UdpBind(port, [this](Endpoint from, Buffer payload) {
+    inbound_.emplace_back(from, std::move(payload));
+  }));
+  bound_port_ = port;
+  bound_ = true;
+  return OkStatus();
+}
+
+Status CatnipUdpQueue::StartConnect(Endpoint remote) {
+  remote_ = remote;
+  has_remote_ = true;
+  if (!bound_) {
+    // Auto-bind an ephemeral-ish port derived from the queue address.
+    for (std::uint16_t port = 20000; port < 21000; ++port) {
+      if (Bind(port).ok()) {
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status CatnipUdpQueue::StartPush(QToken token, const SgArray& sga) {
+  if (closed_) {
+    return BadDescriptor("push on closed queue");
+  }
+  if (!has_remote_) {
+    return NotConnected("udp push requires connect(remote)");
+  }
+  // One element = one datagram; the device keeps the unit intact on the wire, which
+  // is the "preserve the application data unit on the device" goal of §4.2.
+  const Status status = libos_->stack().UdpSend(bound_port_, remote_, sga.Flatten());
+  QResult res;
+  res.op = OpType::kPush;
+  res.status = status;
+  ready_.emplace_back(token, std::move(res));
+  return OkStatus();
+}
+
+Status CatnipUdpQueue::StartPop(QToken token) {
+  if (closed_) {
+    return BadDescriptor("pop on closed queue");
+  }
+  if (!bound_) {
+    return NotConnected("udp pop requires bind");
+  }
+  pending_pops_.push_back(token);
+  return OkStatus();
+}
+
+bool CatnipUdpQueue::Progress(CompletionSink& sink) {
+  bool progress = false;
+  while (!ready_.empty()) {
+    sink.CompleteOp(ready_.front().first, std::move(ready_.front().second));
+    ready_.pop_front();
+    progress = true;
+  }
+  while (!pending_pops_.empty() && !inbound_.empty()) {
+    auto [from, payload] = std::move(inbound_.front());
+    inbound_.pop_front();
+    QResult res;
+    res.op = OpType::kPop;
+    res.sga = SgArray(std::move(payload));  // zero-copy slice of the received frame
+    sink.CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+    progress = true;
+  }
+  return progress;
+}
+
+bool CatnipUdpQueue::SupportsFilterOffload() const {
+  return libos_->nic().config().supports_offload && bound_;
+}
+
+Status CatnipUdpQueue::InstallOffloadFilter(const ElementPredicate& pred) {
+  if (!SupportsFilterOffload()) {
+    return Unsupported("device cannot run filters");
+  }
+  // Compile the element predicate into an on-NIC packet program: it must only act on
+  // UDP datagrams addressed to this queue's port and pass everything else untouched.
+  NicProgram prog;
+  prog.kind = NicProgram::Kind::kFilter;
+  prog.host_cost_ns = pred.host_cost_ns;
+  const std::uint16_t port = bound_port_;
+  auto fn = pred.fn;
+  prog.filter = [port, fn](const Buffer& frame) {
+    const auto span = frame.span();
+    if (span.size() < kEthHeaderSize + kIpv4HeaderSize + kUdpHeaderSize) {
+      return true;
+    }
+    const EthHeader eth = ParseEthHeader(span);
+    if (eth.ethertype != kEtherTypeIpv4) {
+      return true;
+    }
+    auto ip = ParseIpv4Header(span.subspan(kEthHeaderSize));
+    if (!ip || ip->protocol != kIpProtoUdp) {
+      return true;
+    }
+    auto udp = ParseUdpHeader(span.subspan(kEthHeaderSize + kIpv4HeaderSize));
+    if (!udp || udp->dst_port != port) {
+      return true;
+    }
+    SgArray element(frame.Slice(kEthHeaderSize + kIpv4HeaderSize + kUdpHeaderSize,
+                                udp->length - kUdpHeaderSize));
+    return fn(element);
+  };
+  return libos_->nic().InstallRxProgram(libos_->nic_queue(), std::move(prog));
+}
+
+Status CatnipUdpQueue::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
+  closed_ = true;
+  if (bound_) {
+    libos_->stack().UdpUnbind(bound_port_);
+    bound_ = false;
+  }
+  return OkStatus();
+}
+
+}  // namespace demi

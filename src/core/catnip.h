@@ -1,0 +1,128 @@
+// Catnip: the DPDK-style library OS.
+//
+// The device gives nothing but kernel bypass (Table 1, left column), so Catnip brings
+// the entire networking stack (src/net) into the application's address space and runs
+// it at user-level cost with zero copies:
+//   - control path: the legacy kernel leases a NIC queue to the libOS (Figure 2) —
+//     paid once at startup;
+//   - data path: poll-mode rings, user-level TCP, length-prefix framing to preserve
+//     queue-element boundaries over the byte stream (§5.2);
+//   - memory: buffers come from the §4.5 memory manager; frames are sliced, never
+//     copied, on receive; scatter-gather referenced, never copied, on transmit.
+//
+// Catnip also offers UDP queues where one datagram = one queue element. Those are the
+// offload showcase: on a SmartNIC-capable device, a filter() over a UDP queue is
+// installed as an on-NIC program and filtered packets never cost host CPU (§4.3).
+
+#ifndef SRC_CORE_CATNIP_H_
+#define SRC_CORE_CATNIP_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "src/core/libos.h"
+#include "src/hw/nic.h"
+#include "src/kernel/kernel.h"
+#include "src/net/framing.h"
+#include "src/net/stack.h"
+
+namespace demi {
+
+struct CatnipConfig {
+  Ipv4Address ip;
+  TcpConfig tcp;
+  std::uint64_t seed = 11;
+};
+
+class CatnipLibOS final : public LibOS {
+ public:
+  // `control_kernel` may be null (no kernel on the host); then the libOS takes NIC
+  // queue 0 directly. With a kernel, the queue is leased through the control path.
+  CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel, CatnipConfig config);
+
+  std::string name() const override { return "catnip"; }
+  NetStack& stack() { return *stack_; }
+  SimNic& nic() { return *nic_; }
+  int nic_queue() const { return nic_queue_; }
+
+  Result<QDesc> SocketUdp() override;
+
+ protected:
+  Result<std::unique_ptr<IoQueue>> NewSocketQueue() override;
+
+ private:
+  SimNic* nic_;
+  int nic_queue_ = 0;
+  std::unique_ptr<NetStack> stack_;
+};
+
+// TCP socket queue: framed atomic units over the user-level byte stream.
+class CatnipTcpQueue final : public IoQueue {
+ public:
+  CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn)
+      : libos_(libos), conn_(conn) {}
+
+  Status StartPush(QToken token, const SgArray& sga) override;
+  Status StartPop(QToken token) override;
+  bool Progress(CompletionSink& sink) override;
+
+  Status Bind(std::uint16_t port) override;
+  Status Listen() override;
+  Result<std::unique_ptr<IoQueue>> TryAccept() override;
+  Status StartConnect(Endpoint remote) override;
+  Status ConnectStatus() override;
+  Status Close() override;
+
+  TcpConnection* connection() { return conn_; }
+
+ private:
+  struct PendingPush {
+    QToken token;
+    std::deque<Buffer> parts;
+  };
+
+  CatnipLibOS* libos_;
+  TcpConnection* conn_ = nullptr;  // null until connect/accept
+  TcpListener* listener_ = nullptr;
+  std::uint16_t bound_port_ = 0;
+  bool closed_ = false;
+  FrameDecoder decoder_;
+  Status stream_error_;
+  std::deque<PendingPush> pending_pushes_;
+  std::deque<QToken> pending_pops_;
+};
+
+// UDP datagram queue: one datagram = one element; filter-offload capable.
+class CatnipUdpQueue final : public IoQueue {
+ public:
+  explicit CatnipUdpQueue(CatnipLibOS* libos) : libos_(libos) {}
+  ~CatnipUdpQueue() override;
+
+  Status StartPush(QToken token, const SgArray& sga) override;
+  Status StartPop(QToken token) override;
+  bool Progress(CompletionSink& sink) override;
+
+  Status Bind(std::uint16_t port) override;
+  Status StartConnect(Endpoint remote) override;  // sets the default destination
+  Status ConnectStatus() override { return OkStatus(); }
+  Status Close() override;
+
+  bool SupportsFilterOffload() const override;
+  Status InstallOffloadFilter(const ElementPredicate& pred) override;
+
+ private:
+  CatnipLibOS* libos_;
+  std::uint16_t bound_port_ = 0;
+  bool bound_ = false;
+  bool closed_ = false;
+  Endpoint remote_;
+  bool has_remote_ = false;
+  std::deque<std::pair<Endpoint, Buffer>> inbound_;
+  std::deque<QToken> pending_pops_;
+  std::deque<std::pair<QToken, QResult>> ready_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_CATNIP_H_

@@ -1,0 +1,101 @@
+#include "src/core/event_loop.h"
+
+namespace demi {
+
+DemiEventLoop::DemiEventLoop(LibOS* libos) : libos_(libos) {
+  libos_->sim().AddPoller(this);
+}
+
+DemiEventLoop::~DemiEventLoop() { libos_->sim().RemovePoller(this); }
+
+void DemiEventLoop::Arm(QDesc qd, Watch& watch) {
+  if (watch.is_accept) {
+    auto token = libos_->AcceptAsync(qd);
+    watch.token = token.ok() ? *token : kInvalidQToken;
+  } else {
+    auto token = libos_->Pop(qd);
+    watch.token = token.ok() ? *token : kInvalidQToken;
+  }
+}
+
+Status DemiEventLoop::WatchAccept(QDesc listen_qd, AcceptHandler handler) {
+  if (watches_.contains(listen_qd)) {
+    return AlreadyExists("queue already watched");
+  }
+  Watch watch;
+  watch.is_accept = true;
+  watch.on_accept = std::move(handler);
+  Arm(listen_qd, watch);
+  if (watch.token == kInvalidQToken) {
+    return InvalidArgument("queue does not accept");
+  }
+  watches_[listen_qd] = std::move(watch);
+  return OkStatus();
+}
+
+Status DemiEventLoop::WatchPop(QDesc qd, PopHandler handler) {
+  if (watches_.contains(qd)) {
+    return AlreadyExists("queue already watched");
+  }
+  Watch watch;
+  watch.on_pop = std::move(handler);
+  Arm(qd, watch);
+  if (watch.token == kInvalidQToken) {
+    return InvalidArgument("queue cannot pop");
+  }
+  watches_[qd] = std::move(watch);
+  return OkStatus();
+}
+
+void DemiEventLoop::Unwatch(QDesc qd) { watches_.erase(qd); }
+
+void DemiEventLoop::CallLater(TimeNs delay, std::function<void()> fn) {
+  libos_->sim().Schedule(delay, std::move(fn));
+}
+
+bool DemiEventLoop::Poll() {
+  bool progress = false;
+  // Snapshot: handlers may watch/unwatch from inside callbacks.
+  std::vector<QDesc> ready;
+  for (auto& [qd, watch] : watches_) {
+    if (watch.token != kInvalidQToken && libos_->OpDone(watch.token)) {
+      ready.push_back(qd);
+    }
+  }
+  for (const QDesc qd : ready) {
+    auto it = watches_.find(qd);
+    if (it == watches_.end()) {
+      continue;  // unwatched by an earlier callback this round
+    }
+    Watch& watch = it->second;
+    auto result = libos_->TakeResult(watch.token);
+    watch.token = kInvalidQToken;
+    progress = true;
+    ++dispatched_;
+    if (watch.is_accept) {
+      if (result.ok() && result->status.ok()) {
+        AcceptHandler handler = watch.on_accept;  // copy: handler may unwatch
+        Arm(qd, watch);
+        handler(result->new_qd);
+      } else {
+        Watch dead = std::move(watch);
+        watches_.erase(it);
+        (void)dead;  // accept failed terminally; drop the watch
+      }
+      continue;
+    }
+    if (result.ok() && result->status.ok()) {
+      PopHandler handler = watch.on_pop;
+      Arm(qd, watch);
+      handler(qd, std::move(result->sga));
+    } else {
+      PopHandler handler = std::move(watch.on_pop);
+      const Status status = result.ok() ? result->status : result.status();
+      watches_.erase(it);
+      handler(qd, status);  // terminal delivery (EOF/reset), watch removed
+    }
+  }
+  return progress;
+}
+
+}  // namespace demi

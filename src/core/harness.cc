@@ -1,0 +1,88 @@
+#include "src/core/harness.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+TestHarness::TestHarness(CostModel cost, FabricConfig fabric_cfg)
+    : sim_(cost), fabric_(&sim_, fabric_cfg), rdma_cm_(&sim_) {}
+
+TestHarness::~TestHarness() {
+  // Hosts tear down before the fabric/simulation (vector destroys in order; we clear
+  // explicitly for clarity: liboses -> kernel -> devices -> cpu inside each Host).
+  hosts_.clear();
+}
+
+TestHarness::Host& TestHarness::AddHost(const std::string& name, const std::string& ip,
+                                        HostOptions options) {
+  auto host = std::make_unique<Host>();
+  host->name = name;
+  host->ip = Ipv4Address::Parse(ip);
+  host->options = options;
+  host->cpu = std::make_unique<HostCpu>(&sim_, name, options.charges_clock);
+
+  if (options.with_nic) {
+    NicConfig nic_cfg;
+    nic_cfg.num_queues = options.nic_queues;
+    nic_cfg.supports_offload = options.nic_offload;
+    host->nic = std::make_unique<SimNic>(host->cpu.get(), &fabric_,
+                                         MacAddress::ForHost(next_host_id_), nic_cfg);
+  }
+  ++next_host_id_;
+
+  if (options.with_rdma) {
+    host->rdma = std::make_unique<RdmaNic>(host->cpu.get(), &rdma_cm_);
+  }
+  if (options.with_block_device) {
+    host->bdev = std::make_unique<BlockDevice>(host->cpu.get());
+  }
+  if (options.with_kernel) {
+    SimKernelConfig kcfg;
+    kcfg.ip = host->ip;
+    kcfg.tcp = options.tcp;
+    host->kernel = std::make_unique<SimKernel>(host->cpu.get(), host->nic.get(),
+                                               host->bdev.get(), kcfg);
+  }
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+CatnapLibOS& TestHarness::Catnap(Host& host) {
+  DEMI_CHECK(host.kernel != nullptr);
+  auto libos = std::make_unique<CatnapLibOS>(host.cpu.get(), host.kernel.get());
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
+CatnipLibOS& TestHarness::Catnip(Host& host) {
+  DEMI_CHECK(host.nic != nullptr);
+  CatnipConfig cfg;
+  cfg.ip = host.ip;
+  cfg.tcp = host.options.tcp;
+  auto libos =
+      std::make_unique<CatnipLibOS>(host.cpu.get(), host.nic.get(), host.kernel.get(), cfg);
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
+CatmintLibOS& TestHarness::Catmint(Host& host) {
+  DEMI_CHECK(host.rdma != nullptr);
+  CatmintConfig cfg;
+  cfg.local_addr = host.ip.ToString();
+  auto libos = std::make_unique<CatmintLibOS>(host.cpu.get(), host.rdma.get(), cfg);
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
+CatfishLibOS& TestHarness::Catfish(Host& host) {
+  DEMI_CHECK(host.bdev != nullptr);
+  auto libos = std::make_unique<CatfishLibOS>(host.cpu.get(), host.bdev.get());
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
+}  // namespace demi

@@ -1,0 +1,85 @@
+// TestHarness: assembles simulated datacenter hosts for examples, tests, and benches.
+//
+// A Host is one simulated machine: a CPU (HostCpu), optional devices (SimNic, RdmaNic,
+// BlockDevice), an optional legacy kernel, and any number of library OSes. The harness
+// owns the Simulation, the fabric, and destruction ordering.
+
+#ifndef SRC_CORE_HARNESS_H_
+#define SRC_CORE_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/catfish.h"
+#include "src/core/catmint.h"
+#include "src/core/catnap.h"
+#include "src/core/catnip.h"
+#include "src/hw/block_device.h"
+#include "src/hw/fabric.h"
+#include "src/hw/nic.h"
+#include "src/hw/rdma.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+struct HostOptions {
+  bool with_nic = true;
+  bool with_rdma = false;
+  bool with_block_device = false;
+  bool with_kernel = true;       // legacy kernel (needed for Catnap and control path)
+  bool charges_clock = true;     // false for load-generator hosts
+  int nic_queues = 2;            // queue 0 for the kernel, 1+ leased to libOSes
+  bool nic_offload = false;      // SmartNIC capability
+  TcpConfig tcp;
+};
+
+class TestHarness {
+ public:
+  explicit TestHarness(CostModel cost = CostModel{}, FabricConfig fabric = FabricConfig{});
+  ~TestHarness();
+  TestHarness(const TestHarness&) = delete;
+  TestHarness& operator=(const TestHarness&) = delete;
+
+  struct Host {
+    std::string name;
+    Ipv4Address ip;
+    std::unique_ptr<HostCpu> cpu;
+    std::unique_ptr<SimNic> nic;
+    std::unique_ptr<RdmaNic> rdma;
+    std::unique_ptr<BlockDevice> bdev;
+    std::unique_ptr<SimKernel> kernel;
+    std::vector<std::unique_ptr<LibOS>> liboses;
+    HostOptions options;
+  };
+
+  Simulation& sim() { return sim_; }
+  Fabric& fabric() { return fabric_; }
+  RdmaCm& rdma_cm() { return rdma_cm_; }
+
+  Host& AddHost(const std::string& name, const std::string& ip,
+                HostOptions options = HostOptions{});
+
+  // LibOS factories (the harness keeps ownership inside the host).
+  CatnapLibOS& Catnap(Host& host);
+  CatnipLibOS& Catnip(Host& host);
+  CatmintLibOS& Catmint(Host& host);
+  CatfishLibOS& Catfish(Host& host);
+
+  // Convenience: steps the simulation until `pred` or `deadline`.
+  bool RunUntil(const std::function<bool()>& pred, TimeNs deadline = 60 * kSecond) {
+    return sim_.RunUntil(pred, deadline);
+  }
+
+ private:
+  Simulation sim_;
+  Fabric fabric_;
+  RdmaCm rdma_cm_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::uint32_t next_host_id_ = 1;
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_HARNESS_H_

@@ -1,0 +1,456 @@
+#include "src/core/libos.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/core/queue_ops.h"
+
+namespace demi {
+
+LibOS::LibOS(HostCpu* host, MemoryConfig mem_config)
+    : host_(host), memory_(host, mem_config) {
+  host_->sim().AddPoller(this);
+}
+
+LibOS::~LibOS() { host_->sim().RemovePoller(this); }
+
+void LibOS::ChargeCall() {
+  host_->Work(host_->cost().libos_call_ns);
+  host_->Count(Counter::kLibosCalls);
+}
+
+QDesc LibOS::InstallQueue(std::unique_ptr<IoQueue> queue) {
+  const QDesc qd = next_qd_++;
+  qtable_[qd] = std::move(queue);
+  return qd;
+}
+
+IoQueue* LibOS::GetQueue(QDesc qd) const {
+  auto it = qtable_.find(qd);
+  return it == qtable_.end() ? nullptr : it->second.get();
+}
+
+QToken LibOS::NewToken(QDesc qd, OpType type) {
+  const QToken token = next_token_++;
+  token_qd_[token] = qd;
+  (void)type;
+  return token;
+}
+
+void LibOS::CompleteOp(QToken token, QResult result) {
+  auto it = token_qd_.find(token);
+  if (it != token_qd_.end()) {
+    if (result.qd == kInvalidQDesc) {
+      result.qd = it->second;
+    }
+    token_qd_.erase(it);
+  }
+  completed_[token] = std::move(result);
+}
+
+// --- control path: network ---
+
+Result<QDesc> LibOS::Socket() {
+  ChargeCall();
+  auto queue = NewSocketQueue();
+  RETURN_IF_ERROR(queue.status());
+  return InstallQueue(std::move(*queue));
+}
+
+Status LibOS::Bind(QDesc qd, std::uint16_t port) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("bind");
+  }
+  return q->Bind(port);
+}
+
+Status LibOS::Listen(QDesc qd) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("listen");
+  }
+  return q->Listen();
+}
+
+Result<QDesc> LibOS::Accept(QDesc qd) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("accept");
+  }
+  auto accepted = q->TryAccept();
+  RETURN_IF_ERROR(accepted.status());
+  return InstallQueue(std::move(*accepted));
+}
+
+Result<QToken> LibOS::AcceptAsync(QDesc qd) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("accept");
+  }
+  const QToken token = NewToken(qd, OpType::kAccept);
+  control_ops_[token] = ControlOp{OpType::kAccept, qd};
+  return token;
+}
+
+Status LibOS::Connect(QDesc qd, Endpoint remote) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("connect");
+  }
+  return q->StartConnect(remote);
+}
+
+Result<QToken> LibOS::ConnectAsync(QDesc qd, Endpoint remote) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("connect");
+  }
+  RETURN_IF_ERROR(q->StartConnect(remote));
+  const QToken token = NewToken(qd, OpType::kConnect);
+  control_ops_[token] = ControlOp{OpType::kConnect, qd};
+  return token;
+}
+
+Status LibOS::Close(QDesc qd) {
+  ChargeCall();
+  auto it = qtable_.find(qd);
+  if (it == qtable_.end()) {
+    return BadDescriptor("close");
+  }
+  const Status status = it->second->Close();
+  qtable_.erase(it);
+  // Cancel splices touching this queue.
+  std::erase_if(splices_, [qd](const Splice& s) { return s.in == qd || s.out == qd; });
+  return status;
+}
+
+// --- control path: files ---
+
+Result<QDesc> LibOS::Open(const std::string& path) {
+  ChargeCall();
+  auto queue = NewFileQueue(path, /*create=*/false);
+  RETURN_IF_ERROR(queue.status());
+  return InstallQueue(std::move(*queue));
+}
+
+Result<QDesc> LibOS::Creat(const std::string& path) {
+  ChargeCall();
+  auto queue = NewFileQueue(path, /*create=*/true);
+  RETURN_IF_ERROR(queue.status());
+  return InstallQueue(std::move(*queue));
+}
+
+// --- control path: queue calls ---
+
+Result<QDesc> LibOS::QueueCreate() {
+  ChargeCall();
+  return InstallQueue(std::make_unique<MemoryQueue>(host_));
+}
+
+Result<QDesc> LibOS::Merge(QDesc qd1, QDesc qd2) {
+  ChargeCall();
+  if (GetQueue(qd1) == nullptr || GetQueue(qd2) == nullptr) {
+    return BadDescriptor("merge");
+  }
+  return InstallQueue(std::make_unique<MergeQueue>(this, qd1, qd2));
+}
+
+Result<QDesc> LibOS::Filter(QDesc qd, ElementPredicate pred) {
+  ChargeCall();
+  IoQueue* inner = GetQueue(qd);
+  if (inner == nullptr) {
+    return BadDescriptor("filter");
+  }
+  // §4.3: libOSes always implement filters directly on supported devices but default
+  // to the CPU if necessary.
+  bool offloaded = false;
+  if (inner->SupportsFilterOffload()) {
+    offloaded = inner->InstallOffloadFilter(pred).ok();
+  }
+  return InstallQueue(std::make_unique<FilterQueue>(this, qd, std::move(pred), offloaded));
+}
+
+Result<QDesc> LibOS::Sort(QDesc qd, ElementComparator cmp) {
+  ChargeCall();
+  if (GetQueue(qd) == nullptr) {
+    return BadDescriptor("sort");
+  }
+  return InstallQueue(std::make_unique<SortQueue>(this, qd, std::move(cmp)));
+}
+
+Result<QDesc> LibOS::MapQueue(QDesc qd, ElementTransform transform) {
+  ChargeCall();
+  if (GetQueue(qd) == nullptr) {
+    return BadDescriptor("map");
+  }
+  return InstallQueue(std::make_unique<MapQueueImpl>(this, qd, std::move(transform)));
+}
+
+Status LibOS::QConnect(QDesc qdin, QDesc qdout) {
+  ChargeCall();
+  if (GetQueue(qdin) == nullptr || GetQueue(qdout) == nullptr) {
+    return BadDescriptor("qconnect");
+  }
+  splices_.push_back(Splice{qdin, qdout});
+  return OkStatus();
+}
+
+// --- data path ---
+
+Result<QToken> LibOS::Push(QDesc qd, const SgArray& sga) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("push");
+  }
+  const QToken token = NewToken(qd, OpType::kPush);
+  const Status status = q->StartPush(token, sga);
+  if (!status.ok()) {
+    token_qd_.erase(token);
+    return status;
+  }
+  return token;
+}
+
+Result<QToken> LibOS::Pop(QDesc qd) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("pop");
+  }
+  const QToken token = NewToken(qd, OpType::kPop);
+  const Status status = q->StartPop(token);
+  if (!status.ok()) {
+    token_qd_.erase(token);
+    return status;
+  }
+  return token;
+}
+
+bool LibOS::OpDone(QToken token) const { return completed_.contains(token); }
+
+Result<QResult> LibOS::TakeResult(QToken token) {
+  auto r = TakeResultInternal(token);
+  if (r.ok()) {
+    // §4.4 benefit (1): wait returns the data itself; count the single wakeup.
+    host_->Count(Counter::kWakeups);
+  }
+  return r;
+}
+
+Result<QResult> LibOS::TakeResultInternal(QToken token) {
+  auto it = completed_.find(token);
+  if (it == completed_.end()) {
+    if (!token_qd_.contains(token) && !control_ops_.contains(token)) {
+      return BadDescriptor("unknown qtoken");
+    }
+    return WouldBlock();
+  }
+  QResult out = std::move(it->second);
+  completed_.erase(it);
+  return out;
+}
+
+Result<QResult> LibOS::Wait(QToken token, TimeNs timeout) {
+  ChargeCall();
+  const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
+  while (true) {
+    auto r = TakeResult(token);
+    if (r.ok() || r.code() != ErrorCode::kWouldBlock) {
+      return r;
+    }
+    if (sim().now() > deadline) {
+      return TimedOut("wait");
+    }
+    if (!sim().StepOnce()) {
+      return TimedOut("simulation idle; operation can never complete");
+    }
+  }
+}
+
+Result<std::pair<std::size_t, QResult>> LibOS::WaitAny(std::span<const QToken> tokens,
+                                                       TimeNs timeout) {
+  ChargeCall();
+  const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
+  while (true) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (OpDone(tokens[i])) {
+        auto r = TakeResult(tokens[i]);
+        RETURN_IF_ERROR(r.status());
+        return std::make_pair(i, std::move(*r));
+      }
+    }
+    if (sim().now() > deadline) {
+      return TimedOut("wait_any");
+    }
+    if (!sim().StepOnce()) {
+      return TimedOut("simulation idle; no operation can complete");
+    }
+  }
+}
+
+Result<std::vector<QResult>> LibOS::WaitAll(std::span<const QToken> tokens,
+                                            TimeNs timeout) {
+  ChargeCall();
+  std::vector<QResult> out(tokens.size());
+  std::vector<bool> done(tokens.size(), false);
+  const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
+  std::size_t remaining = tokens.size();
+  while (remaining > 0) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (!done[i] && OpDone(tokens[i])) {
+        auto r = TakeResult(tokens[i]);
+        RETURN_IF_ERROR(r.status());
+        out[i] = std::move(*r);
+        done[i] = true;
+        --remaining;
+      }
+    }
+    if (remaining == 0) {
+      break;
+    }
+    if (sim().now() > deadline) {
+      return TimedOut("wait_all");
+    }
+    if (!sim().StepOnce()) {
+      return TimedOut("simulation idle");
+    }
+  }
+  return out;
+}
+
+Result<QResult> LibOS::BlockingPush(QDesc qd, const SgArray& sga) {
+  auto token = Push(qd, sga);
+  RETURN_IF_ERROR(token.status());
+  return Wait(*token);
+}
+
+Result<QResult> LibOS::BlockingPop(QDesc qd) {
+  auto token = Pop(qd);
+  RETURN_IF_ERROR(token.status());
+  return Wait(*token);
+}
+
+SgArray LibOS::SgaAlloc(std::size_t bytes) {
+  ChargeCall();
+  return memory_.AllocateSga(bytes);
+}
+
+// --- polling ---
+
+bool LibOS::PollControlOps() {
+  bool progress = false;
+  for (auto it = control_ops_.begin(); it != control_ops_.end();) {
+    const QToken token = it->first;
+    const ControlOp& op = it->second;
+    IoQueue* q = GetQueue(op.qd);
+    if (q == nullptr) {
+      QResult res;
+      res.op = op.type;
+      res.qd = op.qd;
+      res.status = Cancelled("queue closed");
+      CompleteOp(token, std::move(res));
+      it = control_ops_.erase(it);
+      progress = true;
+      continue;
+    }
+    if (op.type == OpType::kAccept) {
+      auto accepted = q->TryAccept();
+      if (accepted.ok()) {
+        QResult res;
+        res.op = OpType::kAccept;
+        res.qd = op.qd;
+        res.new_qd = InstallQueue(std::move(*accepted));
+        CompleteOp(token, std::move(res));
+        it = control_ops_.erase(it);
+        progress = true;
+        continue;
+      }
+      if (accepted.code() != ErrorCode::kWouldBlock) {
+        QResult res;
+        res.op = OpType::kAccept;
+        res.qd = op.qd;
+        res.status = accepted.status();
+        CompleteOp(token, std::move(res));
+        it = control_ops_.erase(it);
+        progress = true;
+        continue;
+      }
+    } else if (op.type == OpType::kConnect) {
+      const Status status = q->ConnectStatus();
+      if (status.code() != ErrorCode::kWouldBlock) {
+        QResult res;
+        res.op = OpType::kConnect;
+        res.qd = op.qd;
+        res.status = status;
+        CompleteOp(token, std::move(res));
+        it = control_ops_.erase(it);
+        progress = true;
+        continue;
+      }
+    }
+    ++it;
+  }
+  return progress;
+}
+
+bool LibOS::PollSplices() {
+  bool progress = false;
+  for (Splice& s : splices_) {
+    // Wait out an in-flight push before popping more (per-splice ordering).
+    if (s.push_token != kInvalidQToken) {
+      if (!OpDone(s.push_token)) {
+        continue;
+      }
+      (void)TakeResultInternal(s.push_token);
+      s.push_token = kInvalidQToken;
+      progress = true;
+    }
+    if (s.pop_token == kInvalidQToken) {
+      auto token = Pop(s.in);
+      if (token.ok()) {
+        s.pop_token = *token;
+      }
+      continue;
+    }
+    if (OpDone(s.pop_token)) {
+      auto r = TakeResultInternal(s.pop_token);
+      s.pop_token = kInvalidQToken;
+      progress = true;
+      if (r.ok() && r->status.ok()) {
+        auto push = Push(s.out, r->sga);
+        if (push.ok()) {
+          s.push_token = *push;
+        }
+      }
+    }
+  }
+  return progress;
+}
+
+bool LibOS::Poll() {
+  bool progress = false;
+  // Iterate a snapshot: Progress may install queues (not expected, but combinators
+  // issue internal ops through the libOS which can mutate tables).
+  std::vector<IoQueue*> queues;
+  queues.reserve(qtable_.size());
+  for (auto& [qd, q] : qtable_) {
+    queues.push_back(q.get());
+  }
+  for (IoQueue* q : queues) {
+    progress |= q->Progress(*this);
+  }
+  progress |= PollDevice();
+  progress |= PollControlOps();
+  progress |= PollSplices();
+  return progress;
+}
+
+}  // namespace demi

@@ -1,0 +1,168 @@
+// LibOS: the Demikernel system-call interface (Figure 3) and the machinery shared by
+// every library OS.
+//
+// One LibOS instance serves one application on one host, owning:
+//   - the queue-descriptor table (sockets, files, in-memory queues, combinators),
+//   - the qtoken namespace and pending-operation table,
+//   - the wait/wait_any/wait_all machinery (§4.4),
+//   - the §4.5 memory manager (transparent registration + free-protection), exposed
+//     through sgaalloc.
+//
+// Concrete library OSes (Catnap, Catnip, Catmint, Catfish) only provide queue
+// factories for their device type; everything else — combinators, waiting, memory —
+// is shared, which is precisely the "build libOSes in a modular fashion and share as
+// much code as possible" aspiration of §5.1.
+//
+// Threading/driving model: the LibOS registers as a simulation Poller. The Wait*
+// family *drives the simulation* and therefore may only be called from top-level
+// driver code (examples, benches). Code running inside the simulation (actors) uses
+// the non-stepping OpDone/TakeResult pair instead.
+
+#ifndef SRC_CORE_LIBOS_H_
+#define SRC_CORE_LIBOS_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/queue.h"
+#include "src/core/types.h"
+#include "src/memory/memory_manager.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+constexpr TimeNs kWaitForever = -1;
+
+class LibOS : public Poller, public CompletionSink {
+ public:
+  LibOS(HostCpu* host, MemoryConfig mem_config = MemoryConfig{});
+  ~LibOS() override;
+  LibOS(const LibOS&) = delete;
+  LibOS& operator=(const LibOS&) = delete;
+
+  virtual std::string name() const = 0;
+
+  // --- control path: network (Figure 3, top-left) ---
+
+  Result<QDesc> Socket();
+  // Datagram socket: each datagram is one queue element (no framing needed). Only
+  // libOSes whose substrate has datagram semantics implement this.
+  virtual Result<QDesc> SocketUdp() {
+    return Status(ErrorCode::kUnsupported, name() + ": no datagram support");
+  }
+  Status Bind(QDesc qd, std::uint16_t port);
+  Status Listen(QDesc qd);
+  // Non-blocking accept, Figure 3 form: new connection qd or kWouldBlock.
+  Result<QDesc> Accept(QDesc qd);
+  // Token form: completes with QResult::new_qd once a connection arrives.
+  Result<QToken> AcceptAsync(QDesc qd);
+  // Starts a connect; redeem completion with ConnectAsync or poll ConnectDone.
+  Status Connect(QDesc qd, Endpoint remote);
+  Result<QToken> ConnectAsync(QDesc qd, Endpoint remote);
+  Status Close(QDesc qd);
+
+  // --- control path: files (Figure 3, bottom-left) ---
+
+  Result<QDesc> Open(const std::string& path);
+  Result<QDesc> Creat(const std::string& path);
+
+  // --- control path: queue calls (Figure 3, right) ---
+
+  Result<QDesc> QueueCreate();  // queue()
+  Result<QDesc> Merge(QDesc qd1, QDesc qd2);
+  Result<QDesc> Filter(QDesc qd, ElementPredicate pred);
+  Result<QDesc> Sort(QDesc qd, ElementComparator cmp);
+  Result<QDesc> MapQueue(QDesc qd, ElementTransform transform);
+  // Splices qdin's pops into pushes on qdout, continuously, inside the libOS.
+  Status QConnect(QDesc qdin, QDesc qdout);
+
+  // --- data path (Figure 3, bottom) ---
+
+  Result<QToken> Push(QDesc qd, const SgArray& sga);
+  Result<QToken> Pop(QDesc qd);
+
+  // Non-stepping completion check (safe inside simulation actors).
+  bool OpDone(QToken token) const;
+  // Removes and returns a completed result; kWouldBlock if still pending.
+  Result<QResult> TakeResult(QToken token);
+  // Same, but does not count an application wakeup — used by combinator queues and
+  // qconnect splices driving *internal* operations, so C3-style wakeup accounting
+  // reflects only application waits.
+  Result<QResult> TakeResultInternal(QToken token);
+
+  // Blocking forms: drive the simulation until completion or timeout.
+  Result<QResult> Wait(QToken token, TimeNs timeout = kWaitForever);
+  // Completes when ANY token finishes; returns (index, result). Exactly one waiter
+  // consumes each completion — no thundering herd (§4.4).
+  Result<std::pair<std::size_t, QResult>> WaitAny(std::span<const QToken> tokens,
+                                                  TimeNs timeout = kWaitForever);
+  Result<std::vector<QResult>> WaitAll(std::span<const QToken> tokens,
+                                       TimeNs timeout = kWaitForever);
+  Result<QResult> BlockingPush(QDesc qd, const SgArray& sga);
+  Result<QResult> BlockingPop(QDesc qd);
+
+  // --- memory (§4.5) ---
+
+  SgArray SgaAlloc(std::size_t bytes);
+  MemoryManager& memory() { return memory_; }
+  HostCpu& host() { return *host_; }
+  Simulation& sim() { return host_->sim(); }
+
+  // --- plumbing ---
+
+  bool Poll() override;
+  void CompleteOp(QToken token, QResult result) override;
+  std::size_t open_queues() const { return qtable_.size(); }
+
+ protected:
+  // Queue factories each libOS provides for its device type.
+  virtual Result<std::unique_ptr<IoQueue>> NewSocketQueue() = 0;
+  virtual Result<std::unique_ptr<IoQueue>> NewFileQueue(const std::string& path,
+                                                        bool create) {
+    return Status(ErrorCode::kUnsupported, name() + " has no storage device");
+  }
+  // Per-libOS extra polling (e.g. draining device CQs shared across queues).
+  virtual bool PollDevice() { return false; }
+
+  // Charges the Demikernel "syscall" cost: a function call plus table lookups — the
+  // libOS shares the address space, so this is tens of ns, not hundreds (§3.1).
+  void ChargeCall();
+
+  QDesc InstallQueue(std::unique_ptr<IoQueue> queue);
+  IoQueue* GetQueue(QDesc qd) const;
+  QToken NewToken(QDesc qd, OpType type);
+
+  HostCpu* host_;
+  MemoryManager memory_;
+
+ private:
+  struct ControlOp {
+    OpType type;
+    QDesc qd;
+  };
+  struct Splice {
+    QDesc in;
+    QDesc out;
+    QToken pop_token = kInvalidQToken;   // outstanding internal pop
+    QToken push_token = kInvalidQToken;  // outstanding internal push
+  };
+
+  bool PollControlOps();
+  bool PollSplices();
+
+  std::unordered_map<QDesc, std::unique_ptr<IoQueue>> qtable_;
+  QDesc next_qd_ = 1;
+  QToken next_token_ = 1;
+  std::unordered_map<QToken, QDesc> token_qd_;          // pending tokens
+  std::unordered_map<QToken, QResult> completed_;
+  std::unordered_map<QToken, ControlOp> control_ops_;   // pending accepts/connects
+  std::vector<Splice> splices_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_LIBOS_H_

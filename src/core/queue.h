@@ -1,0 +1,72 @@
+// IoQueue: the abstract Demikernel I/O queue (§4.2).
+//
+// Every queue — network socket, storage log, in-memory pipe, or a combinator over
+// other queues — carries *atomic units*: scatter-gather arrays pushed as one element
+// and popped as one element. Concrete queues are provided by the library OSes
+// (Catnap/Catnip/Catmint/Catfish) and by the combinators in queue_ops.h.
+//
+// Progress model: operations are registered (StartPush/StartPop) and completed later
+// from Progress(), which each libOS's poll loop drives. Completion goes through the
+// CompletionSink (the owning LibOS), which wakes exactly the waiter holding that
+// qtoken.
+
+#ifndef SRC_CORE_QUEUE_H_
+#define SRC_CORE_QUEUE_H_
+
+#include <memory>
+
+#include "src/common/result.h"
+#include "src/core/types.h"
+#include "src/net/packet.h"
+
+namespace demi {
+
+// Where queues deliver finished operations.
+class CompletionSink {
+ public:
+  virtual ~CompletionSink() = default;
+  virtual void CompleteOp(QToken token, QResult result) = 0;
+};
+
+class IoQueue {
+ public:
+  virtual ~IoQueue() = default;
+
+  // --- data path ---
+
+  // Registers a push of `sga`; the queue completes `token` when it has taken
+  // responsibility for the element (transmitted/queued/durable, per queue type).
+  virtual Status StartPush(QToken token, const SgArray& sga) = 0;
+  // Registers a pop; the queue completes `token` with the next atomic unit.
+  virtual Status StartPop(QToken token) = 0;
+  // Advances queue machinery; completes pending operations via `sink`.
+  // Returns true if any work was done.
+  virtual bool Progress(CompletionSink& sink) = 0;
+
+  // --- control path (optional per queue type) ---
+
+  virtual Status Bind(std::uint16_t port) { return Unsupported("bind"); }
+  virtual Status Listen() { return Unsupported("listen"); }
+  // Non-blocking accept: a new connection's queue, kWouldBlock, or a hard error.
+  virtual Result<std::unique_ptr<IoQueue>> TryAccept() {
+    return Status(ErrorCode::kUnsupported, "accept");
+  }
+  virtual Status StartConnect(Endpoint remote) { return Unsupported("connect"); }
+  // Connect progress: OK once established, kWouldBlock while in flight, error if dead.
+  virtual Status ConnectStatus() { return Unsupported("connect"); }
+
+  // Graceful close; pending operations complete with kCancelled.
+  virtual Status Close() = 0;
+
+  // --- offload hooks (§4.3) ---
+
+  // True when this queue can push an element filter down to its device.
+  virtual bool SupportsFilterOffload() const { return false; }
+  virtual Status InstallOffloadFilter(const ElementPredicate& pred) {
+    return Unsupported("offload");
+  }
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_QUEUE_H_

@@ -1,0 +1,126 @@
+#include "src/hw/block_device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+BlockDevice::BlockDevice(HostCpu* host, BlockDeviceConfig config)
+    : host_(host), config_(config), cq_(config.queue_depth * 2) {}
+
+DeviceCaps BlockDevice::caps() const {
+  return DeviceCaps{
+      .device = "BlockDevice (SPDK/NVMe-style)",
+      .category = "kernel-bypass only",
+      .kernel_bypass = true,
+      .multiplexing = false,  // namespaces are single-owner here, like SPDK claiming
+      .addr_translation = true,
+      .transport_offload = false,
+      .needs_explicit_mem_reg = false,
+      .program_offload = false,
+  };
+}
+
+std::vector<std::byte>& BlockDevice::BlockAt(std::uint64_t lba) {
+  auto [it, inserted] = blocks_.try_emplace(lba);
+  if (inserted) {
+    it->second.assign(config_.block_size, std::byte{0});
+  }
+  return it->second;
+}
+
+void BlockDevice::Complete(std::uint64_t id, Status status, TimeNs service_ns) {
+  ++inflight_;
+  host_->sim().Schedule(service_ns, [this, id, status = std::move(status)] {
+    --inflight_;
+    host_->Count(Counter::kNvmeOps);
+    if (!cq_.Push(BlockCompletion{id, status})) {
+      // CQ overrun: devices treat this as a controller-level failure; we panic because
+      // the CQ is sized so a correct driver can never overrun it.
+      PanicImpl(__FILE__, __LINE__, "NVMe completion queue overrun");
+    }
+  });
+}
+
+Status BlockDevice::SubmitRead(std::uint64_t id, std::uint64_t lba, std::uint32_t count,
+                               Buffer dest) {
+  if (inflight_ >= config_.queue_depth) {
+    return ResourceExhausted("submission queue full");
+  }
+  if (lba + count > config_.num_blocks) {
+    return InvalidArgument("read beyond device");
+  }
+  if (dest.size() != static_cast<std::size_t>(count) * config_.block_size) {
+    return InvalidArgument("destination size != count * block_size");
+  }
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  host_->Count(Counter::kDoorbells);
+
+  // Device DMAs straight into `dest` (no host CPU involvement). The data is deposited
+  // immediately in simulation memory; the completion carries the timing.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto it = blocks_.find(lba + i);
+    std::byte* out = dest.mutable_data() + static_cast<std::size_t>(i) * config_.block_size;
+    if (it != blocks_.end()) {
+      std::memcpy(out, it->second.data(), config_.block_size);
+    } else {
+      std::memset(out, 0, config_.block_size);
+    }
+  }
+  host_->Count(Counter::kDmaOps, count);
+  Complete(id, OkStatus(), host_->cost().NvmeNs(/*is_write=*/false, dest.size()));
+  return OkStatus();
+}
+
+Status BlockDevice::SubmitWrite(std::uint64_t id, std::uint64_t lba, Buffer src) {
+  if (inflight_ >= config_.queue_depth) {
+    return ResourceExhausted("submission queue full");
+  }
+  if (src.empty() || src.size() % config_.block_size != 0) {
+    return InvalidArgument("write must be whole blocks");
+  }
+  const std::uint64_t count = src.size() / config_.block_size;
+  if (lba + count > config_.num_blocks) {
+    return InvalidArgument("write beyond device");
+  }
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  host_->Count(Counter::kDoorbells);
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::memcpy(BlockAt(lba + i).data(),
+                src.data() + static_cast<std::size_t>(i) * config_.block_size,
+                config_.block_size);
+  }
+  host_->Count(Counter::kDmaOps, count);
+  const TimeNs service = host_->cost().NvmeNs(/*is_write=*/true, src.size());
+  last_write_done_ = std::max(last_write_done_, host_->now() + service);
+  Complete(id, OkStatus(), service);
+  return OkStatus();
+}
+
+Status BlockDevice::SubmitFlush(std::uint64_t id) {
+  if (inflight_ >= config_.queue_depth) {
+    return ResourceExhausted("submission queue full");
+  }
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  host_->Count(Counter::kDoorbells);
+  const TimeNs barrier = std::max<TimeNs>(last_write_done_ - host_->now(), 0);
+  Complete(id, OkStatus(), barrier + host_->cost().nvme_write_ns / 4);
+  return OkStatus();
+}
+
+std::vector<BlockCompletion> BlockDevice::PollCompletions(std::size_t max) {
+  std::vector<BlockCompletion> out;
+  while (out.size() < max) {
+    auto c = cq_.Pop();
+    if (!c) {
+      break;
+    }
+    out.push_back(std::move(*c));
+  }
+  return out;
+}
+
+}  // namespace demi

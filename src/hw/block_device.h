@@ -1,0 +1,80 @@
+// BlockDevice: an SPDK-style NVMe device.
+//
+// The driver interface is a submission queue + completion queue pair, polled (never
+// interrupt-driven on the fast path). Reads and writes DMA directly between device and
+// caller-provided buffers — zero copies on the host. Data lives in an in-memory sparse
+// block store; service times follow the NVMe entries of the cost model.
+//
+// The legacy kernel's VFS (src/kernel) drives the same device through its own layer
+// (page cache + copies + syscalls), which is exactly the contrast experiment E3 measures.
+
+#ifndef SRC_HW_BLOCK_DEVICE_H_
+#define SRC_HW_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/result.h"
+#include "src/common/ring_buffer.h"
+#include "src/hw/device.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+struct BlockDeviceConfig {
+  std::uint64_t num_blocks = 1 << 20;  // 4 GiB at 4 KiB blocks
+  std::uint32_t block_size = 4096;
+  std::size_t queue_depth = 64;  // outstanding commands
+};
+
+struct BlockCompletion {
+  std::uint64_t id = 0;
+  Status status;
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(HostCpu* host, BlockDeviceConfig config = BlockDeviceConfig{});
+
+  DeviceCaps caps() const;
+  const BlockDeviceConfig& config() const { return config_; }
+  std::uint32_t block_size() const { return config_.block_size; }
+  std::uint64_t num_blocks() const { return config_.num_blocks; }
+
+  // Submits a read of `count` blocks starting at `lba` into `dest` (size must be
+  // count*block_size). Completion arrives in the CQ. Returns kResourceExhausted when
+  // the queue is at depth (caller backs off).
+  Status SubmitRead(std::uint64_t id, std::uint64_t lba, std::uint32_t count, Buffer dest);
+
+  // Submits a write of `src` (whole blocks) at `lba`.
+  Status SubmitWrite(std::uint64_t id, std::uint64_t lba, Buffer src);
+
+  // Submits a flush barrier: completes after every previously submitted write.
+  Status SubmitFlush(std::uint64_t id);
+
+  // Drains up to `max` completions.
+  std::vector<BlockCompletion> PollCompletions(std::size_t max = 16);
+
+  std::size_t inflight() const { return inflight_; }
+
+  // Test/debug access to the backing store.
+  bool BlockExists(std::uint64_t lba) const { return blocks_.contains(lba); }
+
+ private:
+  void Complete(std::uint64_t id, Status status, TimeNs service_ns);
+  std::vector<std::byte>& BlockAt(std::uint64_t lba);
+
+  HostCpu* host_;
+  BlockDeviceConfig config_;
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+  RingBuffer<BlockCompletion> cq_;
+  std::size_t inflight_ = 0;
+  TimeNs last_write_done_ = 0;  // flush barrier tracking
+};
+
+}  // namespace demi
+
+#endif  // SRC_HW_BLOCK_DEVICE_H_

@@ -1,0 +1,28 @@
+// Device capability descriptors — the machine-readable form of the paper's Table 1.
+//
+// Each simulated device reports which OS features it implements itself; whatever is
+// missing is exactly what the matching library OS must provide (§2, §3.3). The
+// bench_t1_taxonomy binary prints this table and cross-checks it against the devices'
+// actual behaviour.
+
+#ifndef SRC_HW_DEVICE_H_
+#define SRC_HW_DEVICE_H_
+
+#include <string>
+
+namespace demi {
+
+struct DeviceCaps {
+  std::string device;            // e.g. "SimNic (DPDK-style)"
+  std::string category;          // Table 1 column
+  bool kernel_bypass = false;    // data path reaches the device without the kernel
+  bool multiplexing = false;     // device can be shared safely between processes
+  bool addr_translation = false; // on-device IOMMU / address translation
+  bool transport_offload = false;   // device implements a reliable transport
+  bool needs_explicit_mem_reg = false;  // app/libOS must register memory first
+  bool program_offload = false;  // device can run application functions (filter/map)
+};
+
+}  // namespace demi
+
+#endif  // SRC_HW_DEVICE_H_

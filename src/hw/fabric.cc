@@ -1,0 +1,76 @@
+#include "src/hw/fabric.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+Fabric::Fabric(Simulation* sim, FabricConfig config)
+    : sim_(sim), config_(config), rng_(config.seed) {}
+
+PortId Fabric::AttachPort(MacAddress mac, DeliverFn deliver) {
+  const PortId id = static_cast<PortId>(ports_.size());
+  ports_.push_back(Port{mac, std::move(deliver), true});
+  mac_table_[mac] = id;
+  return id;
+}
+
+void Fabric::DetachPort(PortId port) {
+  DEMI_CHECK(port < ports_.size());
+  mac_table_.erase(ports_[port].mac);
+  ports_[port].attached = false;
+  ports_[port].deliver = nullptr;
+}
+
+void Fabric::DeliverAfter(TimeNs delay, PortId dst, Buffer frame) {
+  sim_->Schedule(delay, [this, dst, frame = std::move(frame)]() mutable {
+    if (dst < ports_.size() && ports_[dst].attached) {
+      ++frames_delivered_;
+      ports_[dst].deliver(std::move(frame));
+    }
+  });
+}
+
+void Fabric::Transmit(PortId src_port, Buffer frame) {
+  DEMI_CHECK(src_port < ports_.size());
+  DEMI_CHECK(frame.size() >= kEthHeaderSize);
+  const EthHeader eth = ParseEthHeader(frame.span());
+
+  // Learning switch: remember where this source MAC lives.
+  mac_table_[eth.src] = src_port;
+
+  // Fault injection.
+  if (config_.loss_rate > 0.0 && rng_.NextBool(config_.loss_rate)) {
+    ++frames_dropped_;
+    sim_->counters().Add(Counter::kPacketsDropped);
+    return;
+  }
+
+  TimeNs delay = sim_->cost().WireSerializationNs(frame.size()) + sim_->cost().wire_latency_ns;
+  if (config_.reorder_rate > 0.0 && rng_.NextBool(config_.reorder_rate)) {
+    delay += config_.reorder_jitter_ns;
+  }
+
+  const bool duplicate = config_.dup_rate > 0.0 && rng_.NextBool(config_.dup_rate);
+
+  auto send_to = [&](PortId dst) {
+    DeliverAfter(delay, dst, frame);
+    if (duplicate) {
+      DeliverAfter(delay + 1, dst, frame);
+    }
+  };
+
+  if (!eth.dst.IsBroadcast()) {
+    if (auto it = mac_table_.find(eth.dst); it != mac_table_.end()) {
+      send_to(it->second);
+      return;
+    }
+  }
+  // Broadcast or unknown destination: flood every other port.
+  for (PortId p = 0; p < ports_.size(); ++p) {
+    if (p != src_port && ports_[p].attached) {
+      send_to(p);
+    }
+  }
+}
+
+}  // namespace demi

@@ -1,0 +1,75 @@
+// The simulated network fabric: a learning switch connecting NIC ports, with
+// configurable latency, bandwidth, loss, duplication, and reordering.
+//
+// This stands in for the paper's datacenter network (intra-rack by default: one switch
+// hop, ~1 µs wire latency, 40 Gbps links). Fault injection here is what exercises the
+// TCP retransmission/reordering machinery in src/net.
+
+#ifndef SRC_HW_FABRIC_H_
+#define SRC_HW_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/random.h"
+#include "src/hw/mac.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+using PortId = std::uint32_t;
+
+struct FabricConfig {
+  double loss_rate = 0.0;      // probability a frame is silently dropped
+  double dup_rate = 0.0;       // probability a frame is delivered twice
+  double reorder_rate = 0.0;   // probability a frame is delayed by reorder_jitter
+  TimeNs reorder_jitter_ns = 20000;
+  std::uint64_t seed = 42;     // fault-injection RNG seed
+};
+
+class Fabric {
+ public:
+  // A port's receive hook: invoked at frame-arrival time on the virtual clock.
+  using DeliverFn = std::function<void(Buffer frame)>;
+
+  Fabric(Simulation* sim, FabricConfig config = FabricConfig{});
+
+  // Attaches a port (one NIC) with the given MAC. Frames destined to `mac` (or
+  // broadcast) are handed to `deliver`.
+  PortId AttachPort(MacAddress mac, DeliverFn deliver);
+  void DetachPort(PortId port);
+
+  // Transmits a raw Ethernet frame out of `src_port`. Called at the moment the frame
+  // leaves the NIC; the fabric adds serialization + wire latency and fault injection.
+  void Transmit(PortId src_port, Buffer frame);
+
+  Simulation& sim() { return *sim_; }
+  FabricConfig& config() { return config_; }
+
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  struct Port {
+    MacAddress mac;
+    DeliverFn deliver;
+    bool attached = false;
+  };
+
+  void DeliverAfter(TimeNs delay, PortId dst, Buffer frame);
+
+  Simulation* sim_;
+  FabricConfig config_;
+  Rng rng_;
+  std::vector<Port> ports_;
+  std::unordered_map<MacAddress, PortId, MacHash> mac_table_;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_HW_FABRIC_H_

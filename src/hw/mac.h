@@ -1,0 +1,92 @@
+// Ethernet MAC addresses and frame header layout shared by the devices and the stack.
+
+#ifndef SRC_HW_MAC_H_
+#define SRC_HW_MAC_H_
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "src/common/byte_order.h"
+
+namespace demi {
+
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddress Broadcast() {
+    return MacAddress{{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}};
+  }
+
+  // Deterministic locally administered address derived from a small host id.
+  static MacAddress ForHost(std::uint32_t host_id) {
+    return MacAddress{{0x02, 0x00, static_cast<std::uint8_t>(host_id >> 24),
+                       static_cast<std::uint8_t>(host_id >> 16),
+                       static_cast<std::uint8_t>(host_id >> 8),
+                       static_cast<std::uint8_t>(host_id)}};
+  }
+
+  bool IsBroadcast() const { return *this == Broadcast(); }
+
+  std::string ToString() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0], bytes[1],
+                  bytes[2], bytes[3], bytes[4], bytes[5]);
+    return buf;
+  }
+
+  friend bool operator==(const MacAddress& a, const MacAddress& b) = default;
+};
+
+struct MacHash {
+  std::size_t operator()(const MacAddress& m) const {
+    std::uint64_t v = 0;
+    for (std::uint8_t b : m.bytes) {
+      v = v << 8 | b;
+    }
+    return std::hash<std::uint64_t>()(v);
+  }
+};
+
+// Ethernet II header: dst(6) src(6) ethertype(2).
+constexpr std::size_t kEthHeaderSize = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+struct EthHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+};
+
+// Parses the Ethernet header from raw frame bytes. The frame must be >= 14 bytes.
+inline EthHeader ParseEthHeader(std::span<const std::byte> frame) {
+  ByteReader r(frame);
+  EthHeader h;
+  for (auto& b : h.dst.bytes) {
+    b = r.U8();
+  }
+  for (auto& b : h.src.bytes) {
+    b = r.U8();
+  }
+  h.ethertype = r.U16();
+  return h;
+}
+
+// Writes the 14-byte Ethernet header at the front of `out`.
+inline void WriteEthHeader(std::span<std::byte> out, const EthHeader& h) {
+  ByteWriter w(out);
+  for (std::uint8_t b : h.dst.bytes) {
+    w.U8(b);
+  }
+  for (std::uint8_t b : h.src.bytes) {
+    w.U8(b);
+  }
+  w.U16(h.ethertype);
+}
+
+}  // namespace demi
+
+#endif  // SRC_HW_MAC_H_

@@ -1,0 +1,189 @@
+#include "src/hw/nic.h"
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+SimNic::SimNic(HostCpu* host, Fabric* fabric, MacAddress mac, NicConfig config)
+    : host_(host), fabric_(fabric), mac_(mac), config_(config) {
+  DEMI_CHECK(config_.num_queues >= 1);
+  for (int i = 0; i < config_.num_queues; ++i) {
+    queues_.emplace_back(config_.ring_size);
+  }
+  port_ = fabric_->AttachPort(mac_, [this](Buffer frame) { DeliverFromWire(std::move(frame)); });
+}
+
+SimNic::~SimNic() { fabric_->DetachPort(port_); }
+
+DeviceCaps SimNic::caps() const {
+  return DeviceCaps{
+      .device = config_.supports_offload ? "SimNic (SmartNIC-style)" : "SimNic (DPDK-style)",
+      .category = config_.supports_offload ? "+other features" : "kernel-bypass only",
+      .kernel_bypass = true,
+      .multiplexing = true,
+      .addr_translation = true,
+      .transport_offload = false,
+      .needs_explicit_mem_reg = false,
+      .program_offload = config_.supports_offload,
+  };
+}
+
+Status SimNic::Transmit(int queue, Buffer frame) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  DEMI_CHECK(frame.size() >= kEthHeaderSize);
+  Queue& q = queues_[queue];
+  if (q.tx_in_flight >= config_.ring_size) {
+    host_->Count(Counter::kPacketsDropped);
+    return ResourceExhausted("tx ring full");
+  }
+  ++q.tx_in_flight;
+
+  // Driver side: ring the doorbell (posted MMIO write).
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  host_->Count(Counter::kDoorbells);
+
+  // Device side: DMA the descriptor+payload, process, then hit the wire. The Buffer is
+  // captured by value — the device holds a reference until transmission completes,
+  // which is what makes the memory manager's free-protection (§4.5) meaningful.
+  const TimeNs device_delay = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
+  host_->sim().Schedule(device_delay, [this, queue, frame = std::move(frame)]() mutable {
+    Queue& dq = queues_[queue];
+    --dq.tx_in_flight;
+    host_->Count(Counter::kDmaOps);
+    host_->Count(Counter::kPacketsTx);
+    fabric_->Transmit(port_, std::move(frame));
+  });
+  return OkStatus();
+}
+
+std::optional<Buffer> SimNic::PollRx(int queue) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  return queues_[queue].rx.Pop();
+}
+
+std::size_t SimNic::RxPending(int queue) const {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  return queues_[queue].rx.size();
+}
+
+std::size_t SimNic::TxSpace(int queue) const {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  return config_.ring_size - queues_[queue].tx_in_flight;
+}
+
+Status SimNic::InstallRxProgram(int queue, NicProgram program) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  if (!config_.supports_offload) {
+    return Unsupported("device cannot run offloaded programs");
+  }
+  // Control path: reprogramming the device is slow but happens once (§4.3).
+  host_->Work(host_->cost().offload_setup_ns);
+  queues_[queue].rx_programs.push_back(std::move(program));
+  return OkStatus();
+}
+
+void SimNic::ClearRxPrograms(int queue) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  queues_[queue].rx_programs.clear();
+}
+
+int SimNic::RssQueue(const Buffer& frame) const {
+  if (config_.num_queues == 1) {
+    return 0;
+  }
+  // Toeplitz-in-spirit: hash the L3/L4 region of an IPv4 frame (addresses + ports).
+  const auto bytes = frame.span();
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  const std::size_t begin = kEthHeaderSize + 12;  // src/dst IP then ports
+  const std::size_t end = std::min(frame.size(), kEthHeaderSize + 24);
+  for (std::size_t i = begin; i < end && i < bytes.size(); ++i) {
+    h = (h ^ std::to_integer<std::uint8_t>(bytes[i])) * 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(config_.num_queues));
+}
+
+void SimNic::AddSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port, int queue) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  steering_[static_cast<std::uint32_t>(ip_proto) << 16 | dst_port] = queue;
+}
+
+void SimNic::RemoveSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port) {
+  steering_.erase(static_cast<std::uint32_t>(ip_proto) << 16 | dst_port);
+}
+
+void SimNic::DeliverFromWire(Buffer frame) {
+  const EthHeader eth = ParseEthHeader(frame.span());
+  if (!(eth.dst == mac_) && !eth.dst.IsBroadcast()) {
+    return;  // not for us (flooded by the switch)
+  }
+
+  // ARP is replicated to every queue: each stack keeps its own resolution state.
+  if (eth.ethertype == kEtherTypeArp && config_.num_queues > 1) {
+    for (int q = 0; q < config_.num_queues; ++q) {
+      DepositToQueue(q, frame);
+    }
+    return;
+  }
+
+  // Flow steering first (exact proto/port match), then RSS.
+  int queue = -1;
+  if (!steering_.empty() && eth.ethertype == kEtherTypeIpv4 &&
+      frame.size() >= kEthHeaderSize + 20 + 4) {
+    const auto bytes = frame.span();
+    const std::uint8_t proto = std::to_integer<std::uint8_t>(bytes[kEthHeaderSize + 9]);
+    const std::size_t ihl =
+        (std::to_integer<std::uint8_t>(bytes[kEthHeaderSize]) & 0x0F) * 4;
+    const std::size_t l4 = kEthHeaderSize + ihl;
+    if (frame.size() >= l4 + 4) {
+      const std::uint16_t dst_port =
+          static_cast<std::uint16_t>(std::to_integer<std::uint8_t>(bytes[l4 + 2]) << 8 |
+                                     std::to_integer<std::uint8_t>(bytes[l4 + 3]));
+      if (auto it = steering_.find(static_cast<std::uint32_t>(proto) << 16 | dst_port);
+          it != steering_.end()) {
+        queue = it->second;
+      }
+    }
+  }
+  if (queue < 0) {
+    queue = RssQueue(frame);
+  }
+  DepositToQueue(queue, std::move(frame));
+}
+
+void SimNic::DepositToQueue(int queue, Buffer frame) {
+  Queue& q = queues_[queue];
+
+  // On-device programs run before host DMA: a dropped frame costs the host nothing.
+  TimeNs program_delay = 0;
+  for (const NicProgram& prog : q.rx_programs) {
+    const TimeNs device_ns = static_cast<TimeNs>(static_cast<double>(prog.host_cost_ns) *
+                                                 host_->cost().device_compute_factor);
+    program_delay += device_ns;
+    host_->Count(Counter::kDeviceComputeNs, static_cast<std::uint64_t>(device_ns));
+    if (prog.kind == NicProgram::Kind::kFilter) {
+      if (!prog.filter(frame)) {
+        return;  // filtered on-device; never reaches the host
+      }
+    } else {
+      frame = prog.map(frame);
+    }
+  }
+
+  const TimeNs delay = program_delay + host_->cost().nic_process_ns + host_->cost().pcie_dma_ns;
+  host_->sim().Schedule(delay, [this, queue, frame = std::move(frame)]() mutable {
+    Queue& dq = queues_[queue];
+    const bool was_empty = dq.rx.empty();
+    host_->Count(Counter::kDmaOps);
+    if (!dq.rx.Push(std::move(frame))) {
+      ++rx_ring_drops_;
+      host_->Count(Counter::kPacketsDropped);
+      return;
+    }
+    host_->Count(Counter::kPacketsRx);
+    if (rx_notify_ && was_empty) {
+      rx_notify_(queue);
+    }
+  });
+}
+
+}  // namespace demi

@@ -1,0 +1,122 @@
+// SimNic: a DPDK-style kernel-bypass NIC.
+//
+// The driver-visible interface is descriptor rings: Transmit() posts a raw Ethernet
+// frame to a TX ring and rings a doorbell; received frames appear in per-queue RX rings
+// drained by PollRx(). RSS spreads flows across RX queues. There is no interrupt on the
+// fast path (poll-mode); an optional rx-notify hook exists for the legacy-kernel driver,
+// which charges interrupt costs in its handler.
+//
+// When configured with `supports_offload`, the NIC models a SmartNIC (Table 1, right
+// column): filter/map programs installed on the device run per-packet at
+// `device_compute_factor` times the host cost, consuming zero host CPU — this is the
+// substrate for the paper's offloadable queue filter/map calls (§4.3).
+
+#ifndef SRC_HW_NIC_H_
+#define SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <optional>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/result.h"
+#include "src/common/ring_buffer.h"
+#include "src/hw/device.h"
+#include "src/hw/fabric.h"
+#include "src/hw/mac.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+struct NicConfig {
+  int num_queues = 1;
+  std::size_t ring_size = 256;    // per-queue RX/TX descriptor ring slots
+  bool supports_offload = false;  // SmartNIC: can run filter/map programs on-device
+  bool checksum_offload = true;   // stack may skip software checksum work
+};
+
+// A packet program the NIC can run on the device (or that a libOS runs on the CPU).
+struct NicProgram {
+  enum class Kind { kFilter, kMap };
+  Kind kind = Kind::kFilter;
+  // kFilter: return false to drop the frame before host DMA.
+  std::function<bool(const Buffer& frame)> filter;
+  // kMap: transform the frame before host DMA.
+  std::function<Buffer(const Buffer& frame)> map;
+  // What this program would cost per packet on the host CPU; on-device execution takes
+  // host_cost_ns * cost().device_compute_factor of device time instead.
+  TimeNs host_cost_ns = 0;
+};
+
+class SimNic {
+ public:
+  SimNic(HostCpu* host, Fabric* fabric, MacAddress mac, NicConfig config = NicConfig{});
+  ~SimNic();
+  SimNic(const SimNic&) = delete;
+  SimNic& operator=(const SimNic&) = delete;
+
+  const MacAddress& mac() const { return mac_; }
+  const NicConfig& config() const { return config_; }
+  DeviceCaps caps() const;
+
+  // --- Driver interface (runs on the host CPU; charges host costs) ---
+
+  // Posts a frame for transmission on `queue`. Returns kWouldBlock when the TX ring is
+  // full (callers must back off, as a real PMD must).
+  Status Transmit(int queue, Buffer frame);
+
+  // Drains one received frame from `queue`'s RX ring, if any. Free of charge: the
+  // caller (kernel driver or libOS) charges its own per-packet processing cost.
+  std::optional<Buffer> PollRx(int queue);
+
+  std::size_t RxPending(int queue) const;
+  std::size_t TxSpace(int queue) const;
+
+  // Installs a per-packet program on the RX path of `queue`. Requires
+  // config().supports_offload; charges the control-path setup cost.
+  Status InstallRxProgram(int queue, NicProgram program);
+  void ClearRxPrograms(int queue);
+
+  // Flow steering (ntuple / Flow Director): IPv4 frames whose L4 protocol and
+  // destination port match a rule bypass RSS and land on the rule's queue. This is
+  // how a kernel stack (queue 0) and a kernel-bypass libOS stack (leased queue)
+  // coexist on one port without stealing each other's flows. ARP frames are
+  // replicated to every queue, since every stack needs resolution traffic.
+  void AddSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port, int queue);
+  void RemoveSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port);
+
+  // Optional: invoked (at most once per empty->non-empty transition) when a frame is
+  // deposited into an RX ring. The legacy kernel uses this as its interrupt line;
+  // poll-mode drivers leave it unset.
+  void SetRxNotify(std::function<void(int queue)> notify) { rx_notify_ = std::move(notify); }
+
+  std::uint64_t rx_ring_drops() const { return rx_ring_drops_; }
+
+ private:
+  void DeliverFromWire(Buffer frame);
+  void DepositToQueue(int queue, Buffer frame);
+  int RssQueue(const Buffer& frame) const;
+
+  HostCpu* host_;
+  Fabric* fabric_;
+  MacAddress mac_;
+  NicConfig config_;
+  PortId port_;
+
+  struct Queue {
+    explicit Queue(std::size_t ring) : rx(ring), tx_in_flight(0) {}
+    RingBuffer<Buffer> rx;
+    std::size_t tx_in_flight;
+    std::vector<NicProgram> rx_programs;
+  };
+  std::vector<Queue> queues_;
+  std::function<void(int queue)> rx_notify_;
+  std::unordered_map<std::uint32_t, int> steering_;  // (proto<<16 | port) -> queue
+  std::uint64_t rx_ring_drops_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_HW_NIC_H_

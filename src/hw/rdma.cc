@@ -1,0 +1,343 @@
+#include "src/hw/rdma.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+// --- RdmaQp ---
+
+void RdmaQp::CompleteLocal(WorkCompletion wc) {
+  if (cq_.size() >= nic_->config_.cq_depth) {
+    // CQ overrun is a fatal QP error on real hardware.
+    state_ = State::kError;
+    return;
+  }
+  cq_.push_back(std::move(wc));
+}
+
+Status RdmaQp::PostRecv(std::uint64_t wr_id, Buffer buffer) {
+  if (state_ == State::kError) {
+    return ConnectionReset("qp in error state");
+  }
+  if (!nic_->IsRegistered(buffer)) {
+    return Status(ErrorCode::kPermissionDenied, "recv buffer not in a registered region");
+  }
+  if (recv_queue_.size() >= nic_->config_.max_recv_wr) {
+    return ResourceExhausted("recv queue full");
+  }
+  recv_queue_.emplace_back(wr_id, std::move(buffer));
+  return OkStatus();
+}
+
+Status RdmaQp::PostSend(std::uint64_t wr_id, std::vector<Buffer> segments) {
+  if (state_ != State::kEstablished) {
+    return state_ == State::kError ? ConnectionReset("qp in error state")
+                                   : NotConnected("qp not yet connected");
+  }
+  if (outstanding_sends_ >= nic_->config_.max_send_wr) {
+    return ResourceExhausted("send queue full");
+  }
+  for (const Buffer& seg : segments) {
+    if (!nic_->IsRegistered(seg)) {
+      return Status(ErrorCode::kPermissionDenied, "send segment not in a registered region");
+    }
+  }
+  auto peer = peer_.lock();
+  if (!peer) {
+    return ConnectionReset("peer gone");
+  }
+  ++outstanding_sends_;
+
+  HostCpu& host = *nic_->host_;
+  host.Work(host.cost().pcie_doorbell_ns);
+  host.Count(Counter::kDoorbells);
+
+  // Device side: gather the segments (DMA per segment), run the NIC transport, ship it.
+  Buffer message = ConcatCopy(segments);
+  host.Count(Counter::kDmaOps, segments.size());
+
+  auto self = std::static_pointer_cast<RdmaQp>(peer->peer_.lock());
+  DEMI_CHECK(self != nullptr);
+
+  const CostModel& cost = host.cost();
+  const TimeNs delay = cost.pcie_dma_ns + cost.rdma_transport_ns + cost.wire_latency_ns +
+                       cost.WireSerializationNs(message.size());
+  SendWr wr{wr_id, std::move(message), nic_->config_.rnr_retry_limit};
+  host.sim().Schedule(delay, [peer, wr = std::move(wr), self]() mutable {
+    peer->DeliverMessage(peer, std::move(wr), self);
+  });
+  host.Count(Counter::kPacketsTx);
+  return OkStatus();
+}
+
+void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
+                            std::shared_ptr<RdmaQp> sender) {
+  HostCpu& host = *nic_->host_;
+  const CostModel& cost = host.cost();
+
+  if (state_ == State::kError) {
+    host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
+      sender->CompleteLocal(
+          {id, WorkCompletion::Op::kSend, ConnectionReset("remote qp error"), 0, {}});
+      --sender->outstanding_sends_;
+    });
+    return;
+  }
+
+  if (recv_queue_.empty()) {
+    // Receiver not ready: the hardware retries, then fails the send — the exact
+    // "allocating too few buffers causes communication to fail" behaviour of §2.
+    if (wr.rnr_retries_left > 0) {
+      --wr.rnr_retries_left;
+      host.Count(Counter::kRetransmissions);
+      host.sim().Schedule(nic_->config_.rnr_retry_delay_ns,
+                          [self, wr = std::move(wr), sender]() mutable {
+                            self->DeliverMessage(self, std::move(wr), sender);
+                          });
+      return;
+    }
+    state_ = State::kError;
+    host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
+      sender->CompleteLocal({id, WorkCompletion::Op::kSend,
+                             Status(ErrorCode::kResourceExhausted, "receiver not ready"), 0,
+                             {}});
+      --sender->outstanding_sends_;
+      sender->state_ = State::kError;
+    });
+    return;
+  }
+
+  auto [recv_id, recv_buf] = std::move(recv_queue_.front());
+  recv_queue_.pop_front();
+
+  if (recv_buf.size() < wr.message.size()) {
+    // Local length error: posted buffer too small for the incoming message (§2).
+    CompleteLocal({recv_id, WorkCompletion::Op::kRecv,
+                   Status(ErrorCode::kInvalidArgument, "recv buffer too small"), 0, {}});
+    state_ = State::kError;
+    host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
+      sender->CompleteLocal({id, WorkCompletion::Op::kSend,
+                             Status(ErrorCode::kInvalidArgument, "remote length error"), 0,
+                             {}});
+      --sender->outstanding_sends_;
+    });
+    return;
+  }
+
+  // Device deposits the payload directly into the posted buffer (no host CPU).
+  std::memcpy(recv_buf.mutable_data(), wr.message.data(), wr.message.size());
+  host.Count(Counter::kDmaOps);
+  host.Count(Counter::kPacketsRx);
+  CompleteLocal({recv_id, WorkCompletion::Op::kRecv, OkStatus(), wr.message.size(),
+                 recv_buf.Slice(0, wr.message.size())});
+
+  // Hardware ack back to the sender.
+  host.sim().Schedule(cost.wire_latency_ns,
+                      [sender, id = wr.wr_id, n = wr.message.size()] {
+                        sender->CompleteLocal({id, WorkCompletion::Op::kSend, OkStatus(), n, {}});
+                        --sender->outstanding_sends_;
+                      });
+}
+
+Status RdmaQp::PostRead(std::uint64_t wr_id, Buffer dest, RKey rkey, std::size_t offset) {
+  if (state_ != State::kEstablished) {
+    return NotConnected("qp not connected");
+  }
+  if (!nic_->IsRegistered(dest)) {
+    return Status(ErrorCode::kPermissionDenied, "read destination not registered");
+  }
+  auto peer = peer_.lock();
+  if (!peer) {
+    return ConnectionReset("peer gone");
+  }
+  HostCpu& host = *nic_->host_;
+  const CostModel& cost = host.cost();
+  host.Work(cost.pcie_doorbell_ns);
+  host.Count(Counter::kDoorbells);
+
+  auto self = std::static_pointer_cast<RdmaQp>(peer->peer_.lock());
+  const TimeNs there = cost.pcie_dma_ns + cost.rdma_transport_ns + cost.wire_latency_ns;
+  host.sim().Schedule(there, [peer, self, wr_id, dest, rkey, offset]() mutable {
+    HostCpu& phost = *peer->nic_->host_;
+    const CostModel& pcost = phost.cost();
+    auto it = peer->nic_->regions_.find(rkey);
+    Status status;
+    if (it == peer->nic_->regions_.end()) {
+      status = Status(ErrorCode::kPermissionDenied, "bad rkey");
+    } else if (offset + dest.size() > it->second->capacity()) {
+      status = Status(ErrorCode::kInvalidArgument, "remote access out of bounds");
+    } else {
+      // The remote NIC DMAs straight from registered memory: zero remote CPU cost —
+      // the property every one-sided RDMA KV store in §1 is built on.
+      std::memcpy(dest.mutable_data(), it->second->data() + offset, dest.size());
+      phost.Count(Counter::kDmaOps);
+    }
+    const TimeNs back = pcost.wire_latency_ns +
+                        (status.ok() ? pcost.WireSerializationNs(dest.size()) : 0) +
+                        pcost.rdma_transport_ns;
+    phost.sim().Schedule(back, [self, wr_id, status, n = dest.size()] {
+      self->CompleteLocal({wr_id, WorkCompletion::Op::kRead, status, status.ok() ? n : 0, {}});
+    });
+  });
+  return OkStatus();
+}
+
+Status RdmaQp::PostWrite(std::uint64_t wr_id, Buffer src, RKey rkey, std::size_t offset) {
+  if (state_ != State::kEstablished) {
+    return NotConnected("qp not connected");
+  }
+  if (!nic_->IsRegistered(src)) {
+    return Status(ErrorCode::kPermissionDenied, "write source not registered");
+  }
+  auto peer = peer_.lock();
+  if (!peer) {
+    return ConnectionReset("peer gone");
+  }
+  HostCpu& host = *nic_->host_;
+  const CostModel& cost = host.cost();
+  host.Work(cost.pcie_doorbell_ns);
+  host.Count(Counter::kDoorbells);
+
+  auto self = std::static_pointer_cast<RdmaQp>(peer->peer_.lock());
+  const TimeNs there = cost.pcie_dma_ns + cost.rdma_transport_ns + cost.wire_latency_ns +
+                       cost.WireSerializationNs(src.size());
+  host.sim().Schedule(there, [peer, self, wr_id, src, rkey, offset]() mutable {
+    HostCpu& phost = *peer->nic_->host_;
+    const CostModel& pcost = phost.cost();
+    auto it = peer->nic_->regions_.find(rkey);
+    Status status;
+    if (it == peer->nic_->regions_.end()) {
+      status = Status(ErrorCode::kPermissionDenied, "bad rkey");
+    } else if (offset + src.size() > it->second->capacity()) {
+      status = Status(ErrorCode::kInvalidArgument, "remote access out of bounds");
+    } else {
+      // Remote NIC deposits into registered memory; remote CPU never runs.
+      std::memcpy(it->second->data() + offset, src.data(), src.size());
+      phost.Count(Counter::kDmaOps);
+    }
+    phost.sim().Schedule(pcost.wire_latency_ns + pcost.rdma_transport_ns,
+                         [self, wr_id, status, n = src.size()] {
+                           self->CompleteLocal({wr_id, WorkCompletion::Op::kWrite, status,
+                                                status.ok() ? n : 0, {}});
+                         });
+  });
+  return OkStatus();
+}
+
+// --- RdmaNic ---
+
+RdmaNic::RdmaNic(HostCpu* host, RdmaCm* cm, RdmaConfig config)
+    : host_(host), cm_(cm), config_(config) {}
+
+DeviceCaps RdmaNic::caps() const {
+  return DeviceCaps{
+      .device = "RdmaNic (verbs)",
+      .category = "+OS features",
+      .kernel_bypass = true,
+      .multiplexing = true,
+      .addr_translation = true,
+      .transport_offload = true,
+      .needs_explicit_mem_reg = true,
+      .program_offload = false,
+  };
+}
+
+Result<RKey> RdmaNic::RegisterMemory(std::shared_ptr<BufferStorage> storage) {
+  if (storage == nullptr || storage->capacity() == 0) {
+    return InvalidArgument("empty region");
+  }
+  if (registered_.contains(storage.get())) {
+    return AlreadyExists("region already registered");
+  }
+  host_->Work(host_->cost().MemRegNs(storage->capacity()));
+  host_->Count(Counter::kMemRegistrations);
+  host_->Count(Counter::kBytesPinned, storage->capacity());
+  pinned_bytes_ += storage->capacity();
+  const RKey rkey = next_rkey_++;
+  registered_.insert(storage.get());
+  regions_[rkey] = std::move(storage);
+  return rkey;
+}
+
+Status RdmaNic::DeregisterMemory(RKey rkey) {
+  auto it = regions_.find(rkey);
+  if (it == regions_.end()) {
+    return NotFound("unknown rkey");
+  }
+  pinned_bytes_ -= it->second->capacity();
+  registered_.erase(it->second.get());
+  regions_.erase(it);
+  return OkStatus();
+}
+
+bool RdmaNic::IsRegistered(const Buffer& buffer) const {
+  return buffer.storage() != nullptr &&
+         registered_.contains(buffer.storage()->registration_root());
+}
+
+Status RdmaNic::Listen(const std::string& addr) {
+  if (cm_->listeners_.contains(addr)) {
+    return Status(ErrorCode::kAddressInUse, addr);
+  }
+  // Control path: CM setup goes through the legacy kernel.
+  host_->Work(3 * host_->cost().syscall_ns);
+  cm_->listeners_[addr] = RdmaCm::ListenerState{this, {}};
+  return OkStatus();
+}
+
+std::shared_ptr<RdmaQp> RdmaNic::Accept(const std::string& addr) {
+  auto it = cm_->listeners_.find(addr);
+  if (it == cm_->listeners_.end() || it->second.accept_queue.empty()) {
+    return nullptr;
+  }
+  auto qp = std::move(it->second.accept_queue.front());
+  it->second.accept_queue.pop_front();
+  host_->Work(2 * host_->cost().syscall_ns);
+  return qp;
+}
+
+std::shared_ptr<RdmaQp> RdmaNic::Connect(const std::string& addr) {
+  auto qp = std::shared_ptr<RdmaQp>(new RdmaQp(this));
+  qps_.push_back(qp);
+  host_->Work(3 * host_->cost().syscall_ns);
+
+  auto it = cm_->listeners_.find(addr);
+  const TimeNs rtt = 2 * host_->cost().wire_latency_ns;
+  if (it == cm_->listeners_.end()) {
+    host_->sim().Schedule(rtt, [qp] { qp->state_ = RdmaQp::State::kError; });
+    return qp;
+  }
+
+  RdmaNic* server_nic = it->second.nic;
+  auto server_qp = std::shared_ptr<RdmaQp>(new RdmaQp(server_nic));
+  server_nic->qps_.push_back(server_qp);
+  qp->peer_ = server_qp;
+  server_qp->peer_ = qp;
+
+  host_->sim().Schedule(host_->cost().wire_latency_ns, [server_qp, addr, cm = cm_] {
+    server_qp->state_ = RdmaQp::State::kEstablished;
+    auto lit = cm->listeners_.find(addr);
+    if (lit != cm->listeners_.end()) {
+      lit->second.accept_queue.push_back(server_qp);
+    }
+  });
+  host_->sim().Schedule(rtt, [qp] {
+    if (qp->state_ == RdmaQp::State::kConnecting) {
+      qp->state_ = RdmaQp::State::kEstablished;
+    }
+  });
+  return qp;
+}
+
+std::vector<WorkCompletion> RdmaQp::PollCq(std::size_t max) {
+  std::vector<WorkCompletion> out;
+  while (!cq_.empty() && out.size() < max) {
+    out.push_back(std::move(cq_.front()));
+    cq_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace demi

@@ -1,0 +1,145 @@
+#include "src/memory/memory_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+// A large registered region. Outlives the manager if buffers are still referenced
+// (e.g. a device completion event still holds one).
+class MemoryManager::Arena final : public BufferStorage {
+ public:
+  explicit Arena(std::size_t capacity) : BufferStorage(new std::byte[capacity], capacity) {}
+  ~Arena() override { delete[] data_; }
+};
+
+// One allocation carved out of an arena. Destruction returns the slot to the pool —
+// this destructor IS the free-protection mechanism: it only runs once the application
+// and every device reference are gone.
+class MemoryManager::PooledStorage final : public BufferStorage {
+ public:
+  PooledStorage(MemoryManager* mgr, std::shared_ptr<bool> mgr_alive,
+                std::shared_ptr<Arena> arena, std::size_t offset, std::size_t slot_size)
+      : BufferStorage(arena->data() + offset, slot_size),
+        mgr_(mgr),
+        mgr_alive_(std::move(mgr_alive)),
+        arena_(std::move(arena)),
+        offset_(offset) {}
+
+  ~PooledStorage() override {
+    if (*mgr_alive_) {
+      mgr_->RecycleSlot(arena_.get(), offset_, capacity_);
+    }
+  }
+
+  const BufferStorage* registration_root() const override { return arena_.get(); }
+
+ private:
+  MemoryManager* mgr_;
+  std::shared_ptr<bool> mgr_alive_;
+  std::shared_ptr<Arena> arena_;
+  std::size_t offset_;
+};
+
+MemoryManager::MemoryManager(HostCpu* host, MemoryConfig config)
+    : host_(host), config_(config) {
+  for (std::size_t i = 0; i < kSlotSizes.size(); ++i) {
+    classes_[i].slot_size = kSlotSizes[i];
+  }
+  alive_ = std::make_shared<bool>(true);
+}
+
+MemoryManager::~MemoryManager() { *alive_ = false; }
+
+void MemoryManager::AttachDevice(RegisterRegionFn register_region) {
+  for (const auto& arena : arenas_) {
+    register_region(arena);
+  }
+  devices_.push_back(std::move(register_region));
+}
+
+MemoryManager::SizeClass& MemoryManager::ClassFor(std::size_t size) {
+  for (auto& cls : classes_) {
+    if (size <= cls.slot_size) {
+      return cls;
+    }
+  }
+  // Oversized allocations get a dedicated class-of-one arena below; callers of
+  // ClassFor guarantee size fits the largest class.
+  PanicImpl(__FILE__, __LINE__, "ClassFor: size exceeds largest size class");
+}
+
+void MemoryManager::GrowClass(SizeClass& cls) {
+  const std::size_t arena_bytes = std::max(config_.arena_bytes, cls.slot_size);
+  auto arena = std::make_shared<Arena>(arena_bytes);
+  bytes_reserved_ += arena_bytes;
+  // Transparent registration: the new arena is registered with every attached device
+  // before any buffer from it is handed out.
+  for (const auto& dev : devices_) {
+    dev(arena);
+  }
+  const std::size_t slots = arena_bytes / cls.slot_size;
+  cls.free_slots.reserve(cls.free_slots.size() + slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    cls.free_slots.emplace_back(arena.get(), i * cls.slot_size);
+  }
+  arenas_.push_back(std::move(arena));
+}
+
+void MemoryManager::RecycleSlot(Arena* arena, std::size_t offset, std::size_t slot_size) {
+  --live_slots_;
+  for (auto& cls : classes_) {
+    if (cls.slot_size == slot_size) {
+      cls.free_slots.emplace_back(arena, offset);
+      return;
+    }
+  }
+  // Oversized one-off slot: the dedicated arena is simply dropped with its storage.
+}
+
+Buffer MemoryManager::Allocate(std::size_t size) {
+  DEMI_CHECK(size > 0);
+  host_->Work(config_.alloc_ns);
+  ++allocs_;
+  ++live_slots_;
+
+  if (size > kSlotSizes.back()) {
+    // Oversized: dedicated registered arena for this allocation.
+    auto arena = std::make_shared<Arena>(size);
+    bytes_reserved_ += size;
+    for (const auto& dev : devices_) {
+      dev(arena);
+    }
+    arenas_.push_back(arena);
+    auto storage = std::make_shared<PooledStorage>(this, alive_, arena, 0, size);
+    return Buffer::FromStorage(std::move(storage), 0, size);
+  }
+
+  SizeClass& cls = ClassFor(size);
+  if (cls.free_slots.empty()) {
+    GrowClass(cls);
+  } else {
+    ++pool_hits_;
+  }
+  auto [arena_ptr, offset] = cls.free_slots.back();
+  cls.free_slots.pop_back();
+
+  // Find the owning shared_ptr (arenas_ is small; linear scan is fine off the fast
+  // path — the fast path is the pool_hits_ branch, which still needs the arena ref).
+  std::shared_ptr<Arena> arena;
+  for (const auto& a : arenas_) {
+    if (a.get() == arena_ptr) {
+      arena = a;
+      break;
+    }
+  }
+  DEMI_CHECK(arena != nullptr);
+  auto storage = std::make_shared<PooledStorage>(this, alive_, std::move(arena), offset,
+                                                 cls.slot_size);
+  return Buffer::FromStorage(std::move(storage), 0, size);
+}
+
+SgArray MemoryManager::AllocateSga(std::size_t size) { return SgArray(Allocate(size)); }
+
+}  // namespace demi

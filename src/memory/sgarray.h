@@ -1,0 +1,71 @@
+// SgArray: the Demikernel scatter-gather array (Figure 3's `sgarray`).
+//
+// An SgArray is the atomic data unit of every Demikernel queue (§4.2): a sequence of
+// byte segments pushed as one unit and guaranteed to pop as one unit. Segments are
+// refcounted Buffers, so an SgArray is cheap to copy and naturally zero-copy.
+
+#ifndef SRC_MEMORY_SGARRAY_H_
+#define SRC_MEMORY_SGARRAY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/buffer.h"
+
+namespace demi {
+
+class SgArray {
+ public:
+  SgArray() = default;
+  explicit SgArray(Buffer single) { Append(std::move(single)); }
+
+  // Builds a one-segment SgArray that copies `text` (convenience for tests/examples;
+  // real applications allocate via MemoryManager and fill in place).
+  static SgArray FromString(std::string_view text) {
+    return SgArray(Buffer::CopyOf(text));
+  }
+
+  void Append(Buffer segment) {
+    total_bytes_ += segment.size();
+    segments_.push_back(std::move(segment));
+  }
+
+  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+  bool empty() const { return total_bytes_ == 0; }
+
+  const Buffer& segment(std::size_t i) const { return segments_[i]; }
+  Buffer& segment(std::size_t i) { return segments_[i]; }
+  const std::vector<Buffer>& segments() const { return segments_; }
+
+  auto begin() const { return segments_.begin(); }
+  auto end() const { return segments_.end(); }
+
+  // Copies all segments into one contiguous string (off the fast path; tests/baselines).
+  std::string ToString() const {
+    std::string out;
+    out.reserve(total_bytes_);
+    for (const Buffer& seg : segments_) {
+      out.append(seg.AsStringView());
+    }
+    return out;
+  }
+
+  // Copies all segments into one contiguous Buffer.
+  Buffer Flatten() const { return ConcatCopy(segments_); }
+
+  void Clear() {
+    segments_.clear();
+    total_bytes_ = 0;
+  }
+
+ private:
+  std::vector<Buffer> segments_;
+  std::size_t total_bytes_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_MEMORY_SGARRAY_H_

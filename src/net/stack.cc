@@ -1,0 +1,369 @@
+#include "src/net/stack.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+NetStack::NetStack(HostCpu* host, SimNic* nic, NetStackConfig config)
+    : host_(host), nic_(nic), config_(config), rng_(config.seed) {
+  // Stacks sharing one host IP (kernel on queue 0, libOSes on leased queues) partition
+  // the ephemeral port space so their flow-steering rules can never collide — the
+  // control-path coordination a real kernel provides when leasing queues.
+  next_ephemeral_ = static_cast<std::uint16_t>(49152 + config_.nic_queue * 2048);
+  host_->sim().AddPoller(this);
+}
+
+NetStack::~NetStack() {
+  // Connections hold timers referencing themselves; kill them before destruction.
+  for (auto& c : conns_) {
+    if (!c->closed()) {
+      c->Abort();
+    }
+  }
+  host_->sim().RemovePoller(this);
+}
+
+TimeNs NetStack::tx_cost() const {
+  return config_.stack_tx_ns >= 0 ? config_.stack_tx_ns : host_->cost().user_stack_tx_ns;
+}
+
+TimeNs NetStack::rx_cost() const {
+  return config_.stack_rx_ns >= 0 ? config_.stack_rx_ns : host_->cost().user_stack_rx_ns;
+}
+
+bool NetStack::Poll() {
+  bool progress = false;
+  for (std::size_t i = 0; i < config_.rx_batch; ++i) {
+    auto frame = nic_->PollRx(config_.nic_queue);
+    if (!frame) {
+      break;
+    }
+    progress = true;
+    ++frames_rx_;
+    HandleFrame(std::move(*frame));
+  }
+  return progress;
+}
+
+void NetStack::HandleFrame(Buffer frame) {
+  if (frame.size() < kEthHeaderSize) {
+    return;
+  }
+  const EthHeader eth = ParseEthHeader(frame.span());
+  switch (eth.ethertype) {
+    case kEtherTypeArp:
+      HandleArp(std::move(frame));
+      break;
+    case kEtherTypeIpv4:
+      HandleIpv4(std::move(frame));
+      break;
+    default:
+      break;
+  }
+}
+
+// --- ARP ---
+
+void NetStack::SendArpRequest(Ipv4Address target) {
+  ArpPacket req;
+  req.is_request = true;
+  req.sender_mac = nic_->mac();
+  req.sender_ip = config_.ip;
+  req.target_mac = MacAddress{};
+  req.target_ip = target;
+  Buffer frame = BuildArpFrame(nic_->mac(), MacAddress::Broadcast(), req);
+  ++frames_tx_;
+  (void)nic_->Transmit(config_.nic_queue, std::move(frame));
+}
+
+void NetStack::HandleArp(Buffer frame) {
+  auto arp = ParseArpPacket(frame.span().subspan(kEthHeaderSize));
+  if (!arp) {
+    return;
+  }
+  // Learn the sender mapping opportunistically (both requests and replies).
+  arp_cache_[arp->sender_ip] = arp->sender_mac;
+  FlushArpPending(arp->sender_ip, arp->sender_mac);
+
+  if (arp->is_request && arp->target_ip == config_.ip) {
+    ArpPacket reply;
+    reply.is_request = false;
+    reply.sender_mac = nic_->mac();
+    reply.sender_ip = config_.ip;
+    reply.target_mac = arp->sender_mac;
+    reply.target_ip = arp->sender_ip;
+    Buffer out = BuildArpFrame(nic_->mac(), arp->sender_mac, reply);
+    ++frames_tx_;
+    (void)nic_->Transmit(config_.nic_queue, std::move(out));
+  }
+}
+
+void NetStack::FlushArpPending(Ipv4Address ip, MacAddress mac) {
+  auto it = arp_pending_.find(ip);
+  if (it == arp_pending_.end()) {
+    return;
+  }
+  if (it->second.timer != kInvalidTimer) {
+    host_->sim().Cancel(it->second.timer);
+  }
+  std::vector<Buffer> frames = std::move(it->second.frames);
+  arp_pending_.erase(it);
+  for (Buffer& f : frames) {
+    WriteEthHeader(f.mutable_span(), EthHeader{mac, nic_->mac(), kEtherTypeIpv4});
+    ++frames_tx_;
+    (void)nic_->Transmit(config_.nic_queue, std::move(f));
+  }
+}
+
+void NetStack::ResolveAndTransmit(Ipv4Address next_hop, Buffer frame) {
+  if (auto it = arp_cache_.find(next_hop); it != arp_cache_.end()) {
+    WriteEthHeader(frame.mutable_span(), EthHeader{it->second, nic_->mac(), kEtherTypeIpv4});
+    ++frames_tx_;
+    (void)nic_->Transmit(config_.nic_queue, std::move(frame));
+    return;
+  }
+  ArpPending& pending = arp_pending_[next_hop];
+  pending.frames.push_back(std::move(frame));
+  if (pending.frames.size() > 1) {
+    return;  // request already outstanding
+  }
+  pending.retries_left = 3;
+  SendArpRequest(next_hop);
+  // After retries are exhausted the parked frames are dropped; transport-level
+  // retransmission will try again and re-trigger resolution.
+  pending.timer = host_->sim().Schedule(kMillisecond, [this, next_hop] { ArpRetryTick(next_hop); });
+}
+
+void NetStack::ArpRetryTick(Ipv4Address next_hop) {
+  auto it = arp_pending_.find(next_hop);
+  if (it == arp_pending_.end()) {
+    return;
+  }
+  if (it->second.retries_left-- <= 0) {
+    host_->Count(Counter::kPacketsDropped, it->second.frames.size());
+    arp_pending_.erase(it);
+    return;
+  }
+  SendArpRequest(next_hop);
+  it->second.timer =
+      host_->sim().Schedule(kMillisecond, [this, next_hop] { ArpRetryTick(next_hop); });
+}
+
+// --- IPv4 / UDP ---
+
+void NetStack::HandleIpv4(Buffer frame) {
+  host_->Work(rx_cost());
+  auto ip = ParseIpv4Header(frame.span().subspan(kEthHeaderSize));
+  if (!ip || !(ip->dst == config_.ip)) {
+    return;
+  }
+  Buffer l4 = frame.Slice(kEthHeaderSize + kIpv4HeaderSize,
+                          ip->total_length - kIpv4HeaderSize);
+  switch (ip->protocol) {
+    case kIpProtoTcp:
+      HandleTcp(*ip, std::move(l4));
+      break;
+    case kIpProtoUdp:
+      HandleUdp(*ip, std::move(l4));
+      break;
+    default:
+      break;
+  }
+}
+
+Status NetStack::UdpBind(std::uint16_t port, UdpRecvFn on_recv) {
+  if (udp_ports_.contains(port)) {
+    return Status(ErrorCode::kAddressInUse, "udp port in use");
+  }
+  udp_ports_[port] = std::move(on_recv);
+  nic_->AddSteeringRule(kIpProtoUdp, port, config_.nic_queue);
+  return OkStatus();
+}
+
+void NetStack::UdpUnbind(std::uint16_t port) {
+  if (udp_ports_.erase(port) > 0) {
+    nic_->RemoveSteeringRule(kIpProtoUdp, port);
+  }
+}
+
+Status NetStack::UdpSend(std::uint16_t src_port, Endpoint dst, Buffer payload) {
+  if (payload.size() + kUdpHeaderSize + kIpv4HeaderSize > 1500) {
+    return InvalidArgument("UDP datagram exceeds MTU (no fragmentation support)");
+  }
+  host_->Work(tx_cost());
+  Buffer udp = Buffer::Allocate(kUdpHeaderSize);
+  WriteUdpHeader(udp.mutable_span(),
+                 UdpHeader{src_port, dst.port,
+                           static_cast<std::uint16_t>(kUdpHeaderSize + payload.size())});
+  Ipv4Header ip;
+  ip.protocol = kIpProtoUdp;
+  ip.src = config_.ip;
+  ip.dst = dst.ip;
+  const Buffer parts[] = {udp, payload};
+  Buffer frame = BuildIpv4Frame(nic_->mac(), MacAddress{}, ip, parts);
+  ResolveAndTransmit(dst.ip, std::move(frame));
+  return OkStatus();
+}
+
+void NetStack::HandleUdp(const Ipv4Header& ip, Buffer l4) {
+  auto h = ParseUdpHeader(l4.span());
+  if (!h) {
+    return;
+  }
+  auto it = udp_ports_.find(h->dst_port);
+  if (it == udp_ports_.end()) {
+    return;  // no ICMP port-unreachable in this stack
+  }
+  it->second(Endpoint{ip.src, h->src_port}, l4.Slice(kUdpHeaderSize, h->length - kUdpHeaderSize));
+}
+
+// --- TCP ---
+
+Result<TcpListener*> NetStack::TcpListen(std::uint16_t port) {
+  if (listeners_.contains(port)) {
+    return Status(ErrorCode::kAddressInUse, "tcp port in use");
+  }
+  auto listener = std::make_unique<TcpListener>(port, config_.tcp.listen_backlog);
+  TcpListener* out = listener.get();
+  listeners_[port] = std::move(listener);
+  nic_->AddSteeringRule(kIpProtoTcp, port, config_.nic_queue);
+  return out;
+}
+
+std::uint16_t NetStack::AllocateEphemeralPort() {
+  for (int tries = 0; tries < 16384; ++tries) {
+    const std::uint16_t base = static_cast<std::uint16_t>(49152 + config_.nic_queue * 2048);
+    const std::uint16_t limit = static_cast<std::uint16_t>(base + 2047);
+    const std::uint16_t port = next_ephemeral_;
+    next_ephemeral_ = next_ephemeral_ >= limit ? base : next_ephemeral_ + 1;
+    bool used = false;
+    for (const auto& [key, conn] : conn_map_) {
+      if (key.local_port == port) {
+        used = true;
+        break;
+      }
+    }
+    if (!used && !listeners_.contains(port)) {
+      return port;
+    }
+  }
+  return 0;
+}
+
+Result<TcpConnection*> NetStack::TcpConnect(Endpoint remote) {
+  const std::uint16_t port = AllocateEphemeralPort();
+  if (port == 0) {
+    return ResourceExhausted("no ephemeral ports");
+  }
+  const auto iss = static_cast<std::uint32_t>(rng_.NextU64());
+  auto conn = std::make_unique<TcpConnection>(this, Endpoint{config_.ip, port}, remote,
+                                              /*active_open=*/true, iss);
+  TcpConnection* out = conn.get();
+  nic_->AddSteeringRule(kIpProtoTcp, port, config_.nic_queue);
+  conn_map_[ConnKey{port, remote}] = out;
+  conns_.push_back(std::move(conn));
+  out->StartActiveOpen();
+  return out;
+}
+
+void NetStack::SendRst(const Ipv4Header& ip, const TcpHeader& h, std::size_t payload_len) {
+  TcpHeader rst;
+  rst.src_port = h.dst_port;
+  rst.dst_port = h.src_port;
+  rst.flags = kTcpRst | kTcpAck;
+  rst.seq = (h.flags & kTcpAck) ? h.ack : 0;
+  rst.ack = h.seq + static_cast<std::uint32_t>(payload_len) +
+            ((h.flags & (kTcpSyn | kTcpFin)) ? 1 : 0);
+  Buffer seg = Buffer::Allocate(kTcpHeaderSize);
+  WriteTcpHeader(seg.mutable_span(), rst, config_.ip, ip.src, {});
+  SendSegment(ip.src, std::move(seg));
+}
+
+void NetStack::HandleTcp(const Ipv4Header& ip, Buffer l4) {
+  if (!VerifyTcpChecksum(l4.span(), ip.src, ip.dst)) {
+    return;  // corrupted segment
+  }
+  auto h = ParseTcpHeader(l4.span());
+  if (!h) {
+    return;
+  }
+  Buffer payload = l4.Slice(kTcpHeaderSize);
+
+  const ConnKey key{h->dst_port, Endpoint{ip.src, h->src_port}};
+  if (auto it = conn_map_.find(key); it != conn_map_.end()) {
+    TcpConnection* conn = it->second;
+    conn->OnSegment(*h, std::move(payload));
+    // Embryo promotion: passive connections reach the accept queue once established.
+    if (auto eit = embryos_.find(conn); eit != embryos_.end()) {
+      if (conn->established()) {
+        TcpListener* listener = eit->second;
+        --listener->embryos_;
+        listener->accept_queue_.push_back(conn);
+        embryos_.erase(eit);
+      } else if (conn->closed()) {
+        --eit->second->embryos_;
+        embryos_.erase(eit);
+      }
+    }
+    return;
+  }
+
+  // No connection: maybe a listener?
+  if (auto lit = listeners_.find(h->dst_port); lit != listeners_.end()) {
+    TcpListener* listener = lit->second.get();
+    if ((h->flags & kTcpSyn) && !(h->flags & kTcpAck)) {
+      if (listener->embryos_ + listener->accept_queue_.size() >= listener->backlog_) {
+        return;  // SYN queue overflow: drop, client retransmits
+      }
+      const auto iss = static_cast<std::uint32_t>(rng_.NextU64());
+      auto conn = std::make_unique<TcpConnection>(this, Endpoint{config_.ip, h->dst_port},
+                                                  Endpoint{ip.src, h->src_port},
+                                                  /*active_open=*/false, iss);
+      TcpConnection* raw = conn.get();
+      conn_map_[key] = raw;
+      conns_.push_back(std::move(conn));
+      embryos_[raw] = listener;
+      ++listener->embryos_;
+      raw->OnSegment(*h, std::move(payload));
+      return;
+    }
+    // Non-SYN to a listening port without a connection: reset.
+  }
+  if (!(h->flags & kTcpRst)) {
+    SendRst(ip, *h, payload.size());
+  }
+}
+
+void NetStack::SendSegment(Ipv4Address dst, Buffer segment) {
+  host_->Work(tx_cost());
+  Ipv4Header ip;
+  ip.protocol = kIpProtoTcp;
+  ip.src = config_.ip;
+  ip.dst = dst;
+  const Buffer parts[] = {segment};
+  Buffer frame = BuildIpv4Frame(nic_->mac(), MacAddress{}, ip, parts);
+  ResolveAndTransmit(dst, std::move(frame));
+}
+
+void NetStack::OnTcpClosed(TcpConnection* conn) {
+  conn_map_.erase(ConnKey{conn->local().port, conn->remote()});
+  if (auto eit = embryos_.find(conn); eit != embryos_.end()) {
+    --eit->second->embryos_;
+    embryos_.erase(eit);
+  }
+}
+
+void NetStack::ReapClosed() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->closed()) {
+      graveyard_.push_back(std::move(*it));
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace demi

@@ -1,0 +1,130 @@
+// NetStack: a user-level network stack bound to one NIC queue.
+//
+// This is the poll-mode I/O stack a kernel-bypass NIC leaves missing (§2): Ethernet
+// framing, ARP resolution, IPv4, UDP, and the TCP of src/net/tcp.h. The same class
+// serves two masters at different costs:
+//   - the Catnip libOS runs it at user-level cost (cost.user_stack_*) with zero copies;
+//   - the simulated kernel (src/kernel) runs another instance at kernel cost
+//     (cost.kernel_stack_*) and adds syscalls + copies at its socket layer.
+//
+// Routing model: one L2 segment (the simulated rack); every host is a neighbour, so
+// there is ARP but no IP routing. That matches the paper's intra-datacenter focus.
+
+#ifndef SRC_NET_STACK_H_
+#define SRC_NET_STACK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/hw/nic.h"
+#include "src/net/packet.h"
+#include "src/net/tcp.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+struct NetStackConfig {
+  Ipv4Address ip;
+  int nic_queue = 0;
+  // Per-segment protocol processing cost; negative means "use the cost model's
+  // user_stack_{tx,rx}_ns defaults".
+  TimeNs stack_tx_ns = -1;
+  TimeNs stack_rx_ns = -1;
+  std::size_t rx_batch = 32;
+  TcpConfig tcp;
+  std::uint64_t seed = 7;  // ISS / ephemeral port randomization
+};
+
+class NetStack final : public Poller, public TcpIo {
+ public:
+  NetStack(HostCpu* host, SimNic* nic, NetStackConfig config);
+  ~NetStack() override;
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  Ipv4Address ip() const { return config_.ip; }
+
+  // Drains the NIC RX ring and feeds the protocol machinery. Registered with the
+  // Simulation automatically; returns true if any frame was processed.
+  bool Poll() override;
+
+  // --- UDP ---
+  using UdpRecvFn = std::function<void(Endpoint from, Buffer payload)>;
+  Status UdpBind(std::uint16_t port, UdpRecvFn on_recv);
+  void UdpUnbind(std::uint16_t port);
+  Status UdpSend(std::uint16_t src_port, Endpoint dst, Buffer payload);
+
+  // --- TCP ---
+  Result<TcpListener*> TcpListen(std::uint16_t port);
+  Result<TcpConnection*> TcpConnect(Endpoint remote);
+  // Moves fully closed connections to the graveyard; call occasionally in long runs.
+  void ReapClosed();
+
+  // --- TcpIo ---
+  void SendSegment(Ipv4Address dst, Buffer segment) override;
+  Simulation& sim() override { return host_->sim(); }
+  HostCpu& host() override { return *host_; }
+  const TcpConfig& tcp_config() const override { return config_.tcp; }
+  void OnTcpClosed(TcpConnection* conn) override;
+
+  std::uint64_t frames_rx() const { return frames_rx_; }
+  std::uint64_t frames_tx() const { return frames_tx_; }
+
+ private:
+  struct ConnKey {
+    std::uint16_t local_port;
+    Endpoint remote;
+    friend bool operator==(const ConnKey& a, const ConnKey& b) = default;
+  };
+  struct ConnKeyHash {
+    std::size_t operator()(const ConnKey& k) const {
+      return EndpointHash()(k.remote) * 31 + k.local_port;
+    }
+  };
+  struct ArpPending {
+    std::vector<Buffer> frames;  // complete frames awaiting a destination MAC patch
+    int retries_left = 3;
+    TimerId timer = kInvalidTimer;
+  };
+
+  TimeNs tx_cost() const;
+  TimeNs rx_cost() const;
+  void HandleFrame(Buffer frame);
+  void HandleArp(Buffer frame);
+  void HandleIpv4(Buffer frame);
+  void HandleTcp(const Ipv4Header& ip, Buffer l4);
+  void HandleUdp(const Ipv4Header& ip, Buffer l4);
+  // Fills the destination MAC and transmits, or parks the frame on ARP resolution.
+  void ResolveAndTransmit(Ipv4Address next_hop, Buffer frame);
+  void SendArpRequest(Ipv4Address target);
+  void ArpRetryTick(Ipv4Address next_hop);
+  void FlushArpPending(Ipv4Address ip, MacAddress mac);
+  std::uint16_t AllocateEphemeralPort();
+  void SendRst(const Ipv4Header& ip, const TcpHeader& h, std::size_t payload_len);
+
+  HostCpu* host_;
+  SimNic* nic_;
+  NetStackConfig config_;
+  Rng rng_;
+
+  std::unordered_map<Ipv4Address, MacAddress, Ipv4Hash> arp_cache_;
+  std::unordered_map<Ipv4Address, ArpPending, Ipv4Hash> arp_pending_;
+  std::unordered_map<std::uint16_t, UdpRecvFn> udp_ports_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
+  std::unordered_map<ConnKey, TcpConnection*, ConnKeyHash> conn_map_;
+  std::unordered_map<TcpConnection*, TcpListener*> embryos_;
+  std::vector<std::unique_ptr<TcpConnection>> conns_;      // owns live connections
+  std::vector<std::unique_ptr<TcpConnection>> graveyard_;  // closed, kept until reaped
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t frames_rx_ = 0;
+  std::uint64_t frames_tx_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_NET_STACK_H_

@@ -1,0 +1,39 @@
+#include "src/sim/cost_model.h"
+
+#include <cstdio>
+
+namespace demi {
+
+std::string CostModel::Describe() const {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "cost model (ns unless noted):\n"
+      "  cpu %.1f GHz | copy %.4f ns/B (4KB=%lld)\n"
+      "  kernel: syscall=%lld socket=%lld stack_tx=%lld stack_rx=%lld irq=%lld "
+      "ctxsw=%lld epoll=%lld fs_op=%lld\n"
+      "  libos: call=%lld ustack_tx=%lld ustack_rx=%lld mtcp_batch=%lld\n"
+      "  pcie: doorbell=%lld dma=%lld nic=%lld\n"
+      "  fabric: wire=%lld link=%.0f Gbps\n"
+      "  rdma: transport=%lld reg_base=%lld reg_page=%lld\n"
+      "  nvme: read=%lld write=%lld %.2f ns/B\n"
+      "  offload: compute_factor=%.2fx setup=%lld\n"
+      "  app: kv_request=%lld\n",
+      cpu_ghz, copy_ns_per_byte, static_cast<long long>(CopyNs(4096)),
+      static_cast<long long>(syscall_ns), static_cast<long long>(kernel_socket_ns),
+      static_cast<long long>(kernel_stack_tx_ns), static_cast<long long>(kernel_stack_rx_ns),
+      static_cast<long long>(interrupt_ns), static_cast<long long>(context_switch_ns),
+      static_cast<long long>(epoll_dispatch_ns), static_cast<long long>(kernel_fs_op_ns),
+      static_cast<long long>(libos_call_ns), static_cast<long long>(user_stack_tx_ns),
+      static_cast<long long>(user_stack_rx_ns), static_cast<long long>(mtcp_batch_delay_ns),
+      static_cast<long long>(pcie_doorbell_ns), static_cast<long long>(pcie_dma_ns),
+      static_cast<long long>(nic_process_ns), static_cast<long long>(wire_latency_ns),
+      link_gbps, static_cast<long long>(rdma_transport_ns),
+      static_cast<long long>(mem_reg_base_ns), static_cast<long long>(mem_reg_per_page_ns),
+      static_cast<long long>(nvme_read_ns), static_cast<long long>(nvme_write_ns),
+      nvme_ns_per_byte, device_compute_factor, static_cast<long long>(offload_setup_ns),
+      static_cast<long long>(kv_request_cpu_ns));
+  return buf;
+}
+
+}  // namespace demi

@@ -1,0 +1,72 @@
+#include "src/sim/counters.h"
+
+#include <cstdio>
+
+namespace demi {
+
+std::string_view CounterName(Counter c) {
+  switch (c) {
+    case Counter::kSyscalls:
+      return "syscalls";
+    case Counter::kLibosCalls:
+      return "libos_calls";
+    case Counter::kCopies:
+      return "copies";
+    case Counter::kBytesCopied:
+      return "bytes_copied";
+    case Counter::kInterrupts:
+      return "interrupts";
+    case Counter::kContextSwitches:
+      return "context_switches";
+    case Counter::kWakeups:
+      return "wakeups";
+    case Counter::kSpuriousWakeups:
+      return "spurious_wakeups";
+    case Counter::kPacketsTx:
+      return "packets_tx";
+    case Counter::kPacketsRx:
+      return "packets_rx";
+    case Counter::kPacketsDropped:
+      return "packets_dropped";
+    case Counter::kRetransmissions:
+      return "retransmissions";
+    case Counter::kDoorbells:
+      return "doorbells";
+    case Counter::kDmaOps:
+      return "dma_ops";
+    case Counter::kMemRegistrations:
+      return "mem_registrations";
+    case Counter::kBytesPinned:
+      return "bytes_pinned";
+    case Counter::kNvmeOps:
+      return "nvme_ops";
+    case Counter::kDeviceComputeNs:
+      return "device_compute_ns";
+    case Counter::kHostCpuNs:
+      return "host_cpu_ns";
+    case Counter::kKvRequests:
+      return "kv_requests";
+    case Counter::kStreamScans:
+      return "stream_scans";
+    case Counter::kNumCounters:
+      break;
+  }
+  return "?";
+}
+
+std::string Counters::Describe(std::string_view indent) const {
+  std::string out;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (v_[i] == 0) {
+      continue;
+    }
+    char line[128];
+    std::snprintf(line, sizeof(line), "%.*s%s=%llu\n", static_cast<int>(indent.size()),
+                  indent.data(), CounterName(static_cast<Counter>(i)).data(),
+                  static_cast<unsigned long long>(v_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace demi

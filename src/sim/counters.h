@@ -1,0 +1,60 @@
+// Named event counters, kept per simulated host and aggregated globally.
+// These drive the "where did the nanoseconds go" breakdowns in the F1/F2 benches and
+// the wakeup/copy/registration counts in C1/C3/C4.
+
+#ifndef SRC_SIM_COUNTERS_H_
+#define SRC_SIM_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace demi {
+
+enum class Counter : std::size_t {
+  kSyscalls = 0,        // legacy-kernel syscall crossings
+  kLibosCalls,          // Demikernel interface calls
+  kCopies,              // discrete copy operations
+  kBytesCopied,         // bytes moved by copies
+  kInterrupts,          // device interrupts delivered (blocking kernel path)
+  kContextSwitches,     // thread context switches
+  kWakeups,             // waiter wakeups (epoll or wait_*)
+  kSpuriousWakeups,     // wakeups that found no work (thundering herd)
+  kPacketsTx,
+  kPacketsRx,
+  kPacketsDropped,      // fabric loss + ring overflows
+  kRetransmissions,     // TCP segments retransmitted
+  kDoorbells,           // PCIe doorbell rings
+  kDmaOps,              // device DMA transactions
+  kMemRegistrations,    // memory regions registered with a device
+  kBytesPinned,         // bytes pinned by registrations (running total)
+  kNvmeOps,
+  kDeviceComputeNs,     // ns of app-function compute executed on-device (offload)
+  kHostCpuNs,           // ns of CPU charged on the host
+  kKvRequests,          // application-level requests served
+  kStreamScans,         // partial-message re-scans (C2 stream wasted work)
+  kNumCounters,
+};
+
+constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kNumCounters);
+
+std::string_view CounterName(Counter c);
+
+class Counters {
+ public:
+  void Add(Counter c, std::uint64_t n = 1) { v_[static_cast<std::size_t>(c)] += n; }
+  void Sub(Counter c, std::uint64_t n = 1) { v_[static_cast<std::size_t>(c)] -= n; }
+  std::uint64_t Get(Counter c) const { return v_[static_cast<std::size_t>(c)]; }
+  void Reset() { v_.fill(0); }
+
+  // All non-zero counters, one per line, with the given indent prefix.
+  std::string Describe(std::string_view indent = "  ") const;
+
+ private:
+  std::array<std::uint64_t, kNumCounters> v_{};
+};
+
+}  // namespace demi
+
+#endif  // SRC_SIM_COUNTERS_H_

@@ -1,0 +1,97 @@
+#include "src/sim/simulation.h"
+
+#include <algorithm>
+
+namespace demi {
+
+Simulation::Simulation(CostModel cost) : cost_(cost) {}
+
+TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<TimeNs>(delay, 0), std::move(fn));
+}
+
+TimerId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  events_.push(Event{std::max(when, now_), id, std::move(fn)});
+  return id;
+}
+
+void Simulation::Cancel(TimerId id) {
+  if (id != kInvalidTimer) {
+    cancelled_.insert(id);
+  }
+}
+
+void Simulation::AddPoller(Poller* poller) {
+  DEMI_CHECK(poller != nullptr);
+  pollers_.push_back(poller);
+}
+
+void Simulation::RemovePoller(Poller* poller) {
+  pollers_.erase(std::remove(pollers_.begin(), pollers_.end(), poller), pollers_.end());
+}
+
+bool Simulation::RunDue() {
+  bool ran = false;
+  while (!events_.empty() && events_.top().due <= now_) {
+    Event ev = events_.top();
+    events_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    ran = true;
+    ev.fn();
+  }
+  return ran;
+}
+
+bool Simulation::StepOnce() {
+  DEMI_CHECK(!in_step_ && "blocking waits may not nest inside Poller::Poll");
+  in_step_ = true;
+  bool progress = false;
+  // Iterate by index: pollers may be added during polling (e.g. accept spawns actors).
+  for (std::size_t i = 0; i < pollers_.size(); ++i) {
+    progress |= pollers_[i]->Poll();
+  }
+  progress |= RunDue();
+  in_step_ = false;
+  if (progress) {
+    return true;
+  }
+  // Nothing runnable now: jump to the next scheduled event, skipping cancelled ones.
+  while (!events_.empty()) {
+    if (auto it = cancelled_.find(events_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      events_.pop();
+      continue;
+    }
+    now_ = std::max(now_, events_.top().due);
+    return RunDue();
+  }
+  return false;  // completely idle
+}
+
+bool Simulation::RunUntil(const std::function<bool()>& pred, TimeNs deadline) {
+  while (!pred()) {
+    if (now_ > deadline) {
+      return false;
+    }
+    if (!StepOnce()) {
+      return pred();
+    }
+  }
+  return true;
+}
+
+void Simulation::RunFor(TimeNs duration) {
+  const TimeNs end = now_ + duration;
+  while (now_ < end) {
+    if (!StepOnce()) {
+      now_ = end;  // idle: nothing will ever happen; just advance time.
+      return;
+    }
+  }
+}
+
+}  // namespace demi

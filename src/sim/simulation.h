@@ -1,0 +1,160 @@
+// The discrete-event simulation context.
+//
+// Execution model: everything is single-threaded and polled, like a DPDK poll-mode
+// application. Components that need to make progress (NIC drivers, network stacks,
+// application actors) register as Pollers; device and timer futures are Events on a
+// virtual clock. CPU work on the measured path advances the clock (HostCpu::Work);
+// device-side work never blocks the CPU — it schedules completion events instead,
+// exactly the overlap a real kernel-bypass device gives you.
+//
+// Blocking convenience calls (LibOS::Wait in examples) drive Simulation::StepOnce in a
+// loop; they may only be used from top-level driver code, never from inside a Poller.
+
+#ifndef SRC_SIM_SIMULATION_H_
+#define SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/counters.h"
+#include "src/sim/time.h"
+
+namespace demi {
+
+// Anything that makes forward progress when polled (a NIC driver loop, a stack, an
+// application actor). Poll() returns true if any work was done.
+class Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual bool Poll() = 0;
+};
+
+// Opaque handle for cancelling a scheduled event.
+using TimerId = std::uint64_t;
+constexpr TimerId kInvalidTimer = 0;
+
+class Simulation {
+ public:
+  explicit Simulation(CostModel cost = CostModel{});
+
+  TimeNs now() const { return now_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+  Counters& counters() { return counters_; }
+
+  // Schedules `fn` to run at now()+delay (clamped to >= now). Returns a cancellable id.
+  TimerId Schedule(TimeNs delay, std::function<void()> fn);
+  TimerId ScheduleAt(TimeNs when, std::function<void()> fn);
+  void Cancel(TimerId id);
+
+  // Registers/unregisters a poller. Pollers are polled once per StepOnce round.
+  void AddPoller(Poller* poller);
+  void RemovePoller(Poller* poller);
+
+  // Advances the clock by `ns` of CPU work on the measured path.
+  void AdvanceClock(TimeNs ns) { now_ += ns; }
+
+  // Runs every event due at or before now().
+  // Returns true if at least one event ran.
+  bool RunDue();
+
+  // One scheduling round: poll all pollers, run due events; if nothing happened, jump
+  // the clock to the next pending event and run it. Returns false only when the
+  // simulation is completely idle (no progress possible).
+  bool StepOnce();
+
+  // Steps until pred() is true or the clock passes `deadline`.
+  // Returns true if pred() held before the deadline.
+  bool RunUntil(const std::function<bool()>& pred, TimeNs deadline);
+
+  // Steps until the clock has advanced by `duration` (or the simulation idles out).
+  void RunFor(TimeNs duration);
+
+  bool idle() const { return events_.empty(); }
+  std::size_t pending_events() const { return events_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    TimeNs due;
+    TimerId id;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due != b.due ? a.due > b.due : a.id > b.id;
+    }
+  };
+
+  CostModel cost_;
+  Counters counters_;
+  TimeNs now_ = 0;
+  TimerId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::unordered_set<TimerId> cancelled_;
+  std::vector<Poller*> pollers_;
+  bool in_step_ = false;
+};
+
+// The CPU of one simulated host. Work on a host that `charges_clock` advances the global
+// clock (it is on the measured critical path); a non-charging host (e.g. a load-generator
+// fleet) only accounts its work. Every host keeps its own counters; the simulation-wide
+// aggregate is updated too.
+class HostCpu {
+ public:
+  HostCpu(Simulation* sim, std::string name, bool charges_clock = true)
+      : sim_(sim), name_(std::move(name)), charges_clock_(charges_clock) {}
+
+  Simulation& sim() { return *sim_; }
+  const CostModel& cost() const { return sim_->cost(); }
+  const std::string& name() const { return name_; }
+  TimeNs now() const { return sim_->now(); }
+
+  // Charges `ns` of CPU work to this host.
+  void Work(TimeNs ns) {
+    if (ns <= 0) {
+      return;
+    }
+    busy_ns_ += ns;
+    counters_.Add(Counter::kHostCpuNs, static_cast<std::uint64_t>(ns));
+    sim_->counters().Add(Counter::kHostCpuNs, static_cast<std::uint64_t>(ns));
+    if (charges_clock_) {
+      sim_->AdvanceClock(ns);
+    }
+  }
+
+  // Charges a memory copy of `bytes` and counts it. Returns the cost charged.
+  TimeNs CopyBytes(std::size_t bytes) {
+    const TimeNs ns = cost().CopyNs(bytes);
+    Count(Counter::kCopies);
+    Count(Counter::kBytesCopied, bytes);
+    Work(ns);
+    return ns;
+  }
+
+  void Count(Counter c, std::uint64_t n = 1) {
+    counters_.Add(c, n);
+    sim_->counters().Add(c, n);
+  }
+
+  Counters& counters() { return counters_; }
+  std::uint64_t busy_ns() const { return busy_ns_; }
+  bool charges_clock() const { return charges_clock_; }
+  void set_charges_clock(bool v) { charges_clock_ = v; }
+
+ private:
+  Simulation* sim_;
+  std::string name_;
+  bool charges_clock_;
+  Counters counters_;
+  std::uint64_t busy_ns_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_SIM_SIMULATION_H_

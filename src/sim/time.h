@@ -1,0 +1,25 @@
+// Simulated time. The whole reproduction runs on a virtual clock measured in
+// nanoseconds; nothing reads wall-clock time, so experiments are deterministic.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace demi {
+
+// Nanoseconds of simulated time (absolute or relative by context).
+using TimeNs = std::int64_t;
+
+constexpr TimeNs kNanosecond = 1;
+constexpr TimeNs kMicrosecond = 1000;
+constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+constexpr TimeNs kSecond = 1000 * kMillisecond;
+
+constexpr double ToMicros(TimeNs t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToMillis(TimeNs t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / kSecond; }
+
+}  // namespace demi
+
+#endif  // SRC_SIM_TIME_H_

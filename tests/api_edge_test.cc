@@ -1,0 +1,167 @@
+// Edge cases across the public API surface: empty elements, unsupported operations
+// per libOS, device-queue exhaustion, CQ overflow, and other boundary behaviour.
+
+#include <gtest/gtest.h>
+
+#include "src/core/harness.h"
+
+namespace demi {
+namespace {
+
+TEST(ApiEdgeTest, EmptyElementRoundTripsOverCatnip) {
+  // An empty sga is a legal atomic unit (a "signal" element); the framing layer must
+  // carry it and pop it as an empty element, not lose it or hang.
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+
+  const QDesc lqd = *server.Socket();
+  ASSERT_TRUE(server.Bind(lqd, 7000).ok());
+  ASSERT_TRUE(server.Listen(lqd).ok());
+  const QToken atok = *server.AcceptAsync(lqd);
+  const QDesc cqd = *client.Socket();
+  const QToken ctok = *client.ConnectAsync(cqd, Endpoint{sh.ip, 7000});
+  ASSERT_TRUE(client.Wait(ctok, 10 * kSecond)->status.ok());
+  const QDesc sqd = server.Wait(atok, 10 * kSecond)->new_qd;
+
+  const QToken pop = *server.Pop(sqd);
+  ASSERT_TRUE(client.BlockingPush(cqd, SgArray())->status.ok());
+  // Follow with a non-empty element to prove stream alignment survived.
+  ASSERT_TRUE(client.BlockingPush(cqd, SgArray::FromString("after-empty"))->status.ok());
+  auto first = server.Wait(pop, 10 * kSecond);
+  ASSERT_TRUE(first.ok() && first->status.ok());
+  EXPECT_EQ(first->sga.total_bytes(), 0u);
+  auto second = server.BlockingPop(sqd);
+  ASSERT_TRUE(second.ok() && second->status.ok());
+  EXPECT_EQ(second->sga.ToString(), "after-empty");
+}
+
+TEST(ApiEdgeTest, CatfishHasNoNetwork) {
+  TestHarness h;
+  HostOptions opts;
+  opts.with_nic = false;
+  opts.with_kernel = false;
+  opts.with_block_device = true;
+  auto& host = h.AddHost("storage", "10.0.0.1", opts);
+  auto& libos = h.Catfish(host);
+  EXPECT_EQ(libos.Socket().code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(libos.SocketUdp().code(), ErrorCode::kUnsupported);
+}
+
+TEST(ApiEdgeTest, CatnipHasNoStorage) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  EXPECT_EQ(libos.Open("/x").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(libos.Creat("/x").code(), ErrorCode::kUnsupported);
+}
+
+TEST(ApiEdgeTest, CatnapHasNoDatagrams) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnap(host);
+  EXPECT_EQ(libos.SocketUdp().code(), ErrorCode::kUnsupported);
+}
+
+TEST(ApiEdgeTest, NicQueueLeasesExhaust) {
+  // Each Catnip instance leases one NIC queue from the kernel; a 2-queue NIC supports
+  // exactly one libOS beside the kernel.
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");  // nic_queues = 2 by default
+  (void)h.Catnip(host);                     // takes queue 1
+  EXPECT_EQ(host.kernel->AllocateNicQueue().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(ApiEdgeTest, RdmaCqOverflowPutsQpInErrorState) {
+  Simulation sim;
+  RdmaCm cm(&sim);
+  HostCpu ha(&sim, "a"), hb(&sim, "b");
+  RdmaConfig cfg;
+  cfg.cq_depth = 4;        // tiny CQ
+  cfg.max_send_wr = 64;
+  RdmaNic na(&ha, &cm, cfg), nb(&hb, &cm, cfg);
+  ASSERT_TRUE(nb.Listen("x").ok());
+  auto client = na.Connect("x");
+  ASSERT_TRUE(sim.RunUntil([&] { return client->connected(); }, kSecond));
+  auto server = nb.Accept("x");
+
+  Buffer msg = Buffer::Allocate(8);
+  ASSERT_TRUE(na.RegisterMemory(msg.shared_storage()).ok());
+  Buffer recv_pool = Buffer::Allocate(64 * 16);
+  ASSERT_TRUE(nb.RegisterMemory(recv_pool.shared_storage()).ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(server->PostRecv(static_cast<std::uint64_t>(i),
+                                 recv_pool.Slice(static_cast<std::size_t>(i) * 64, 64))
+                    .ok());
+  }
+  // Complete more sends than the CQ can hold without ever polling it.
+  for (int i = 0; i < 12; ++i) {
+    (void)client->PostSend(static_cast<std::uint64_t>(100 + i), {msg});
+  }
+  sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(client->failed());  // CQ overrun is a fatal QP error, as on hardware
+}
+
+TEST(ApiEdgeTest, PushToListeningQueueFails) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  const QDesc lqd = *libos.Socket();
+  ASSERT_TRUE(libos.Bind(lqd, 7000).ok());
+  ASSERT_TRUE(libos.Listen(lqd).ok());
+  EXPECT_FALSE(libos.Push(lqd, SgArray::FromString("x")).ok());
+  EXPECT_FALSE(libos.Pop(lqd).ok());
+}
+
+TEST(ApiEdgeTest, ConnectTwiceRejected) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  const QDesc qd = *libos.Socket();
+  ASSERT_TRUE(libos.Connect(qd, Endpoint{Ipv4Address::Parse("10.0.0.9"), 1}).ok());
+  EXPECT_EQ(libos.Connect(qd, Endpoint{Ipv4Address::Parse("10.0.0.9"), 2}).code(),
+            ErrorCode::kAlreadyConnected);
+}
+
+TEST(ApiEdgeTest, BindAfterListenOnSamePortPairRejected) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  const QDesc q1 = *libos.Socket();
+  ASSERT_TRUE(libos.Bind(q1, 7000).ok());
+  ASSERT_TRUE(libos.Listen(q1).ok());
+  const QDesc q2 = *libos.Socket();
+  ASSERT_TRUE(libos.Bind(q2, 7000).ok());
+  EXPECT_EQ(libos.Listen(q2).code(), ErrorCode::kAddressInUse);
+}
+
+TEST(ApiEdgeTest, WaitAnyOnEmptyTokenListTimesOut) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  auto r = libos.WaitAny({}, 10 * kMicrosecond);
+  EXPECT_EQ(r.code(), ErrorCode::kTimedOut);
+}
+
+TEST(ApiEdgeTest, SortQueueIsStableForEqualPriorities) {
+  TestHarness h;
+  auto& host = h.AddHost("a", "10.0.0.1");
+  auto& libos = h.Catnip(host);
+  const QDesc inner = *libos.QueueCreate();
+  ElementComparator all_equal{[](const SgArray&, const SgArray&) { return false; }, 10};
+  const QDesc sorted = *libos.Sort(inner, all_equal);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(libos.BlockingPush(sorted, SgArray::FromString(std::to_string(i)))
+                    ->status.ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto r = libos.BlockingPop(sorted);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->sga.ToString(), std::to_string(i)) << "FIFO among equals";
+  }
+}
+
+}  // namespace
+}  // namespace demi

@@ -1,0 +1,164 @@
+// Tests for the Catfish storage libOS: durable push, in-order replay, close/reopen
+// persistence, CRC validation, extent exhaustion, and the push-durability contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/harness.h"
+
+namespace demi {
+namespace {
+
+SgArray Sga(const std::string& s) { return SgArray::FromString(s); }
+
+struct CatfishRig {
+  CatfishRig() : h() {
+    HostOptions opts;
+    opts.with_nic = false;
+    opts.with_kernel = false;
+    opts.with_block_device = true;
+    host = &h.AddHost("storage", "10.0.0.1", opts);
+    libos = &h.Catfish(*host);
+  }
+  TestHarness h;
+  TestHarness::Host* host;
+  CatfishLibOS* libos;
+};
+
+TEST(CatfishTest, PushThenPopRoundTrip) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/a");
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("record one"))->status.ok());
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("record two"))->status.ok());
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(), "record one");
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(), "record two");
+}
+
+TEST(CatfishTest, PopAtEndOfLogReturnsEof) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/empty");
+  auto r = rig.libos->BlockingPop(qd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.code(), ErrorCode::kEndOfFile);
+}
+
+TEST(CatfishTest, OpenMissingFileFails) {
+  CatfishRig rig;
+  EXPECT_EQ(rig.libos->Open("/does/not/exist").code(), ErrorCode::kNotFound);
+}
+
+TEST(CatfishTest, DataSurvivesCloseAndReopen) {
+  CatfishRig rig;
+  {
+    const QDesc qd = *rig.libos->Creat("/log/persist");
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("entry " + std::to_string(i)))->status.ok());
+    }
+    ASSERT_TRUE(rig.libos->Close(qd).ok());
+  }
+  // Reopen: the new queue has a cold cache; records must replay from the device.
+  const QDesc qd = *rig.libos->Open("/log/persist");
+  for (int i = 0; i < 10; ++i) {
+    auto r = rig.libos->BlockingPop(qd);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->status.ok()) << r->status;
+    EXPECT_EQ(r->sga.ToString(), "entry " + std::to_string(i));
+  }
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->status.code(), ErrorCode::kEndOfFile);
+}
+
+TEST(CatfishTest, PushIsDurableWhenCompleted) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/durable");
+  const std::uint64_t nvme_before = rig.host->cpu->counters().Get(Counter::kNvmeOps);
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("must hit the device"))->status.ok());
+  // Completion implies at least one device write happened (durability contract).
+  EXPECT_GT(rig.host->cpu->counters().Get(Counter::kNvmeOps), nvme_before);
+}
+
+TEST(CatfishTest, LargeRecordsSpanBlocks) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/big");
+  std::string big(3 * 4096 + 77, 'B');
+  big[0] = 'S';
+  big.back() = 'E';
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga(big))->status.ok());
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("after big"))->status.ok());
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(), big);
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(), "after big");
+}
+
+TEST(CatfishTest, ManySmallRecordsReplayInOrderAfterReopen) {
+  CatfishRig rig;
+  {
+    const QDesc qd = *rig.libos->Creat("/log/many");
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("r" + std::to_string(i)))->status.ok());
+    }
+    ASSERT_TRUE(rig.libos->Close(qd).ok());
+  }
+  const QDesc qd = *rig.libos->Open("/log/many");
+  for (int i = 0; i < 200; ++i) {
+    auto r = rig.libos->BlockingPop(qd);
+    ASSERT_TRUE(r.ok() && r->status.ok());
+    ASSERT_EQ(r->sga.ToString(), "r" + std::to_string(i));
+  }
+}
+
+TEST(CatfishTest, TwoFilesAreIndependent) {
+  CatfishRig rig;
+  const QDesc a = *rig.libos->Creat("/log/a");
+  const QDesc b = *rig.libos->Creat("/log/b");
+  ASSERT_TRUE(rig.libos->BlockingPush(a, Sga("for a"))->status.ok());
+  ASSERT_TRUE(rig.libos->BlockingPush(b, Sga("for b"))->status.ok());
+  EXPECT_EQ(rig.libos->BlockingPop(b)->sga.ToString(), "for b");
+  EXPECT_EQ(rig.libos->BlockingPop(a)->sga.ToString(), "for a");
+}
+
+TEST(CatfishTest, ExtentExhaustionSurfacesError) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/full");
+  // Extent is 16 MiB; pushes of 1 MiB (the max slot) fill it quickly.
+  std::string megabyte(1 << 20, 'f');
+  Status status = OkStatus();
+  int pushed = 0;
+  while (status.ok() && pushed < 64) {
+    auto token = rig.libos->Push(qd, Sga(megabyte));
+    if (!token.ok()) {
+      status = token.status();
+      break;
+    }
+    auto r = rig.libos->Wait(*token, 60 * kSecond);
+    ASSERT_TRUE(r.ok());
+    status = r->status;
+    ++pushed;
+  }
+  EXPECT_EQ(status.code(), ErrorCode::kResourceExhausted);
+  EXPECT_GE(pushed, 14);  // most of the 16 MiB extent was usable
+}
+
+TEST(CatfishTest, StorageLatencyFollowsDeviceModel) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/latency");
+  const TimeNs start = rig.h.sim().now();
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("timed"))->status.ok());
+  const TimeNs elapsed = rig.h.sim().now() - start;
+  // One 4 KiB device write dominates; no kernel, no copies.
+  const TimeNs device = rig.h.sim().cost().NvmeNs(true, 4096);
+  EXPECT_GE(elapsed, device);
+  EXPECT_LT(elapsed, device + 10 * kMicrosecond);
+}
+
+TEST(CatfishTest, NoSyscallsOnTheStoragePath) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/nosys");
+  const std::uint64_t syscalls_before = rig.h.sim().counters().Get(Counter::kSyscalls);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("x"))->status.ok());
+  }
+  EXPECT_EQ(rig.h.sim().counters().Get(Counter::kSyscalls), syscalls_before);
+}
+
+}  // namespace
+}  // namespace demi

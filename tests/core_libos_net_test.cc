@@ -1,0 +1,344 @@
+// End-to-end tests of the network library OSes: Catnip (DPDK-style, zero copy),
+// Catnap (kernel sockets, copies+syscalls), Catmint (RDMA), and their cost signatures.
+// Also cross-libOS interop: Catnap and Catnip speak the same wire format.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/harness.h"
+
+namespace demi {
+namespace {
+
+constexpr std::uint16_t kPort = 9000;
+
+SgArray Sga(const std::string& s) { return SgArray::FromString(s); }
+
+// Establishes a connection between two libOSes; returns {server_conn_qd, client_qd}.
+std::pair<QDesc, QDesc> ConnectPair(TestHarness& h, LibOS& server, LibOS& client,
+                                    Ipv4Address server_ip) {
+  const QDesc listen_qd = *server.Socket();
+  EXPECT_TRUE(server.Bind(listen_qd, kPort).ok());
+  EXPECT_TRUE(server.Listen(listen_qd).ok());
+  auto accept_token = server.AcceptAsync(listen_qd);
+  EXPECT_TRUE(accept_token.ok());
+
+  const QDesc client_qd = *client.Socket();
+  auto connect_token = client.ConnectAsync(client_qd, Endpoint{server_ip, kPort});
+  EXPECT_TRUE(connect_token.ok());
+
+  auto connected = client.Wait(*connect_token, 10 * kSecond);
+  EXPECT_TRUE(connected.ok());
+  EXPECT_TRUE(connected->status.ok()) << connected->status;
+  auto accepted = server.Wait(*accept_token, 10 * kSecond);
+  EXPECT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted->status.ok()) << accepted->status;
+  return {accepted->new_qd, client_qd};
+}
+
+// One echo round trip; returns the string the client got back.
+std::string EchoOnce(LibOS& server, QDesc server_qd, LibOS& client, QDesc client_qd,
+                     const std::string& msg) {
+  auto pop_at_server = server.Pop(server_qd);
+  EXPECT_TRUE(pop_at_server.ok());
+  auto push = client.BlockingPush(client_qd, Sga(msg));
+  EXPECT_TRUE(push.ok());
+  auto req = server.Wait(*pop_at_server, 10 * kSecond);
+  EXPECT_TRUE(req.ok());
+  EXPECT_TRUE(req->status.ok());
+  auto reply_push = server.BlockingPush(server_qd, req->sga);
+  EXPECT_TRUE(reply_push.ok());
+  auto reply = client.BlockingPop(client_qd);
+  EXPECT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->status.ok());
+  return reply->sga.ToString();
+}
+
+// --- Catnip ---
+
+TEST(CatnipTest, EchoRoundTrip) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  EXPECT_EQ(EchoOnce(server, sqd, client, cqd, "catnip echo"), "catnip echo");
+}
+
+TEST(CatnipTest, DataPathIsZeroCopy) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  (void)EchoOnce(server, sqd, client, cqd, "warmup");
+
+  const std::uint64_t copies_before = h.sim().counters().Get(Counter::kBytesCopied);
+  const std::uint64_t syscalls_before = h.sim().counters().Get(Counter::kSyscalls);
+  SgArray big = client.SgaAlloc(8192);
+  std::memset(big.segment(0).mutable_data(), 'z', 8192);
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.BlockingPush(cqd, big).ok());
+  auto got = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->sga.total_bytes(), 8192u);
+  // §3.1/§3.2: no kernel crossings and no copies anywhere on the data path.
+  EXPECT_EQ(h.sim().counters().Get(Counter::kBytesCopied), copies_before);
+  EXPECT_EQ(h.sim().counters().Get(Counter::kSyscalls), syscalls_before);
+}
+
+TEST(CatnipTest, ElementBoundariesSurviveSegmentation) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+
+  // 10 KB element: spans many TCP segments but must pop as ONE unit (§4.2).
+  std::string big(10000, 'q');
+  big[0] = 'A';
+  big[9999] = 'Z';
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.BlockingPush(cqd, Sga(big)).ok());
+  auto got = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->sga.total_bytes(), 10000u);
+  EXPECT_EQ(got->sga.ToString(), big);
+}
+
+TEST(CatnipTest, BackToBackElementsKeepBoundaries) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  for (int i = 0; i < 20; ++i) {
+    (void)client.Push(cqd, Sga("msg-" + std::to_string(i)));
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto r = server.BlockingPop(sqd);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->sga.ToString(), "msg-" + std::to_string(i));
+  }
+}
+
+TEST(CatnipTest, ConnectRefusedSurfacesError) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  (void)h.Catnip(sh);  // server libOS exists but listens nowhere
+  auto& client = h.Catnip(ch);
+  const QDesc qd = *client.Socket();
+  auto token = client.ConnectAsync(qd, Endpoint{sh.ip, 12345});
+  ASSERT_TRUE(token.ok());
+  auto r = client.Wait(*token, 30 * kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->status.ok());
+}
+
+TEST(CatnipTest, CloseDeliversEofToPeerPop) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.Close(cqd).ok());
+  auto r = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.code(), ErrorCode::kEndOfFile);
+}
+
+TEST(CatnipTest, UdpDatagramIsOneElement) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+
+  const QDesc srv = *server.SocketUdp();
+  ASSERT_TRUE(server.Bind(srv, 5000).ok());
+  const QDesc cli = *client.SocketUdp();
+  ASSERT_TRUE(client.Connect(cli, Endpoint{sh.ip, 5000}).ok());
+
+  auto pop_tok = server.Pop(srv);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.BlockingPush(cli, Sga("datagram payload")).ok());
+  auto r = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sga.ToString(), "datagram payload");
+}
+
+// --- Catnap ---
+
+TEST(CatnapTest, EchoRoundTrip) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnap(sh);
+  auto& client = h.Catnap(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  EXPECT_EQ(EchoOnce(server, sqd, client, cqd, "catnap echo"), "catnap echo");
+}
+
+TEST(CatnapTest, DataPathPaysSyscallsAndCopies) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnap(sh);
+  auto& client = h.Catnap(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  const std::uint64_t copies_before = h.sim().counters().Get(Counter::kBytesCopied);
+  const std::uint64_t syscalls_before = h.sim().counters().Get(Counter::kSyscalls);
+  (void)EchoOnce(server, sqd, client, cqd, std::string(4096, 'c'));
+  // The portability libOS keeps the app unchanged but pays the traditional tax.
+  EXPECT_GT(h.sim().counters().Get(Counter::kBytesCopied), copies_before + 8000);
+  EXPECT_GT(h.sim().counters().Get(Counter::kSyscalls), syscalls_before);
+}
+
+// --- interop: same application protocol across libOSes (§5.2 framing) ---
+
+TEST(InteropTest, CatnapClientTalksToCatnipServer) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnap(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  EXPECT_EQ(EchoOnce(server, sqd, client, cqd, "mixed stacks"), "mixed stacks");
+}
+
+TEST(InteropTest, CatnipClientTalksToCatnapServer) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnap(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  EXPECT_EQ(EchoOnce(server, sqd, client, cqd, "other direction"), "other direction");
+}
+
+// --- Catmint ---
+
+TEST(CatmintTest, EchoRoundTrip) {
+  TestHarness h;
+  HostOptions rdma_opts;
+  rdma_opts.with_rdma = true;
+  rdma_opts.with_nic = false;
+  rdma_opts.with_kernel = false;
+  auto& sh = h.AddHost("server", "10.0.0.1", rdma_opts);
+  auto& ch = h.AddHost("client", "10.0.0.2", rdma_opts);
+  auto& server = h.Catmint(sh);
+  auto& client = h.Catmint(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  EXPECT_EQ(EchoOnce(server, sqd, client, cqd, "rdma echo"), "rdma echo");
+}
+
+TEST(CatmintTest, TransparentRegistrationNeedsNoUserCalls) {
+  TestHarness h;
+  HostOptions rdma_opts;
+  rdma_opts.with_rdma = true;
+  rdma_opts.with_nic = false;
+  rdma_opts.with_kernel = false;
+  auto& sh = h.AddHost("server", "10.0.0.1", rdma_opts);
+  auto& ch = h.AddHost("client", "10.0.0.2", rdma_opts);
+  auto& server = h.Catmint(sh);
+  auto& client = h.Catmint(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+
+  // Buffers from sgaalloc are usable for RDMA without any registration call, and the
+  // data path copies nothing.
+  SgArray sga = client.SgaAlloc(2048);
+  std::memset(sga.segment(0).mutable_data(), 'r', 2048);
+  const std::uint64_t copies_before = h.sim().counters().Get(Counter::kBytesCopied);
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.BlockingPush(cqd, sga).ok());
+  auto r = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sga.total_bytes(), 2048u);
+  EXPECT_EQ(h.sim().counters().Get(Counter::kBytesCopied), copies_before);
+}
+
+TEST(CatmintTest, ForeignBuffersAreBouncedWithACopy) {
+  TestHarness h;
+  HostOptions rdma_opts;
+  rdma_opts.with_rdma = true;
+  rdma_opts.with_nic = false;
+  rdma_opts.with_kernel = false;
+  auto& sh = h.AddHost("server", "10.0.0.1", rdma_opts);
+  auto& ch = h.AddHost("client", "10.0.0.2", rdma_opts);
+  auto& server = h.Catmint(sh);
+  auto& client = h.Catmint(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+
+  const std::uint64_t copies_before = h.sim().counters().Get(Counter::kBytesCopied);
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  // Sga("...") copies into plain heap memory — NOT from the manager — so the libOS
+  // must stage it into registered memory, paying one copy.
+  ASSERT_TRUE(client.BlockingPush(cqd, Sga("foreign memory")).ok());
+  auto r = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sga.ToString(), "foreign memory");
+  EXPECT_GT(h.sim().counters().Get(Counter::kBytesCopied), copies_before);
+}
+
+TEST(CatmintTest, OversizedElementRejected) {
+  TestHarness h;
+  HostOptions rdma_opts;
+  rdma_opts.with_rdma = true;
+  rdma_opts.with_nic = false;
+  rdma_opts.with_kernel = false;
+  auto& sh = h.AddHost("server", "10.0.0.1", rdma_opts);
+  auto& ch = h.AddHost("client", "10.0.0.2", rdma_opts);
+  auto& server = h.Catmint(sh);
+  auto& client = h.Catmint(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  SgArray huge = client.SgaAlloc(64 * 1024);  // > max_element_bytes (16 KB)
+  EXPECT_EQ(client.Push(cqd, huge).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(CatmintTest, ManyMessagesNoRnrFailures) {
+  TestHarness h;
+  HostOptions rdma_opts;
+  rdma_opts.with_rdma = true;
+  rdma_opts.with_nic = false;
+  rdma_opts.with_kernel = false;
+  auto& sh = h.AddHost("server", "10.0.0.1", rdma_opts);
+  auto& ch = h.AddHost("client", "10.0.0.2", rdma_opts);
+  auto& server = h.Catmint(sh);
+  auto& client = h.Catmint(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  // Blast 500 messages while popping: the libOS's buffer provisioning (§2's missing
+  // piece) must keep the hardware fed with receives throughout.
+  int received = 0;
+  int sent = 0;
+  std::vector<QToken> pops;
+  while (received < 500) {
+    while (sent < 500) {
+      auto t = client.Push(cqd, Sga("m" + std::to_string(sent)));
+      if (!t.ok()) {
+        break;
+      }
+      ++sent;
+    }
+    auto r = server.BlockingPop(sqd);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r->status.ok()) << r->status << " after " << received;
+    ++received;
+  }
+  EXPECT_EQ(received, 500);
+}
+
+}  // namespace
+}  // namespace demi

@@ -1,0 +1,216 @@
+// Tests for the fabric (switching, fault injection) and the DPDK-style SimNic
+// (descriptor rings, RSS, offloaded programs, capability reporting).
+
+#include <gtest/gtest.h>
+
+#include "src/hw/device.h"
+#include "tests/net_test_util.h"
+
+namespace demi {
+namespace {
+
+TEST(FabricTest, DeliversFrameToLearnedPort) {
+  TwoHostRig rig;
+  ASSERT_TRUE(rig.nic_a
+                  .Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "ping"))
+                  .ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return rig.nic_b.RxPending(0) > 0; }, kSecond));
+  auto frame = rig.nic_b.PollRx(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->Slice(kEthHeaderSize).AsStringView(), "ping");
+}
+
+TEST(FabricTest, BroadcastFloodsAllOtherPorts) {
+  TwoHostRig rig;
+  ASSERT_TRUE(
+      rig.nic_a
+          .Transmit(0, MakeTestFrame(MacAddress::Broadcast(), rig.nic_a.mac(), "hello"))
+          .ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return rig.nic_b.RxPending(0) > 0; }, kSecond));
+  EXPECT_EQ(rig.nic_a.RxPending(0), 0u);  // not echoed to the sender
+}
+
+TEST(FabricTest, FrameNotForUsIsIgnored) {
+  TwoHostRig rig;
+  const MacAddress stranger = MacAddress::ForHost(99);
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(stranger, rig.nic_a.mac(), "not yours")).ok());
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.nic_b.RxPending(0), 0u);
+}
+
+TEST(FabricTest, WireLatencyMatchesCostModel) {
+  TwoHostRig rig;
+  const TimeNs start = rig.sim.now();
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "t")).ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return rig.nic_b.RxPending(0) > 0; }, kSecond));
+  const CostModel& cost = rig.sim.cost();
+  // doorbell(host) + dma + nic + serialization + wire + nic + dma on the far side.
+  const TimeNs floor = cost.wire_latency_ns + cost.pcie_dma_ns * 2 + cost.nic_process_ns * 2;
+  EXPECT_GE(rig.sim.now() - start, floor);
+  EXPECT_LT(rig.sim.now() - start, floor + 10 * kMicrosecond);
+}
+
+TEST(FabricTest, LossRateDropsFrames) {
+  FabricConfig cfg;
+  cfg.loss_rate = 1.0;
+  TwoHostRig rig(cfg);
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "gone")).ok());
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.nic_b.RxPending(0), 0u);
+  EXPECT_EQ(rig.fabric.frames_dropped(), 1u);
+}
+
+TEST(FabricTest, DuplicationDeliversTwice) {
+  FabricConfig cfg;
+  cfg.dup_rate = 1.0;
+  TwoHostRig rig(cfg);
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "x")).ok());
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.nic_b.RxPending(0), 2u);
+}
+
+TEST(SimNicTest, TxRingBackpressure) {
+  NicConfig nic_cfg;
+  nic_cfg.ring_size = 4;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  int accepted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "d")).ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 4);  // ring full afterwards
+  rig.sim.RunFor(kMillisecond);
+  // After draining, transmit works again.
+  EXPECT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "d")).ok());
+}
+
+TEST(SimNicTest, RxRingOverflowDropsAndCounts) {
+  NicConfig nic_cfg;
+  nic_cfg.ring_size = 4;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 4; ++i) {
+      (void)rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "x"));
+    }
+    rig.sim.RunFor(kMillisecond);  // nobody drains nic_b
+  }
+  EXPECT_EQ(rig.nic_b.RxPending(0), 4u);
+  EXPECT_GT(rig.nic_b.rx_ring_drops(), 0u);
+}
+
+TEST(SimNicTest, RxNotifyFiresOnEmptyToNonEmpty) {
+  TwoHostRig rig;
+  int notifies = 0;
+  rig.nic_b.SetRxNotify([&](int queue) { ++notifies; });
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "n")).ok());
+  }
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(notifies, 1);  // interrupt coalescing shape: one edge, three frames
+  while (rig.nic_b.PollRx(0)) {
+  }
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "n")).ok());
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(notifies, 2);
+}
+
+TEST(SimNicTest, OffloadRequiresCapability) {
+  TwoHostRig rig;  // default NIC: no offload
+  NicProgram prog;
+  prog.kind = NicProgram::Kind::kFilter;
+  prog.filter = [](const Buffer&) { return true; };
+  EXPECT_EQ(rig.nic_b.InstallRxProgram(0, std::move(prog)).code(), ErrorCode::kUnsupported);
+}
+
+TEST(SimNicTest, OnDeviceFilterDropsBeforeHostDma) {
+  NicConfig nic_cfg;
+  nic_cfg.supports_offload = true;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  NicProgram prog;
+  prog.kind = NicProgram::Kind::kFilter;
+  prog.host_cost_ns = 100;
+  prog.filter = [](const Buffer& frame) {
+    return frame.Slice(kEthHeaderSize).AsStringView()[0] == 'k';
+  };
+  ASSERT_TRUE(rig.nic_b.InstallRxProgram(0, std::move(prog)).ok());
+
+  (void)rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "keep"));
+  (void)rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "drop"));
+  rig.sim.RunFor(kMillisecond);
+
+  EXPECT_EQ(rig.nic_b.RxPending(0), 1u);
+  auto frame = rig.nic_b.PollRx(0);
+  EXPECT_EQ(frame->Slice(kEthHeaderSize).AsStringView(), "keep");
+  // Device compute was charged to the device, not the host CPU.
+  EXPECT_GT(rig.sim.counters().Get(Counter::kDeviceComputeNs), 0u);
+}
+
+TEST(SimNicTest, OnDeviceMapTransformsFrame) {
+  NicConfig nic_cfg;
+  nic_cfg.supports_offload = true;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  NicProgram prog;
+  prog.kind = NicProgram::Kind::kMap;
+  prog.host_cost_ns = 50;
+  prog.map = [](const Buffer& frame) {
+    Buffer out = Buffer::CopyOf(frame.span());
+    out.mutable_data()[kEthHeaderSize] = std::byte{'X'};
+    return out;
+  };
+  ASSERT_TRUE(rig.nic_b.InstallRxProgram(0, std::move(prog)).ok());
+  (void)rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "abc"));
+  rig.sim.RunFor(kMillisecond);
+  auto frame = rig.nic_b.PollRx(0);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->Slice(kEthHeaderSize).AsStringView(), "Xbc");
+}
+
+TEST(SimNicTest, CapsMatchTable1Categories) {
+  Simulation sim;
+  Fabric fabric(&sim);
+  HostCpu host(&sim, "h");
+  SimNic plain(&host, &fabric, MacAddress::ForHost(1));
+  EXPECT_TRUE(plain.caps().kernel_bypass);
+  EXPECT_FALSE(plain.caps().transport_offload);
+  EXPECT_FALSE(plain.caps().program_offload);
+  EXPECT_EQ(plain.caps().category, "kernel-bypass only");
+
+  NicConfig smart_cfg;
+  smart_cfg.supports_offload = true;
+  SimNic smart(&host, &fabric, MacAddress::ForHost(2), smart_cfg);
+  EXPECT_TRUE(smart.caps().program_offload);
+  EXPECT_EQ(smart.caps().category, "+other features");
+}
+
+TEST(SimNicTest, RssSpreadsFlowsAcrossQueues) {
+  NicConfig nic_cfg;
+  nic_cfg.num_queues = 4;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  // Synthesize IPv4-ish frames with varying "port" bytes so RSS sees different flows.
+  int nonzero_queues = 0;
+  for (int flow = 0; flow < 32; ++flow) {
+    Buffer frame = Buffer::Allocate(kEthHeaderSize + 24);
+    WriteEthHeader(frame.mutable_span(),
+                   EthHeader{rig.nic_b.mac(), rig.nic_a.mac(), kEtherTypeIpv4});
+    frame.mutable_data()[kEthHeaderSize + 13] = std::byte{static_cast<std::uint8_t>(flow)};
+    (void)rig.nic_a.Transmit(0, std::move(frame));
+  }
+  rig.sim.RunFor(kMillisecond);
+  for (int q = 0; q < 4; ++q) {
+    if (rig.nic_b.RxPending(q) > 0) {
+      ++nonzero_queues;
+    }
+  }
+  EXPECT_GE(nonzero_queues, 2);  // flows actually spread
+}
+
+}  // namespace
+}  // namespace demi

@@ -1,0 +1,171 @@
+// Tests for wire formats: address parsing, header round-trips, checksum behaviour,
+// corruption detection, and full-frame construction.
+
+#include <gtest/gtest.h>
+
+#include "src/net/packet.h"
+
+namespace demi {
+namespace {
+
+TEST(Ipv4AddressTest, ParseAndFormatRoundTrip) {
+  const Ipv4Address a = Ipv4Address::Parse("10.0.0.1");
+  EXPECT_EQ(a.ToString(), "10.0.0.1");
+  EXPECT_EQ(a.addr, 0x0A000001u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255").ToString(), "255.255.255.255");
+}
+
+TEST(Ipv4AddressTest, MalformedParsesToZero) {
+  EXPECT_EQ(Ipv4Address::Parse("not an ip").addr, 0u);
+  EXPECT_EQ(Ipv4Address::Parse("300.1.1.1").addr, 0u);
+}
+
+TEST(EthHeaderTest, RoundTrip) {
+  Buffer b = Buffer::Allocate(kEthHeaderSize);
+  const EthHeader in{MacAddress::ForHost(7), MacAddress::ForHost(9), kEtherTypeIpv4};
+  WriteEthHeader(b.mutable_span(), in);
+  const EthHeader out = ParseEthHeader(b.span());
+  EXPECT_EQ(out.dst, in.dst);
+  EXPECT_EQ(out.src, in.src);
+  EXPECT_EQ(out.ethertype, kEtherTypeIpv4);
+}
+
+TEST(Ipv4HeaderTest, RoundTrip) {
+  Buffer b = Buffer::Allocate(1500);  // header + payload space: total_length must fit
+  Ipv4Header in;
+  in.protocol = kIpProtoTcp;
+  in.total_length = 1500;
+  in.src = Ipv4Address::Parse("10.0.0.1");
+  in.dst = Ipv4Address::Parse("10.0.0.2");
+  WriteIpv4Header(b.mutable_span(), in);
+  auto out = ParseIpv4Header(b.span());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->protocol, kIpProtoTcp);
+  EXPECT_EQ(out->total_length, 1500);
+  EXPECT_EQ(out->src, in.src);
+  EXPECT_EQ(out->dst, in.dst);
+}
+
+TEST(Ipv4HeaderTest, ChecksumCorruptionDetected) {
+  Buffer b = Buffer::Allocate(kIpv4HeaderSize);
+  Ipv4Header in;
+  in.protocol = kIpProtoUdp;
+  in.total_length = 100;
+  in.src = Ipv4Address::Parse("1.2.3.4");
+  in.dst = Ipv4Address::Parse("5.6.7.8");
+  WriteIpv4Header(b.mutable_span(), in);
+  b.mutable_data()[15] ^= std::byte{0x40};  // flip a bit in the source address
+  EXPECT_FALSE(ParseIpv4Header(b.span()).has_value());
+}
+
+TEST(Ipv4HeaderTest, TruncatedRejected) {
+  Buffer b = Buffer::Allocate(10);
+  EXPECT_FALSE(ParseIpv4Header(b.span()).has_value());
+}
+
+TEST(UdpHeaderTest, RoundTrip) {
+  Buffer b = Buffer::Allocate(58);  // length covers header + payload
+  WriteUdpHeader(b.mutable_span(), UdpHeader{5353, 80, 58});
+  auto out = ParseUdpHeader(b.span());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->src_port, 5353);
+  EXPECT_EQ(out->dst_port, 80);
+  EXPECT_EQ(out->length, 58);
+}
+
+TEST(TcpHeaderTest, RoundTripWithChecksum) {
+  const Ipv4Address src = Ipv4Address::Parse("10.0.0.1");
+  const Ipv4Address dst = Ipv4Address::Parse("10.0.0.2");
+  Buffer payload = Buffer::CopyOf("segment payload");
+  Buffer seg = Buffer::Allocate(kTcpHeaderSize + payload.size());
+  std::memcpy(seg.mutable_data() + kTcpHeaderSize, payload.data(), payload.size());
+
+  TcpHeader in;
+  in.src_port = 49152;
+  in.dst_port = 7000;
+  in.seq = 0xDEADBEEF;
+  in.ack = 0x01020304;
+  in.flags = kTcpAck | kTcpPsh;
+  in.window = 65535;
+  WriteTcpHeader(seg.mutable_span(), in, src, dst, seg.span().subspan(kTcpHeaderSize));
+
+  EXPECT_TRUE(VerifyTcpChecksum(seg.span(), src, dst));
+  auto out = ParseTcpHeader(seg.span());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->src_port, in.src_port);
+  EXPECT_EQ(out->dst_port, in.dst_port);
+  EXPECT_EQ(out->seq, in.seq);
+  EXPECT_EQ(out->ack, in.ack);
+  EXPECT_EQ(out->flags, in.flags);
+  EXPECT_EQ(out->window, in.window);
+}
+
+TEST(TcpHeaderTest, PayloadCorruptionFailsChecksum) {
+  const Ipv4Address src = Ipv4Address::Parse("10.0.0.1");
+  const Ipv4Address dst = Ipv4Address::Parse("10.0.0.2");
+  Buffer seg = Buffer::Allocate(kTcpHeaderSize + 4);
+  const char kPayload[] = {'d', 'a', 't', 'a'};
+  std::copy_n(kPayload, 4, reinterpret_cast<char*>(seg.mutable_data()) + kTcpHeaderSize);
+  WriteTcpHeader(seg.mutable_span(), TcpHeader{1, 2, 3, 4, kTcpAck, 100}, src, dst,
+                 seg.span().subspan(kTcpHeaderSize));
+  seg.mutable_data()[kTcpHeaderSize] = std::byte{'X'};
+  EXPECT_FALSE(VerifyTcpChecksum(seg.span(), src, dst));
+}
+
+TEST(TcpHeaderTest, WrongAddressPairFailsChecksum) {
+  const Ipv4Address src = Ipv4Address::Parse("10.0.0.1");
+  const Ipv4Address dst = Ipv4Address::Parse("10.0.0.2");
+  Buffer seg = Buffer::Allocate(kTcpHeaderSize);
+  WriteTcpHeader(seg.mutable_span(), TcpHeader{1, 2, 3, 4, kTcpSyn, 100}, src, dst, {});
+  EXPECT_TRUE(VerifyTcpChecksum(seg.span(), src, dst));
+  EXPECT_FALSE(VerifyTcpChecksum(seg.span(), src, Ipv4Address::Parse("10.0.0.3")));
+}
+
+TEST(ArpPacketTest, RequestRoundTrip) {
+  Buffer b = Buffer::Allocate(kArpPacketSize);
+  ArpPacket in;
+  in.is_request = true;
+  in.sender_mac = MacAddress::ForHost(1);
+  in.sender_ip = Ipv4Address::Parse("10.0.0.1");
+  in.target_ip = Ipv4Address::Parse("10.0.0.2");
+  WriteArpPacket(b.mutable_span(), in);
+  auto out = ParseArpPacket(b.span());
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->is_request);
+  EXPECT_EQ(out->sender_mac, in.sender_mac);
+  EXPECT_EQ(out->sender_ip, in.sender_ip);
+  EXPECT_EQ(out->target_ip, in.target_ip);
+}
+
+TEST(ArpPacketTest, GarbageRejected) {
+  Buffer b = Buffer::Allocate(kArpPacketSize);
+  std::memset(b.mutable_data(), 0xFF, b.size());
+  EXPECT_FALSE(ParseArpPacket(b.span()).has_value());
+}
+
+TEST(FrameBuildTest, Ipv4FrameLayout) {
+  Ipv4Header ip;
+  ip.protocol = kIpProtoUdp;
+  ip.src = Ipv4Address::Parse("10.0.0.1");
+  ip.dst = Ipv4Address::Parse("10.0.0.2");
+  const Buffer parts[] = {Buffer::CopyOf("hello")};
+  Buffer frame =
+      BuildIpv4Frame(MacAddress::ForHost(1), MacAddress::ForHost(2), ip, parts);
+  ASSERT_EQ(frame.size(), kEthHeaderSize + kIpv4HeaderSize + 5);
+  const EthHeader eth = ParseEthHeader(frame.span());
+  EXPECT_EQ(eth.ethertype, kEtherTypeIpv4);
+  auto parsed = ParseIpv4Header(frame.span().subspan(kEthHeaderSize));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->total_length, kIpv4HeaderSize + 5);
+  EXPECT_EQ(frame.Slice(kEthHeaderSize + kIpv4HeaderSize).AsStringView(), "hello");
+}
+
+TEST(MacAddressTest, ForHostIsDeterministicAndUnique) {
+  EXPECT_EQ(MacAddress::ForHost(5), MacAddress::ForHost(5));
+  EXPECT_FALSE(MacAddress::ForHost(5) == MacAddress::ForHost(6));
+  EXPECT_TRUE(MacAddress::Broadcast().IsBroadcast());
+  EXPECT_FALSE(MacAddress::ForHost(5).IsBroadcast());
+}
+
+}  // namespace
+}  // namespace demi

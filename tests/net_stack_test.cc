@@ -1,0 +1,205 @@
+// Tests for NetStack beyond TCP: UDP datagrams, ARP behaviour, and the multi-stack
+// coexistence machinery (flow steering + ephemeral-port partitioning) that lets a
+// kernel stack and a kernel-bypass libOS stack share one NIC.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tests/net_test_util.h"
+
+namespace demi {
+namespace {
+
+TEST(UdpTest, SendRecvRoundTrip) {
+  TwoStackRig rig;
+  std::vector<std::pair<Endpoint, std::string>> got;
+  ASSERT_TRUE(rig.stack_b
+                  .UdpBind(5000,
+                           [&](Endpoint from, Buffer payload) {
+                             got.emplace_back(from, payload.ToString());
+                           })
+                  .ok());
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000},
+                           Buffer::CopyOf("datagram one"))
+                  .ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return got.size() == 1; }, kSecond));
+  EXPECT_EQ(got[0].second, "datagram one");
+  EXPECT_EQ(got[0].first.ip, rig.stack_a.ip());
+  EXPECT_EQ(got[0].first.port, 6000);
+}
+
+TEST(UdpTest, UnboundPortDropsSilently) {
+  TwoStackRig rig;
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{rig.stack_b.ip(), 9}, Buffer::CopyOf("void"))
+                  .ok());
+  rig.sim.RunFor(kMillisecond);  // no crash, no reply: silent drop is the contract
+}
+
+TEST(UdpTest, UnbindStopsDelivery) {
+  TwoStackRig rig;
+  int received = 0;
+  ASSERT_TRUE(rig.stack_b.UdpBind(5000, [&](Endpoint, Buffer) { ++received; }).ok());
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000}, Buffer::CopyOf("1"))
+                  .ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return received == 1; }, kSecond));
+  rig.stack_b.UdpUnbind(5000);
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000}, Buffer::CopyOf("2"))
+                  .ok());
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(received, 1);
+}
+
+TEST(UdpTest, OversizedDatagramRejected) {
+  TwoStackRig rig;
+  EXPECT_EQ(rig.stack_a
+                .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000},
+                         Buffer::Allocate(2000))
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(UdpTest, DoubleBindRejected) {
+  TwoStackRig rig;
+  ASSERT_TRUE(rig.stack_b.UdpBind(5000, [](Endpoint, Buffer) {}).ok());
+  EXPECT_EQ(rig.stack_b.UdpBind(5000, [](Endpoint, Buffer) {}).code(),
+            ErrorCode::kAddressInUse);
+}
+
+TEST(ArpTest, CacheAvoidsRepeatedBroadcasts) {
+  TwoStackRig rig;
+  ASSERT_TRUE(rig.stack_b.UdpBind(5000, [](Endpoint, Buffer) {}).ok());
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000}, Buffer::CopyOf("x"))
+                  .ok());
+  rig.sim.RunFor(kMillisecond);
+  const std::uint64_t tx_after_first = rig.stack_a.frames_tx();
+  // 10 more sends: no further ARP requests, exactly one frame per datagram.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rig.stack_a
+                    .UdpSend(6000, Endpoint{rig.stack_b.ip(), 5000}, Buffer::CopyOf("y"))
+                    .ok());
+  }
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.stack_a.frames_tx() - tx_after_first, 10u);
+}
+
+TEST(ArpTest, UnresolvableAddressDropsAfterRetries) {
+  TwoStackRig rig;
+  const std::uint64_t dropped_before =
+      rig.host_a.counters().Get(Counter::kPacketsDropped);
+  ASSERT_TRUE(rig.stack_a
+                  .UdpSend(6000, Endpoint{Ipv4Address::Parse("10.9.9.9"), 5000},
+                           Buffer::CopyOf("to nowhere"))
+                  .ok());
+  rig.sim.RunFor(20 * kMillisecond);  // 3 retries at 1ms plus slack
+  EXPECT_GT(rig.host_a.counters().Get(Counter::kPacketsDropped), dropped_before);
+}
+
+TEST(MultiStackTest, TwoStacksShareOneNicViaFlowSteering) {
+  // One host, one NIC with two queues, two stacks with the same IP (the kernel +
+  // leased-queue arrangement of Figure 2). Flow steering must route each listener's
+  // traffic to its own stack.
+  Simulation sim;
+  Fabric fabric(&sim);
+  HostCpu host(&sim, "shared");
+  NicConfig nic_cfg;
+  nic_cfg.num_queues = 2;
+  SimNic nic(&host, &fabric, MacAddress::ForHost(1), nic_cfg);
+
+  NetStackConfig cfg0;
+  cfg0.ip = Ipv4Address::Parse("10.0.0.1");
+  cfg0.nic_queue = 0;
+  cfg0.seed = 1;
+  NetStack stack0(&host, &nic, cfg0);
+  NetStackConfig cfg1 = cfg0;
+  cfg1.nic_queue = 1;
+  cfg1.seed = 2;
+  NetStack stack1(&host, &nic, cfg1);
+
+  HostCpu peer_cpu(&sim, "peer");
+  SimNic peer_nic(&peer_cpu, &fabric, MacAddress::ForHost(2));
+  NetStackConfig peer_cfg;
+  peer_cfg.ip = Ipv4Address::Parse("10.0.0.2");
+  peer_cfg.seed = 3;
+  NetStack peer(&peer_cpu, &peer_nic, peer_cfg);
+
+  auto l0 = stack0.TcpListen(1000);
+  auto l1 = stack1.TcpListen(2000);
+  ASSERT_TRUE(l0.ok());
+  ASSERT_TRUE(l1.ok());
+
+  auto c0 = peer.TcpConnect(Endpoint{cfg0.ip, 1000});
+  auto c1 = peer.TcpConnect(Endpoint{cfg0.ip, 2000});
+  ASSERT_TRUE(c0.ok());
+  ASSERT_TRUE(c1.ok());
+  // Client-side established() precedes the server processing the final handshake
+  // ACK; wait for the accept queues themselves.
+  ASSERT_TRUE(sim.RunUntil(
+      [&] { return (*l0)->pending() == 1 && (*l1)->pending() == 1; }, 10 * kSecond));
+
+  // Data flows to the right stack.
+  TcpConnection* s0 = (*l0)->Accept();
+  TcpConnection* s1 = (*l1)->Accept();
+  ASSERT_TRUE((*c0)->Send(Buffer::CopyOf("to stack zero")).ok());
+  ASSERT_TRUE((*c1)->Send(Buffer::CopyOf("to stack one")).ok());
+  ASSERT_TRUE(sim.RunUntil(
+      [&] { return s0->recv_available() > 0 && s1->recv_available() > 0; },
+      10 * kSecond));
+  EXPECT_EQ(s0->Recv(64).AsStringView(), "to stack zero");
+  EXPECT_EQ(s1->Recv(64).AsStringView(), "to stack one");
+}
+
+TEST(MultiStackTest, EphemeralPortRangesArePartitionedByQueue) {
+  Simulation sim;
+  Fabric fabric(&sim);
+  HostCpu host(&sim, "shared");
+  NicConfig nic_cfg;
+  nic_cfg.num_queues = 2;
+  SimNic nic(&host, &fabric, MacAddress::ForHost(1), nic_cfg);
+
+  NetStackConfig cfg0;
+  cfg0.ip = Ipv4Address::Parse("10.0.0.1");
+  cfg0.nic_queue = 0;
+  NetStack stack0(&host, &nic, cfg0);
+  NetStackConfig cfg1 = cfg0;
+  cfg1.nic_queue = 1;
+  NetStack stack1(&host, &nic, cfg1);
+
+  auto c0 = stack0.TcpConnect(Endpoint{Ipv4Address::Parse("10.0.0.2"), 80});
+  auto c1 = stack1.TcpConnect(Endpoint{Ipv4Address::Parse("10.0.0.2"), 80});
+  ASSERT_TRUE(c0.ok());
+  ASSERT_TRUE(c1.ok());
+  EXPECT_GE((*c0)->local().port, 49152);
+  EXPECT_LT((*c0)->local().port, 49152 + 2048);
+  EXPECT_GE((*c1)->local().port, 49152 + 2048);
+  EXPECT_NE((*c0)->local().port, (*c1)->local().port);
+}
+
+TEST(StackLifetimeTest, ReapClosedMovesDeadConnections) {
+  TwoStackRig rig;
+  auto listener = rig.stack_b.TcpListen(7000);
+  ASSERT_TRUE(listener.ok());
+  auto conn = rig.stack_a.TcpConnect(Endpoint{rig.stack_b.ip(), 7000});
+  ASSERT_TRUE(conn.ok());
+  // Wait for the server side to finish the handshake (the final ACK trails the
+  // client's established()).
+  ASSERT_TRUE(
+      rig.sim.RunUntil([&] { return listener.value()->pending() > 0; }, 10 * kSecond));
+  TcpConnection* server_conn = listener.value()->Accept();
+  ASSERT_NE(server_conn, nullptr);
+  (*conn)->Close();
+  server_conn->Close();
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] { return (*conn)->closed() && server_conn->closed(); }, 60 * kSecond));
+  rig.stack_a.ReapClosed();  // must not crash or double-free
+  rig.stack_b.ReapClosed();
+}
+
+}  // namespace
+}  // namespace demi

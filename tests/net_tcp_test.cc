@@ -1,0 +1,351 @@
+// TCP correctness tests: handshake, bidirectional transfer, segmentation, flow
+// control, teardown, reset — plus the property every transport must uphold on a lossy
+// fabric: the application sees exactly the bytes sent, in order, exactly once, for any
+// combination of loss, reordering, and duplication the fabric injects.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/common/random.h"
+#include "tests/net_test_util.h"
+
+namespace demi {
+namespace {
+
+constexpr std::uint16_t kPort = 7000;
+
+// Establishes a->b and returns {client_conn, server_conn}.
+std::pair<TcpConnection*, TcpConnection*> Establish(TwoStackRig& rig) {
+  auto listener = rig.stack_b.TcpListen(kPort);
+  EXPECT_TRUE(listener.ok());
+  auto client = rig.stack_a.TcpConnect(Endpoint{rig.stack_b.ip(), kPort});
+  EXPECT_TRUE(client.ok());
+  TcpConnection* server = nullptr;
+  EXPECT_TRUE(rig.sim.RunUntil(
+      [&] {
+        server = (*listener)->Accept();
+        return server != nullptr && (*client)->established();
+      },
+      10 * kSecond));
+  return {*client, server};
+}
+
+// Streams `data` from `tx` to `rx`, draining into a string; returns what arrived.
+std::string Transfer(TwoStackRig& rig, TcpConnection* tx, TcpConnection* rx,
+                     const std::string& data, TimeNs deadline = 120 * kSecond) {
+  std::size_t sent = 0;
+  std::string received;
+  rig.sim.RunUntil(
+      [&] {
+        while (sent < data.size()) {
+          const std::size_t chunk = std::min<std::size_t>(data.size() - sent, 8192);
+          if (!tx->Send(Buffer::CopyOf(std::string_view(data).substr(sent, chunk))).ok()) {
+            break;  // send buffer full; drain and retry
+          }
+          sent += chunk;
+        }
+        while (true) {
+          Buffer b = rx->Recv(65536);
+          if (b.empty()) {
+            break;
+          }
+          received.append(b.AsStringView());
+        }
+        return received.size() == data.size();
+      },
+      deadline);
+  return received;
+}
+
+TEST(TcpHandshakeTest, ConnectAcceptEstablishes) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  EXPECT_TRUE(client->established());
+  EXPECT_TRUE(server->established());
+  EXPECT_EQ(client->remote().port, kPort);
+  EXPECT_EQ(server->remote().ip, rig.stack_a.ip());
+}
+
+TEST(TcpHandshakeTest, ConnectionRefusedWhenNoListener) {
+  TwoStackRig rig;
+  auto client = rig.stack_a.TcpConnect(Endpoint{rig.stack_b.ip(), 9999});
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return (*client)->dead(); }, 10 * kSecond));
+  EXPECT_TRUE((*client)->reset());
+}
+
+TEST(TcpHandshakeTest, ConnectTimesOutOnSilentPeer) {
+  // Drop every frame: SYN retransmits must eventually give up.
+  FabricConfig fabric;
+  fabric.loss_rate = 1.0;
+  TwoStackRig rig(fabric);
+  (void)rig.stack_b.TcpListen(kPort);
+  auto client = rig.stack_a.TcpConnect(Endpoint{rig.stack_b.ip(), kPort});
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return (*client)->dead(); }, 600 * kSecond));
+  EXPECT_TRUE((*client)->reset());
+}
+
+TEST(TcpDataTest, SmallMessageBothDirections) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  EXPECT_EQ(Transfer(rig, client, server, "hello from client"), "hello from client");
+  EXPECT_EQ(Transfer(rig, server, client, "hello from server"), "hello from server");
+}
+
+TEST(TcpDataTest, LargeTransferSegmentsAndReassembles) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  std::string big(1 << 20, '\0');  // 1 MiB
+  Rng rng(5);
+  for (auto& ch : big) {
+    ch = static_cast<char>('a' + rng.NextBelow(26));
+  }
+  EXPECT_EQ(Transfer(rig, client, server, big), big);
+}
+
+TEST(TcpDataTest, ManySmallMessagesPreserveOrder) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  std::string expected;
+  for (int i = 0; i < 500; ++i) {
+    expected += "msg" + std::to_string(i) + ";";
+  }
+  EXPECT_EQ(Transfer(rig, client, server, expected), expected);
+}
+
+TEST(TcpDataTest, SendBufferBackpressure) {
+  TcpConfig tcp;
+  tcp.send_buf_bytes = 16 * 1024;
+  TwoStackRig rig(FabricConfig{}, tcp);
+  auto [client, server] = Establish(rig);
+  // Fill the send buffer without ever polling the receiver.
+  Status status = OkStatus();
+  std::size_t queued = 0;
+  while (status.ok()) {
+    status = client->Send(Buffer::CopyOf(std::string(4096, 'x')));
+    if (status.ok()) {
+      queued += 4096;
+    }
+  }
+  EXPECT_EQ(status.code(), ErrorCode::kResourceExhausted);
+  EXPECT_LE(queued, 16u * 1024 + 4096);
+}
+
+TEST(TcpDataTest, ZeroWindowStallsAndRecovers) {
+  TcpConfig tcp;
+  tcp.recv_buf_bytes = 8 * 1024;  // tiny receive window
+  TwoStackRig rig(FabricConfig{}, tcp);
+  auto [client, server] = Establish(rig);
+
+  const std::string data(64 * 1024, 'w');
+  std::size_t sent = 0;
+  // Phase 1: pump without reading; the sender must stall at the window, not crash.
+  rig.sim.RunUntil(
+      [&] {
+        while (sent < data.size()) {
+          const std::size_t chunk = std::min<std::size_t>(data.size() - sent, 4096);
+          if (!client->Send(Buffer::CopyOf(std::string_view(data).substr(sent, chunk))).ok()) {
+            break;
+          }
+          sent += chunk;
+        }
+        return server->recv_available() >= 8 * 1024 - 1460;
+      },
+      30 * kSecond);
+  EXPECT_LE(server->recv_available(), 8u * 1024 + 1460);
+
+  // Phase 2: drain; everything must arrive intact.
+  std::string received;
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] {
+        while (sent < data.size()) {
+          const std::size_t chunk = std::min<std::size_t>(data.size() - sent, 4096);
+          if (!client->Send(Buffer::CopyOf(std::string_view(data).substr(sent, chunk))).ok()) {
+            break;
+          }
+          sent += chunk;
+        }
+        while (true) {
+          Buffer b = server->Recv(65536);
+          if (b.empty()) {
+            break;
+          }
+          received.append(b.AsStringView());
+        }
+        return received.size() == data.size();
+      },
+      300 * kSecond));
+  EXPECT_EQ(received, data);
+}
+
+TEST(TcpCloseTest, GracefulCloseDeliversEof) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  ASSERT_TRUE(client->Send(Buffer::CopyOf("last words")).ok());
+  client->Close();
+  std::string received;
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] {
+        while (true) {
+          Buffer b = server->Recv(4096);
+          if (b.empty()) {
+            break;
+          }
+          received.append(b.AsStringView());
+        }
+        return server->recv_eof();
+      },
+      30 * kSecond));
+  EXPECT_EQ(received, "last words");
+  // Server closes its side too; both ends must reach CLOSED (via TIME_WAIT).
+  server->Close();
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] { return client->closed() && server->closed(); }, 60 * kSecond));
+}
+
+TEST(TcpCloseTest, HalfCloseStillReceives) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  client->Close();  // client finishes sending; its receive side stays open
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return server->recv_eof(); }, 30 * kSecond));
+  ASSERT_TRUE(server->Send(Buffer::CopyOf("reply after half-close")).ok());
+  std::string received;
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] {
+        Buffer b = client->Recv(4096);
+        if (!b.empty()) {
+          received.append(b.AsStringView());
+        }
+        return received.size() == 22;
+      },
+      30 * kSecond));
+  EXPECT_EQ(received, "reply after half-close");
+}
+
+TEST(TcpCloseTest, AbortDeliversResetToPeer) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  client->Abort();
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return server->reset(); }, 30 * kSecond));
+  EXPECT_EQ(server->Send(Buffer::CopyOf("x")).code(), ErrorCode::kConnectionReset);
+}
+
+TEST(TcpCloseTest, SendAfterCloseRejected) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  client->Close();
+  EXPECT_EQ(client->Send(Buffer::CopyOf("late")).code(), ErrorCode::kNotConnected);
+}
+
+TEST(TcpListenerTest, BacklogLimitsEmbryos) {
+  TcpConfig tcp;
+  tcp.listen_backlog = 2;
+  TwoStackRig rig(FabricConfig{}, tcp);
+  auto listener = rig.stack_b.TcpListen(kPort);
+  ASSERT_TRUE(listener.ok());
+  // Open several connections without accepting; all eventually establish because
+  // embryos leave the SYN queue into the accept queue, but the queue is bounded at
+  // any instant. Just verify nothing crashes and at least backlog connects work.
+  std::vector<TcpConnection*> clients;
+  for (int i = 0; i < 4; ++i) {
+    auto c = rig.stack_a.TcpConnect(Endpoint{rig.stack_b.ip(), kPort});
+    ASSERT_TRUE(c.ok());
+    clients.push_back(*c);
+  }
+  rig.sim.RunFor(50 * kMillisecond);
+  int established = 0;
+  for (auto* c : clients) {
+    established += c->established();
+  }
+  EXPECT_GE(established, 2);
+}
+
+TEST(TcpListenerTest, PortInUseRejected) {
+  TwoStackRig rig;
+  ASSERT_TRUE(rig.stack_b.TcpListen(kPort).ok());
+  EXPECT_EQ(rig.stack_b.TcpListen(kPort).code(), ErrorCode::kAddressInUse);
+}
+
+TEST(TcpTimingTest, UnloadedRttIsMicrosecondScale) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  rig.sim.RunFor(kMillisecond);  // settle
+  const TimeNs start = rig.sim.now();
+  ASSERT_TRUE(client->Send(Buffer::CopyOf("ping")).ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return server->recv_available() >= 4; }, kSecond));
+  (void)server->Recv(64);
+  ASSERT_TRUE(server->Send(Buffer::CopyOf("pong")).ok());
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return client->recv_available() >= 4; }, kSecond));
+  const TimeNs rtt = rig.sim.now() - start;
+  // Kernel-bypass-class RTT: a handful of microseconds, far below a millisecond.
+  EXPECT_LT(rtt, 50 * kMicrosecond);
+  EXPECT_GT(rtt, 2 * rig.sim.cost().wire_latency_ns);
+}
+
+// --- The transport property: exactly-once in-order delivery under fabric faults ---
+
+struct FaultCase {
+  double loss;
+  double reorder;
+  double dup;
+  std::uint64_t seed;
+};
+
+class TcpFaultTest : public ::testing::TestWithParam<FaultCase> {};
+
+TEST_P(TcpFaultTest, ByteStreamExactlyOnceInOrder) {
+  const FaultCase fc = GetParam();
+  FabricConfig fabric;
+  fabric.loss_rate = fc.loss;
+  fabric.reorder_rate = fc.reorder;
+  fabric.dup_rate = fc.dup;
+  fabric.seed = fc.seed;
+  TwoStackRig rig(fabric);
+  auto [client, server] = Establish(rig);
+  ASSERT_TRUE(client->established());
+
+  std::string data(200 * 1024, '\0');
+  Rng rng(fc.seed * 7 + 1);
+  for (auto& ch : data) {
+    ch = static_cast<char>(rng.NextBelow(256));
+  }
+  const std::string received = Transfer(rig, client, server, data, 600 * kSecond);
+  ASSERT_EQ(received.size(), data.size());
+  EXPECT_TRUE(received == data);
+  // At meaningful loss rates the sender must have exercised the recovery machinery.
+  // (At 1% a lucky seed can lose only ACKs, which cumulative acking absorbs.)
+  if (fc.loss >= 0.05) {
+    EXPECT_GT(client->retransmits(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultMatrix, TcpFaultTest,
+    ::testing::Values(FaultCase{0.01, 0.0, 0.0, 1}, FaultCase{0.05, 0.0, 0.0, 2},
+                      FaultCase{0.10, 0.0, 0.0, 3}, FaultCase{0.0, 0.2, 0.0, 4},
+                      FaultCase{0.0, 0.0, 0.2, 5}, FaultCase{0.03, 0.1, 0.05, 6},
+                      FaultCase{0.05, 0.2, 0.1, 7}, FaultCase{0.01, 0.0, 0.0, 8}));
+
+TEST(TcpCongestionTest, CwndGrowsFromSlowStart) {
+  TwoStackRig rig;
+  auto [client, server] = Establish(rig);
+  const std::uint32_t initial = client->cwnd();
+  (void)Transfer(rig, client, server, std::string(512 * 1024, 'c'));
+  EXPECT_GT(client->cwnd(), initial);
+}
+
+TEST(TcpCongestionTest, LossShrinksSsthresh) {
+  FabricConfig fabric;
+  fabric.loss_rate = 0.05;
+  fabric.seed = 99;
+  TwoStackRig rig(fabric);
+  auto [client, server] = Establish(rig);
+  (void)Transfer(rig, client, server, std::string(512 * 1024, 'c'), 600 * kSecond);
+  EXPECT_LT(client->ssthresh(), 0x7FFFFFFFu);
+}
+
+}  // namespace
+}  // namespace demi

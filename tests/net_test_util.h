@@ -1,0 +1,64 @@
+// Shared two-host rigs for device- and stack-level tests.
+
+#ifndef TESTS_NET_TEST_UTIL_H_
+#define TESTS_NET_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/hw/fabric.h"
+#include "src/hw/nic.h"
+#include "src/net/stack.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+// Two hosts with one NIC each on a shared fabric.
+struct TwoHostRig {
+  explicit TwoHostRig(FabricConfig fabric_cfg = FabricConfig{},
+                      NicConfig nic_cfg = NicConfig{})
+      : sim(),
+        fabric(&sim, fabric_cfg),
+        host_a(&sim, "host_a"),
+        host_b(&sim, "host_b"),
+        nic_a(&host_a, &fabric, MacAddress::ForHost(1), nic_cfg),
+        nic_b(&host_b, &fabric, MacAddress::ForHost(2), nic_cfg) {}
+
+  Simulation sim;
+  Fabric fabric;
+  HostCpu host_a;
+  HostCpu host_b;
+  SimNic nic_a;
+  SimNic nic_b;
+};
+
+// Two hosts with NICs plus full user-level network stacks.
+struct TwoStackRig : TwoHostRig {
+  explicit TwoStackRig(FabricConfig fabric_cfg = FabricConfig{},
+                       TcpConfig tcp_cfg = TcpConfig{})
+      : TwoHostRig(fabric_cfg),
+        stack_a(&host_a, &nic_a, MakeConfig("10.0.0.1", tcp_cfg, 1)),
+        stack_b(&host_b, &nic_b, MakeConfig("10.0.0.2", tcp_cfg, 2)) {}
+
+  static NetStackConfig MakeConfig(const char* ip, const TcpConfig& tcp, std::uint64_t seed) {
+    NetStackConfig cfg;
+    cfg.ip = Ipv4Address::Parse(ip);
+    cfg.tcp = tcp;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  NetStack stack_a;
+  NetStack stack_b;
+};
+
+// Builds a minimal, well-formed Ethernet frame carrying `payload` after the header.
+inline Buffer MakeTestFrame(MacAddress dst, MacAddress src, std::string_view payload) {
+  Buffer frame = Buffer::Allocate(kEthHeaderSize + payload.size());
+  WriteEthHeader(frame.mutable_span(), EthHeader{dst, src, 0x88B5 /* experimental */});
+  std::memcpy(frame.mutable_data() + kEthHeaderSize, payload.data(), payload.size());
+  return frame;
+}
+
+}  // namespace demi
+
+#endif  // TESTS_NET_TEST_UTIL_H_

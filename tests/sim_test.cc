@@ -1,0 +1,192 @@
+// Unit tests for the discrete-event core: clock, event ordering, cancellation,
+// poller-driven stepping, and HostCpu cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulation.h"
+
+namespace demi {
+namespace {
+
+TEST(SimulationTest, ClockStartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(SimulationTest, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(SimulationTest, TiesRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(50, [&] { order.push_back(1); });
+  sim.Schedule(50, [&] { order.push_back(2); });
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const TimerId id = sim.Schedule(100, [&] { ran = true; });
+  sim.Cancel(id);
+  while (sim.StepOnce()) {
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelledEventsDoNotAdvanceClockSpuriously) {
+  Simulation sim;
+  const TimerId id = sim.Schedule(100, [] {});
+  bool ran = false;
+  sim.Schedule(500, [&] { ran = true; });
+  sim.Cancel(id);
+  while (sim.StepOnce()) {
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) {
+      sim.Schedule(10, chain);
+    }
+  };
+  sim.Schedule(10, chain);
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulationTest, RunUntilStopsAtPredicate) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(i * 100, [&] { ++count; });
+  }
+  EXPECT_TRUE(sim.RunUntil([&] { return count >= 3; }, kSecond));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(SimulationTest, RunUntilReturnsFalseWhenIdleAndUnmet) {
+  Simulation sim;
+  EXPECT_FALSE(sim.RunUntil([] { return false; }, kSecond));
+}
+
+TEST(SimulationTest, RunForAdvancesVirtualTime) {
+  Simulation sim;
+  sim.RunFor(5 * kMillisecond);
+  EXPECT_GE(sim.now(), 5 * kMillisecond);
+}
+
+class CountingPoller : public Poller {
+ public:
+  explicit CountingPoller(int budget) : budget_(budget) {}
+  bool Poll() override {
+    if (budget_ <= 0) {
+      return false;
+    }
+    --budget_;
+    ++polled_;
+    return true;
+  }
+  int polled() const { return polled_; }
+
+ private:
+  int budget_;
+  int polled_ = 0;
+};
+
+TEST(SimulationTest, PollersDriveProgress) {
+  Simulation sim;
+  CountingPoller poller(3);
+  sim.AddPoller(&poller);
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(poller.polled(), 3);
+  sim.RemovePoller(&poller);
+}
+
+TEST(SimulationTest, IdlePollersAllowEventProgress) {
+  Simulation sim;
+  CountingPoller poller(0);
+  sim.AddPoller(&poller);
+  bool ran = false;
+  sim.Schedule(100, [&] { ran = true; });
+  EXPECT_TRUE(sim.StepOnce());
+  EXPECT_TRUE(ran);
+  sim.RemovePoller(&poller);
+}
+
+TEST(HostCpuTest, WorkAdvancesClockWhenCharged) {
+  Simulation sim;
+  HostCpu host(&sim, "server");
+  host.Work(1234);
+  EXPECT_EQ(sim.now(), 1234);
+  EXPECT_EQ(host.busy_ns(), 1234u);
+}
+
+TEST(HostCpuTest, UnchargedHostAccountsOnly) {
+  Simulation sim;
+  HostCpu host(&sim, "loadgen", /*charges_clock=*/false);
+  host.Work(5000);
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(host.busy_ns(), 5000u);
+  EXPECT_EQ(host.counters().Get(Counter::kHostCpuNs), 5000u);
+}
+
+TEST(HostCpuTest, CopyChargesPaperCalibratedCost) {
+  Simulation sim;  // default cost model: 4 KB copy = 1 us (paper §3.2)
+  HostCpu host(&sim, "server");
+  const TimeNs cost = host.CopyBytes(4096);
+  EXPECT_EQ(cost, 1000);
+  EXPECT_EQ(host.counters().Get(Counter::kCopies), 1u);
+  EXPECT_EQ(host.counters().Get(Counter::kBytesCopied), 4096u);
+}
+
+TEST(HostCpuTest, CountAggregatesIntoSimulation) {
+  Simulation sim;
+  HostCpu a(&sim, "a"), b(&sim, "b");
+  a.Count(Counter::kSyscalls, 2);
+  b.Count(Counter::kSyscalls, 3);
+  EXPECT_EQ(a.counters().Get(Counter::kSyscalls), 2u);
+  EXPECT_EQ(sim.counters().Get(Counter::kSyscalls), 5u);
+}
+
+TEST(CostModelTest, DerivedCostsAreConsistent) {
+  CostModel cost;
+  EXPECT_EQ(cost.CopyNs(4096), 1000);
+  EXPECT_EQ(cost.WireSerializationNs(5000), 1000);  // 5000B at 40Gbps = 1us
+  EXPECT_GT(cost.MemRegNs(1 << 20), cost.MemRegNs(4096));
+  EXPECT_GT(cost.NvmeNs(false, 4096), cost.NvmeNs(true, 4096) - cost.nvme_write_ns);
+  EXPECT_FALSE(cost.Describe().empty());
+}
+
+TEST(CountersTest, DescribeListsNonZeroOnly) {
+  Counters c;
+  c.Add(Counter::kSyscalls, 7);
+  const std::string desc = c.Describe();
+  EXPECT_NE(desc.find("syscalls=7"), std::string::npos);
+  EXPECT_EQ(desc.find("copies"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace demi
