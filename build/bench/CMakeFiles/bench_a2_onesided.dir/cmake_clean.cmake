@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_onesided.dir/bench_a2_onesided.cc.o"
+  "CMakeFiles/bench_a2_onesided.dir/bench_a2_onesided.cc.o.d"
+  "bench_a2_onesided"
+  "bench_a2_onesided.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_onesided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c1_zerocopy.dir/bench_c1_zerocopy.cc.o"
+  "CMakeFiles/bench_c1_zerocopy.dir/bench_c1_zerocopy.cc.o.d"
+  "bench_c1_zerocopy"
+  "bench_c1_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c1_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

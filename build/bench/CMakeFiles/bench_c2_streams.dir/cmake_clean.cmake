@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c2_streams.dir/bench_c2_streams.cc.o"
+  "CMakeFiles/bench_c2_streams.dir/bench_c2_streams.cc.o.d"
+  "bench_c2_streams"
+  "bench_c2_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c2_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c3_wakeups.dir/bench_c3_wakeups.cc.o"
+  "CMakeFiles/bench_c3_wakeups.dir/bench_c3_wakeups.cc.o.d"
+  "bench_c3_wakeups"
+  "bench_c3_wakeups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c3_wakeups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

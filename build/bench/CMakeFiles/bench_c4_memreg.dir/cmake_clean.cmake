@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c4_memreg.dir/bench_c4_memreg.cc.o"
+  "CMakeFiles/bench_c4_memreg.dir/bench_c4_memreg.cc.o.d"
+  "bench_c4_memreg"
+  "bench_c4_memreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c4_memreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

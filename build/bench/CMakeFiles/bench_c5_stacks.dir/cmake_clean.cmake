@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c5_stacks.dir/bench_c5_stacks.cc.o"
+  "CMakeFiles/bench_c5_stacks.dir/bench_c5_stacks.cc.o.d"
+  "bench_c5_stacks"
+  "bench_c5_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c5_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

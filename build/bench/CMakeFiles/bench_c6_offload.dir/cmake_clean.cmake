@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c6_offload.dir/bench_c6_offload.cc.o"
+  "CMakeFiles/bench_c6_offload.dir/bench_c6_offload.cc.o.d"
+  "bench_c6_offload"
+  "bench_c6_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c6_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_echo.dir/bench_e1_echo.cc.o"
+  "CMakeFiles/bench_e1_echo.dir/bench_e1_echo.cc.o.d"
+  "bench_e1_echo"
+  "bench_e1_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

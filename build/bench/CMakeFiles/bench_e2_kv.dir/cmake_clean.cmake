@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_kv.dir/bench_e2_kv.cc.o"
+  "CMakeFiles/bench_e2_kv.dir/bench_e2_kv.cc.o.d"
+  "bench_e2_kv"
+  "bench_e2_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

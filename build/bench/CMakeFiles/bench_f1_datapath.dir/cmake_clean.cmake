@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_datapath.dir/bench_f1_datapath.cc.o"
+  "CMakeFiles/bench_f1_datapath.dir/bench_f1_datapath.cc.o.d"
+  "bench_f1_datapath"
+  "bench_f1_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_controlpath.dir/bench_f2_controlpath.cc.o"
+  "CMakeFiles/bench_f2_controlpath.dir/bench_f2_controlpath.cc.o.d"
+  "bench_f2_controlpath"
+  "bench_f2_controlpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_controlpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_syscalls.dir/bench_f3_syscalls.cc.o"
+  "CMakeFiles/bench_f3_syscalls.dir/bench_f3_syscalls.cc.o.d"
+  "bench_f3_syscalls"
+  "bench_f3_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_log.dir/file_log.cpp.o"
+  "CMakeFiles/file_log.dir/file_log.cpp.o.d"
+  "file_log"
+  "file_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_apps.dir/actors.cc.o"
+  "CMakeFiles/demi_apps.dir/actors.cc.o.d"
+  "CMakeFiles/demi_apps.dir/kv.cc.o"
+  "CMakeFiles/demi_apps.dir/kv.cc.o.d"
+  "CMakeFiles/demi_apps.dir/onesided_kv.cc.o"
+  "CMakeFiles/demi_apps.dir/onesided_kv.cc.o.d"
+  "CMakeFiles/demi_apps.dir/resp.cc.o"
+  "CMakeFiles/demi_apps.dir/resp.cc.o.d"
+  "CMakeFiles/demi_apps.dir/workload.cc.o"
+  "CMakeFiles/demi_apps.dir/workload.cc.o.d"
+  "libdemi_apps.a"
+  "libdemi_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

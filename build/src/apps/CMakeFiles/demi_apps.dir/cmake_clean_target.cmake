@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdemi_apps.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_baseline.dir/mtcp.cc.o"
+  "CMakeFiles/demi_baseline.dir/mtcp.cc.o.d"
+  "libdemi_baseline.a"
+  "libdemi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

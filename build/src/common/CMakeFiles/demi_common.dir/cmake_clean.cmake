@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_common.dir/buffer.cc.o"
+  "CMakeFiles/demi_common.dir/buffer.cc.o.d"
+  "CMakeFiles/demi_common.dir/checksum.cc.o"
+  "CMakeFiles/demi_common.dir/checksum.cc.o.d"
+  "CMakeFiles/demi_common.dir/histogram.cc.o"
+  "CMakeFiles/demi_common.dir/histogram.cc.o.d"
+  "CMakeFiles/demi_common.dir/logging.cc.o"
+  "CMakeFiles/demi_common.dir/logging.cc.o.d"
+  "CMakeFiles/demi_common.dir/random.cc.o"
+  "CMakeFiles/demi_common.dir/random.cc.o.d"
+  "CMakeFiles/demi_common.dir/status.cc.o"
+  "CMakeFiles/demi_common.dir/status.cc.o.d"
+  "libdemi_common.a"
+  "libdemi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

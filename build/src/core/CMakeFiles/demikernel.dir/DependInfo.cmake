@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/catfish.cc" "src/core/CMakeFiles/demikernel.dir/catfish.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/catfish.cc.o.d"
+  "/root/repo/src/core/catmint.cc" "src/core/CMakeFiles/demikernel.dir/catmint.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/catmint.cc.o.d"
+  "/root/repo/src/core/catnap.cc" "src/core/CMakeFiles/demikernel.dir/catnap.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/catnap.cc.o.d"
+  "/root/repo/src/core/catnip.cc" "src/core/CMakeFiles/demikernel.dir/catnip.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/catnip.cc.o.d"
+  "/root/repo/src/core/event_loop.cc" "src/core/CMakeFiles/demikernel.dir/event_loop.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/event_loop.cc.o.d"
+  "/root/repo/src/core/harness.cc" "src/core/CMakeFiles/demikernel.dir/harness.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/harness.cc.o.d"
+  "/root/repo/src/core/libos.cc" "src/core/CMakeFiles/demikernel.dir/libos.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/libos.cc.o.d"
+  "/root/repo/src/core/queue_ops.cc" "src/core/CMakeFiles/demikernel.dir/queue_ops.cc.o" "gcc" "src/core/CMakeFiles/demikernel.dir/queue_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/demi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/demi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/demi_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

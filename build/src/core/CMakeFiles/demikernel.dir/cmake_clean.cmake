@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demikernel.dir/catfish.cc.o"
+  "CMakeFiles/demikernel.dir/catfish.cc.o.d"
+  "CMakeFiles/demikernel.dir/catmint.cc.o"
+  "CMakeFiles/demikernel.dir/catmint.cc.o.d"
+  "CMakeFiles/demikernel.dir/catnap.cc.o"
+  "CMakeFiles/demikernel.dir/catnap.cc.o.d"
+  "CMakeFiles/demikernel.dir/catnip.cc.o"
+  "CMakeFiles/demikernel.dir/catnip.cc.o.d"
+  "CMakeFiles/demikernel.dir/event_loop.cc.o"
+  "CMakeFiles/demikernel.dir/event_loop.cc.o.d"
+  "CMakeFiles/demikernel.dir/harness.cc.o"
+  "CMakeFiles/demikernel.dir/harness.cc.o.d"
+  "CMakeFiles/demikernel.dir/libos.cc.o"
+  "CMakeFiles/demikernel.dir/libos.cc.o.d"
+  "CMakeFiles/demikernel.dir/queue_ops.cc.o"
+  "CMakeFiles/demikernel.dir/queue_ops.cc.o.d"
+  "libdemikernel.a"
+  "libdemikernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demikernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

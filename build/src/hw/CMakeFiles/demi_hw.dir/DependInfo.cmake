@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/block_device.cc" "src/hw/CMakeFiles/demi_hw.dir/block_device.cc.o" "gcc" "src/hw/CMakeFiles/demi_hw.dir/block_device.cc.o.d"
+  "/root/repo/src/hw/fabric.cc" "src/hw/CMakeFiles/demi_hw.dir/fabric.cc.o" "gcc" "src/hw/CMakeFiles/demi_hw.dir/fabric.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/demi_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/demi_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/rdma.cc" "src/hw/CMakeFiles/demi_hw.dir/rdma.cc.o" "gcc" "src/hw/CMakeFiles/demi_hw.dir/rdma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/demi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demi_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

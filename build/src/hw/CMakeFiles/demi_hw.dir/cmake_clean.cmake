@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_hw.dir/block_device.cc.o"
+  "CMakeFiles/demi_hw.dir/block_device.cc.o.d"
+  "CMakeFiles/demi_hw.dir/fabric.cc.o"
+  "CMakeFiles/demi_hw.dir/fabric.cc.o.d"
+  "CMakeFiles/demi_hw.dir/nic.cc.o"
+  "CMakeFiles/demi_hw.dir/nic.cc.o.d"
+  "CMakeFiles/demi_hw.dir/rdma.cc.o"
+  "CMakeFiles/demi_hw.dir/rdma.cc.o.d"
+  "libdemi_hw.a"
+  "libdemi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_kernel.dir/kernel.cc.o"
+  "CMakeFiles/demi_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/demi_kernel.dir/vfs.cc.o"
+  "CMakeFiles/demi_kernel.dir/vfs.cc.o.d"
+  "libdemi_kernel.a"
+  "libdemi_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

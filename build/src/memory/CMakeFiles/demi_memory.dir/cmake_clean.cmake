@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_memory.dir/memory_manager.cc.o"
+  "CMakeFiles/demi_memory.dir/memory_manager.cc.o.d"
+  "libdemi_memory.a"
+  "libdemi_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

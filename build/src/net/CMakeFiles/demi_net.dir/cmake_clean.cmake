@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_net.dir/framing.cc.o"
+  "CMakeFiles/demi_net.dir/framing.cc.o.d"
+  "CMakeFiles/demi_net.dir/packet.cc.o"
+  "CMakeFiles/demi_net.dir/packet.cc.o.d"
+  "CMakeFiles/demi_net.dir/stack.cc.o"
+  "CMakeFiles/demi_net.dir/stack.cc.o.d"
+  "CMakeFiles/demi_net.dir/tcp.cc.o"
+  "CMakeFiles/demi_net.dir/tcp.cc.o.d"
+  "libdemi_net.a"
+  "libdemi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

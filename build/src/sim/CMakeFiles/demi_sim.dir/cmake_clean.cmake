@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demi_sim.dir/cost_model.cc.o"
+  "CMakeFiles/demi_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/demi_sim.dir/counters.cc.o"
+  "CMakeFiles/demi_sim.dir/counters.cc.o.d"
+  "CMakeFiles/demi_sim.dir/simulation.cc.o"
+  "CMakeFiles/demi_sim.dir/simulation.cc.o.d"
+  "libdemi_sim.a"
+  "libdemi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

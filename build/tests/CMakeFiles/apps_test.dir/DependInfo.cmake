@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/demi_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/demikernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/demi_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/demi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/demi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/demi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/demi_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/demi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/demi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_catfish_test.dir/core_catfish_test.cc.o"
+  "CMakeFiles/core_catfish_test.dir/core_catfish_test.cc.o.d"
+  "core_catfish_test"
+  "core_catfish_test.pdb"
+  "core_catfish_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_catfish_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_libos_net_test.dir/core_libos_net_test.cc.o"
+  "CMakeFiles/core_libos_net_test.dir/core_libos_net_test.cc.o.d"
+  "core_libos_net_test"
+  "core_libos_net_test.pdb"
+  "core_libos_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_libos_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

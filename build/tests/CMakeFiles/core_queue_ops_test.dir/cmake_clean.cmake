@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_queue_ops_test.dir/core_queue_ops_test.cc.o"
+  "CMakeFiles/core_queue_ops_test.dir/core_queue_ops_test.cc.o.d"
+  "core_queue_ops_test"
+  "core_queue_ops_test.pdb"
+  "core_queue_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_queue_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_block_test.dir/hw_block_test.cc.o"
+  "CMakeFiles/hw_block_test.dir/hw_block_test.cc.o.d"
+  "hw_block_test"
+  "hw_block_test.pdb"
+  "hw_block_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

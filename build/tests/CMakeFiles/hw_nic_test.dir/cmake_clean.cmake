@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_nic_test.dir/hw_nic_test.cc.o"
+  "CMakeFiles/hw_nic_test.dir/hw_nic_test.cc.o.d"
+  "hw_nic_test"
+  "hw_nic_test.pdb"
+  "hw_nic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_nic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

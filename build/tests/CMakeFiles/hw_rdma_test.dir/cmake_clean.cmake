@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_rdma_test.dir/hw_rdma_test.cc.o"
+  "CMakeFiles/hw_rdma_test.dir/hw_rdma_test.cc.o.d"
+  "hw_rdma_test"
+  "hw_rdma_test.pdb"
+  "hw_rdma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_rdma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

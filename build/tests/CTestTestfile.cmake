@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_nic_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_block_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/net_packet_test[1]_include.cmake")
+include("/root/repo/build/tests/net_framing_test[1]_include.cmake")
+include("/root/repo/build/tests/net_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_queue_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/core_libos_net_test[1]_include.cmake")
+include("/root/repo/build/tests/core_catfish_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_actors_test[1]_include.cmake")
+include("/root/repo/build/tests/core_event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/net_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/api_edge_test[1]_include.cmake")
