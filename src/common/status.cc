@@ -42,6 +42,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "cancelled";
     case ErrorCode::kProtocolError:
       return "protocol_error";
+    case ErrorCode::kDeviceFailed:
+      return "device_failed";
+    case ErrorCode::kQpError:
+      return "qp_error";
+    case ErrorCode::kMediaError:
+      return "media_error";
     case ErrorCode::kInternal:
       return "internal";
   }

@@ -36,6 +36,9 @@ enum class ErrorCode : std::uint8_t {
   kEndOfFile,           // Terminal: stream or queue is cleanly finished.
   kCancelled,           // Operation cancelled (e.g. queue closed while op pending).
   kProtocolError,       // Malformed peer data (bad frame, bad checksum, bad RESP).
+  kDeviceFailed,        // EIO: the device backing this queue died; ops cannot complete.
+  kQpError,             // RDMA queue pair transitioned to the error state.
+  kMediaError,          // Block-device media error: data at this LBA is unreadable.
   kInternal,            // Invariant violation; always a bug.
 };
 
@@ -101,6 +104,13 @@ inline Status EndOfFile() { return Status(ErrorCode::kEndOfFile); }
 inline Status Cancelled(std::string msg) { return Status(ErrorCode::kCancelled, std::move(msg)); }
 inline Status ProtocolError(std::string msg) {
   return Status(ErrorCode::kProtocolError, std::move(msg));
+}
+inline Status DeviceFailed(std::string msg) {
+  return Status(ErrorCode::kDeviceFailed, std::move(msg));
+}
+inline Status QpError(std::string msg) { return Status(ErrorCode::kQpError, std::move(msg)); }
+inline Status MediaError(std::string msg) {
+  return Status(ErrorCode::kMediaError, std::move(msg));
 }
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 

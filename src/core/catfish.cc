@@ -128,6 +128,8 @@ void CatfishFileQueue::FetchBlock(std::uint64_t index) {
                        if (status.ok()) {
                          auto& block = CachedBlock(index);
                          std::memcpy(block.data(), dest.data(), kBlock);
+                       } else {
+                         read_error_ = status;
                        }
                      });
 }
@@ -244,6 +246,22 @@ bool CatfishFileQueue::Progress(CompletionSink& sink) {
     sink.CompleteOp(push.token, std::move(res));
     pending_pushes_.pop_front();
     progress = true;
+  }
+
+  // A failed fetch means the current record can never be read: fail the waiting pops
+  // with the device's status, then clear so later pops may retry (a transient media
+  // error on one LBA does not poison the queue forever).
+  if (!read_error_.ok() && !pending_pops_.empty()) {
+    const Status err = read_error_;
+    read_error_ = OkStatus();
+    while (!pending_pops_.empty()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = err;
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+    }
   }
 
   // Replay records for pops.

@@ -120,6 +120,10 @@ class CatfishFileQueue final : public IoQueue {
   std::deque<QToken> pending_pops_;
   std::deque<std::pair<QToken, QResult>> ready_;
   std::uint64_t read_offset_ = 0;  // replay cursor
+  // Sticky error from a failed block fetch (media error, device death). Progress
+  // flushes pending pops with it — without this, ReadLogBytes would refetch the bad
+  // block forever and the pop would never complete (§4.4).
+  Status read_error_;
 };
 
 }  // namespace demi

@@ -16,7 +16,11 @@ CatmintLibOS::CatmintLibOS(HostCpu* host, RdmaNic* nic, CatmintConfig config)
   // I/O without any explicit ibv_reg_mr calls.
   memory_.AttachDevice([nic](std::shared_ptr<BufferStorage> arena) {
     const auto r = nic->RegisterMemory(std::move(arena));
-    DEMI_CHECK(r.ok());
+    if (!r.ok()) {
+      // Registration exhaustion is a runtime condition (§2), not a programmer error:
+      // buffers from this arena stay usable for CPU work but cannot be posted for I/O.
+      LOG_WARN << "catmint: arena registration failed: " << r.status();
+    }
   });
 }
 
@@ -143,7 +147,7 @@ bool CatmintQueue::Progress(CompletionSink& sink) {
     auto& [token, sga] = queued_pushes_.front();
     std::vector<Buffer> segments;
     segments.reserve(sga.segment_count());
-    bool bounced = false;
+    bool unregisterable = false;
     for (const Buffer& seg : sga) {
       if (libos_->nic().IsRegistered(seg)) {
         segments.push_back(seg);  // zero copy: the NIC gathers from app memory
@@ -151,12 +155,25 @@ bool CatmintQueue::Progress(CompletionSink& sink) {
         // Transparent bounce for foreign memory: copy into a registered buffer.
         libos_->host().CopyBytes(seg.size());
         Buffer staged = libos_->memory().Allocate(seg.size());
+        if (!libos_->nic().IsRegistered(staged)) {
+          // The manager grew an arena the NIC refused to register (registration
+          // exhaustion): no amount of bouncing can make this segment sendable.
+          unregisterable = true;
+          break;
+        }
         std::memcpy(staged.mutable_data(), seg.data(), seg.size());
         segments.push_back(std::move(staged));
-        bounced = true;
       }
     }
-    (void)bounced;
+    if (unregisterable) {
+      QResult res;
+      res.op = OpType::kPush;
+      res.status = ResourceExhausted("memory registration exhausted");
+      sink.CompleteOp(token, std::move(res));
+      queued_pushes_.pop_front();
+      progress = true;
+      continue;
+    }
     const Status status = qp_->PostSend(token, std::move(segments));
     if (status.code() == ErrorCode::kResourceExhausted) {
       break;  // send queue full; retry next poll
@@ -199,10 +216,21 @@ bool CatmintQueue::Progress(CompletionSink& sink) {
     progress = true;
   }
   if (qp_->failed()) {
+    // The QP can never make progress again: fail everything still queued with the
+    // typed cause the hardware recorded (kQpError / kDeviceFailed on injected faults,
+    // kConnectionReset otherwise) so no token is left pending (§4.4).
+    while (!queued_pushes_.empty()) {
+      QResult res;
+      res.op = OpType::kPush;
+      res.status = qp_->error_status();
+      sink.CompleteOp(queued_pushes_.front().first, std::move(res));
+      queued_pushes_.pop_front();
+      progress = true;
+    }
     while (!pending_pops_.empty()) {
       QResult res;
       res.op = OpType::kPop;
-      res.status = ConnectionReset("qp error");
+      res.status = qp_->error_status();
       sink.CompleteOp(pending_pops_.front(), std::move(res));
       pending_pops_.pop_front();
       progress = true;

@@ -75,6 +75,9 @@ Status CatnipTcpQueue::ConnectStatus() {
   if (conn_ == nullptr) {
     return NotConnected("connect not started");
   }
+  if (libos_->stack().device_failed()) {
+    return DeviceFailed("nic is dead");
+  }
   if (conn_->established()) {
     return OkStatus();
   }
@@ -118,6 +121,22 @@ bool CatnipTcpQueue::Progress(CompletionSink& sink) {
     return false;
   }
   bool progress = false;
+
+  // A dead device or dead connection can never transmit again: fail pending pushes
+  // with a typed error instead of parking their tokens forever (§4.4).
+  const bool device_failed = libos_->stack().device_failed();
+  if ((device_failed || conn_->dead()) && !pending_pushes_.empty()) {
+    const Status err = device_failed ? DeviceFailed("nic is dead")
+                                     : ConnectionReset("connection reset");
+    while (!pending_pushes_.empty()) {
+      QResult res;
+      res.op = OpType::kPush;
+      res.status = err;
+      sink.CompleteOp(pending_pushes_.front().token, std::move(res));
+      pending_pushes_.pop_front();
+      progress = true;
+    }
+  }
 
   while (!pending_pushes_.empty() && conn_->established()) {
     PendingPush& push = pending_pushes_.front();
@@ -178,7 +197,9 @@ bool CatnipTcpQueue::Progress(CompletionSink& sink) {
       continue;
     }
     Status terminal;
-    if (!stream_error_.ok()) {
+    if (device_failed) {
+      terminal = DeviceFailed("nic is dead");
+    } else if (!stream_error_.ok()) {
       terminal = stream_error_;
     } else if (conn_->reset()) {
       terminal = ConnectionReset("peer reset");
@@ -276,6 +297,17 @@ bool CatnipUdpQueue::Progress(CompletionSink& sink) {
     sink.CompleteOp(ready_.front().first, std::move(ready_.front().second));
     ready_.pop_front();
     progress = true;
+  }
+  // Datagrams can never arrive through a dead NIC: fail pending pops (§4.4).
+  if (libos_->stack().device_failed()) {
+    while (!pending_pops_.empty()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = DeviceFailed("nic is dead");
+      sink.CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+    }
   }
   while (!pending_pops_.empty() && !inbound_.empty()) {
     auto [from, payload] = std::move(inbound_.front());

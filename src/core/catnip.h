@@ -40,6 +40,8 @@ class CatnipLibOS final : public LibOS {
   // `control_kernel` may be null (no kernel on the host); then the libOS takes NIC
   // queue 0 directly. With a kernel, the queue is leased through the control path.
   CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel, CatnipConfig config);
+  // Queue destructors (UDP unbind) reach into the stack; drop them while it lives.
+  ~CatnipLibOS() override { DestroyQueues(); }
 
   std::string name() const override { return "catnip"; }
   NetStack& stack() { return *stack_; }

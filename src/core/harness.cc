@@ -5,7 +5,10 @@
 namespace demi {
 
 TestHarness::TestHarness(CostModel cost, FabricConfig fabric_cfg)
-    : sim_(cost), fabric_(&sim_, fabric_cfg), rdma_cm_(&sim_) {}
+    : sim_(cost), faults_(&sim_, fabric_cfg.seed), fabric_(&sim_, fabric_cfg),
+      rdma_cm_(&sim_) {
+  fabric_.set_fault_injector(&faults_);
+}
 
 TestHarness::~TestHarness() {
   // Hosts tear down before the fabric/simulation (vector destroys in order; we clear
@@ -27,14 +30,17 @@ TestHarness::Host& TestHarness::AddHost(const std::string& name, const std::stri
     nic_cfg.supports_offload = options.nic_offload;
     host->nic = std::make_unique<SimNic>(host->cpu.get(), &fabric_,
                                          MacAddress::ForHost(next_host_id_), nic_cfg);
+    host->nic->AttachFaultInjector(&faults_);
   }
   ++next_host_id_;
 
   if (options.with_rdma) {
     host->rdma = std::make_unique<RdmaNic>(host->cpu.get(), &rdma_cm_);
+    host->rdma->AttachFaultInjector(&faults_);
   }
   if (options.with_block_device) {
     host->bdev = std::make_unique<BlockDevice>(host->cpu.get());
+    host->bdev->AttachFaultInjector(&faults_);
   }
   if (options.with_kernel) {
     SimKernelConfig kcfg;

@@ -20,6 +20,7 @@
 #include "src/hw/nic.h"
 #include "src/hw/rdma.h"
 #include "src/kernel/kernel.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
@@ -57,6 +58,9 @@ class TestHarness {
   Simulation& sim() { return sim_; }
   Fabric& fabric() { return fabric_; }
   RdmaCm& rdma_cm() { return rdma_cm_; }
+  // Every device the harness builds is registered here; look up a host's device ids
+  // via Host::nic->fault_device() etc. to script faults against it.
+  FaultInjector& faults() { return faults_; }
 
   Host& AddHost(const std::string& name, const std::string& ip,
                 HostOptions options = HostOptions{});
@@ -74,6 +78,7 @@ class TestHarness {
 
  private:
   Simulation sim_;
+  FaultInjector faults_;  // before fabric_: the fabric consults it on every frame
   Fabric fabric_;
   RdmaCm rdma_cm_;
   std::vector<std::unique_ptr<Host>> hosts_;

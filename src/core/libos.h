@@ -136,6 +136,12 @@ class LibOS : public Poller, public CompletionSink {
   IoQueue* GetQueue(QDesc qd) const;
   QToken NewToken(QDesc qd, OpType type);
 
+  // Destroys all open queues. A derived libOS whose queues reference derived-owned
+  // state in their destructors (e.g. catnip's UDP unbind touching the net stack) must
+  // call this from its own destructor, before that state is torn down — the base
+  // destructor would run the queue destructors only after derived members are gone.
+  void DestroyQueues() { qtable_.clear(); }
+
   HostCpu* host_;
   MemoryManager memory_;
 

@@ -31,6 +31,34 @@ std::vector<std::byte>& BlockDevice::BlockAt(std::uint64_t lba) {
   return it->second;
 }
 
+FaultDeviceId BlockDevice::AttachFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  fault_dev_ = faults->Register("blk/" + host_->name(), [this](const FaultEvent& event) {
+    if (event.kind == FaultKind::kDeviceFailed) {
+      failed_ = true;
+    }
+  });
+  return fault_dev_;
+}
+
+Status BlockDevice::ConsultOpFault(TimeNs* extra_delay) {
+  *extra_delay = 0;
+  if (faults_ == nullptr) {
+    return OkStatus();
+  }
+  const auto fault = faults_->NextOpFault(fault_dev_);
+  if (!fault) {
+    return OkStatus();
+  }
+  if (*fault == FaultKind::kOpTimeout) {
+    // The command hangs in the controller and is eventually aborted; the completion
+    // shows up late with a timeout status.
+    *extra_delay = 5 * kMillisecond;
+    return TimedOut("nvme command timeout");
+  }
+  return MediaError("uncorrectable media error");
+}
+
 void BlockDevice::Complete(std::uint64_t id, Status status, TimeNs service_ns) {
   ++inflight_;
   host_->sim().Schedule(service_ns, [this, id, status = std::move(status)] {
@@ -46,6 +74,9 @@ void BlockDevice::Complete(std::uint64_t id, Status status, TimeNs service_ns) {
 
 Status BlockDevice::SubmitRead(std::uint64_t id, std::uint64_t lba, std::uint32_t count,
                                Buffer dest) {
+  if (failed_) {
+    return DeviceFailed("block device is dead");
+  }
   if (inflight_ >= config_.queue_depth) {
     return ResourceExhausted("submission queue full");
   }
@@ -57,6 +88,14 @@ Status BlockDevice::SubmitRead(std::uint64_t id, std::uint64_t lba, std::uint32_
   }
   host_->Work(host_->cost().pcie_doorbell_ns);
   host_->Count(Counter::kDoorbells);
+
+  TimeNs fault_delay = 0;
+  if (Status fault = ConsultOpFault(&fault_delay); !fault.ok()) {
+    // Faulted read: no data is transferred; the CQ entry carries the error.
+    Complete(id, std::move(fault),
+             host_->cost().NvmeNs(/*is_write=*/false, dest.size()) + fault_delay);
+    return OkStatus();
+  }
 
   // Device DMAs straight into `dest` (no host CPU involvement). The data is deposited
   // immediately in simulation memory; the completion carries the timing.
@@ -75,6 +114,9 @@ Status BlockDevice::SubmitRead(std::uint64_t id, std::uint64_t lba, std::uint32_
 }
 
 Status BlockDevice::SubmitWrite(std::uint64_t id, std::uint64_t lba, Buffer src) {
+  if (failed_) {
+    return DeviceFailed("block device is dead");
+  }
   if (inflight_ >= config_.queue_depth) {
     return ResourceExhausted("submission queue full");
   }
@@ -87,6 +129,14 @@ Status BlockDevice::SubmitWrite(std::uint64_t id, std::uint64_t lba, Buffer src)
   }
   host_->Work(host_->cost().pcie_doorbell_ns);
   host_->Count(Counter::kDoorbells);
+
+  TimeNs fault_delay = 0;
+  if (Status fault = ConsultOpFault(&fault_delay); !fault.ok()) {
+    // Faulted write: the media is untouched.
+    Complete(id, std::move(fault),
+             host_->cost().NvmeNs(/*is_write=*/true, src.size()) + fault_delay);
+    return OkStatus();
+  }
 
   for (std::uint64_t i = 0; i < count; ++i) {
     std::memcpy(BlockAt(lba + i).data(),
@@ -101,6 +151,9 @@ Status BlockDevice::SubmitWrite(std::uint64_t id, std::uint64_t lba, Buffer src)
 }
 
 Status BlockDevice::SubmitFlush(std::uint64_t id) {
+  if (failed_) {
+    return DeviceFailed("block device is dead");
+  }
   if (inflight_ >= config_.queue_depth) {
     return ResourceExhausted("submission queue full");
   }

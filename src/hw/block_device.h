@@ -20,6 +20,7 @@
 #include "src/common/result.h"
 #include "src/common/ring_buffer.h"
 #include "src/hw/device.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
@@ -60,15 +61,28 @@ class BlockDevice {
 
   std::size_t inflight() const { return inflight_; }
 
+  // Registers this device with the injector. Per-op faults (kMediaError, kOpTimeout)
+  // are consulted on every submission; a kDeviceFailed fault latches the controller
+  // dead and all future submissions return kDeviceFailed.
+  FaultDeviceId AttachFaultInjector(FaultInjector* faults);
+  bool failed() const { return failed_; }
+  FaultDeviceId fault_device() const { return fault_dev_; }
+
   // Test/debug access to the backing store.
   bool BlockExists(std::uint64_t lba) const { return blocks_.contains(lba); }
 
  private:
   void Complete(std::uint64_t id, Status status, TimeNs service_ns);
   std::vector<std::byte>& BlockAt(std::uint64_t lba);
+  // Consults the injector for a per-op fault; returns the Status the op should complete
+  // with (and the extra delay for timeouts), or kOk when the op proceeds normally.
+  Status ConsultOpFault(TimeNs* extra_delay);
 
   HostCpu* host_;
   BlockDeviceConfig config_;
+  FaultInjector* faults_ = nullptr;
+  FaultDeviceId fault_dev_ = kInvalidFaultDevice;
+  bool failed_ = false;
   std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
   RingBuffer<BlockCompletion> cq_;
   std::size_t inflight_ = 0;

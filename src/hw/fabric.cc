@@ -53,6 +53,11 @@ void Fabric::Transmit(PortId src_port, Buffer frame) {
   const bool duplicate = config_.dup_rate > 0.0 && rng_.NextBool(config_.dup_rate);
 
   auto send_to = [&](PortId dst) {
+    if (faults_ != nullptr && faults_->Partitioned(src_port, dst)) {
+      ++frames_dropped_;
+      sim_->counters().Add(Counter::kPacketsDropped);
+      return;
+    }
     DeliverAfter(delay, dst, frame);
     if (duplicate) {
       DeliverAfter(delay + 1, dst, frame);

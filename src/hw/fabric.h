@@ -16,6 +16,7 @@
 #include "src/common/buffer.h"
 #include "src/common/random.h"
 #include "src/hw/mac.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
@@ -49,6 +50,10 @@ class Fabric {
   Simulation& sim() { return *sim_; }
   FabricConfig& config() { return config_; }
 
+  // Optional: consult the injector's partition map on every frame. Partitioned port
+  // pairs drop all traffic in both directions until the partition heals.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   std::uint64_t frames_delivered() const { return frames_delivered_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
 
@@ -63,6 +68,7 @@ class Fabric {
 
   Simulation* sim_;
   FabricConfig config_;
+  FaultInjector* faults_ = nullptr;
   Rng rng_;
   std::vector<Port> ports_;
   std::unordered_map<MacAddress, PortId, MacHash> mac_table_;

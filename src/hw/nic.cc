@@ -31,6 +31,9 @@ DeviceCaps SimNic::caps() const {
 Status SimNic::Transmit(int queue, Buffer frame) {
   DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
   DEMI_CHECK(frame.size() >= kEthHeaderSize);
+  if (failed_) {
+    return DeviceFailed("nic is dead");
+  }
   Queue& q = queues_[queue];
   if (q.tx_in_flight >= config_.ring_size) {
     host_->Count(Counter::kPacketsDropped);
@@ -49,11 +52,45 @@ Status SimNic::Transmit(int queue, Buffer frame) {
   host_->sim().Schedule(device_delay, [this, queue, frame = std::move(frame)]() mutable {
     Queue& dq = queues_[queue];
     --dq.tx_in_flight;
+    // Link state is sampled at wire time: frames posted before a link-down (or device
+    // death) are lost exactly as they would be on real hardware.
+    if (failed_ || !link_up()) {
+      host_->Count(Counter::kPacketsDropped);
+      return;
+    }
     host_->Count(Counter::kDmaOps);
     host_->Count(Counter::kPacketsTx);
     fabric_->Transmit(port_, std::move(frame));
   });
   return OkStatus();
+}
+
+bool SimNic::link_up() const {
+  if (failed_) {
+    return false;
+  }
+  return faults_ == nullptr || faults_->link_up(fault_dev_);
+}
+
+FaultDeviceId SimNic::AttachFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  fault_dev_ = faults->Register("nic/" + host_->name(),
+                                [this](const FaultEvent& event) { OnFault(event); });
+  return fault_dev_;
+}
+
+void SimNic::OnFault(const FaultEvent& event) {
+  if (event.kind != FaultKind::kDeviceFailed || failed_) {
+    return;  // link state lives in the injector; we only latch permanent death
+  }
+  failed_ = true;
+  // Free-protection (§4.5): the dead device no longer holds RX buffers — drain every
+  // ring so their refcounts drop and the memory manager can reclaim the slots.
+  for (Queue& q : queues_) {
+    while (q.rx.Pop()) {
+      host_->Count(Counter::kPacketsDropped);
+    }
+  }
 }
 
 std::optional<Buffer> SimNic::PollRx(int queue) {
@@ -112,6 +149,10 @@ void SimNic::RemoveSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port) {
 }
 
 void SimNic::DeliverFromWire(Buffer frame) {
+  if (failed_ || !link_up()) {
+    host_->Count(Counter::kPacketsDropped);
+    return;
+  }
   const EthHeader eth = ParseEthHeader(frame.span());
   if (!(eth.dst == mac_) && !eth.dst.IsBroadcast()) {
     return;  // not for us (flooded by the switch)
@@ -171,6 +212,10 @@ void SimNic::DepositToQueue(int queue, Buffer frame) {
 
   const TimeNs delay = program_delay + host_->cost().nic_process_ns + host_->cost().pcie_dma_ns;
   host_->sim().Schedule(delay, [this, queue, frame = std::move(frame)]() mutable {
+    if (failed_) {
+      host_->Count(Counter::kPacketsDropped);
+      return;  // died between wire arrival and host DMA
+    }
     Queue& dq = queues_[queue];
     const bool was_empty = dq.rx.empty();
     host_->Count(Counter::kDmaOps);

@@ -92,18 +92,33 @@ class SimNic {
   // poll-mode drivers leave it unset.
   void SetRxNotify(std::function<void(int queue)> notify) { rx_notify_ = std::move(notify); }
 
+  // Registers this NIC with the fault injector. Link state is consulted at wire time
+  // (frames in flight when the link drops are lost); a kDeviceFailed fault latches the
+  // NIC dead, fails all future Transmit calls, and clears the RX rings so device-held
+  // buffers are released back to free-protection accounting (§4.5).
+  FaultDeviceId AttachFaultInjector(FaultInjector* faults);
+
+  bool failed() const { return failed_; }
+  bool link_up() const;
+  PortId port() const { return port_; }
+  FaultDeviceId fault_device() const { return fault_dev_; }
+
   std::uint64_t rx_ring_drops() const { return rx_ring_drops_; }
 
  private:
   void DeliverFromWire(Buffer frame);
   void DepositToQueue(int queue, Buffer frame);
   int RssQueue(const Buffer& frame) const;
+  void OnFault(const FaultEvent& event);
 
   HostCpu* host_;
   Fabric* fabric_;
   MacAddress mac_;
   NicConfig config_;
   PortId port_;
+  FaultInjector* faults_ = nullptr;
+  FaultDeviceId fault_dev_ = kInvalidFaultDevice;
+  bool failed_ = false;
 
   struct Queue {
     explicit Queue(std::size_t ring) : rx(ring), tx_in_flight(0) {}

@@ -17,9 +17,35 @@ void RdmaQp::CompleteLocal(WorkCompletion wc) {
   cq_.push_back(std::move(wc));
 }
 
+void RdmaQp::CompleteSend(std::uint64_t wr_id, Status status, std::size_t byte_len) {
+  if (inflight_sends_.erase(wr_id) == 0) {
+    return;  // Fail() already flushed this WR with the fault's cause
+  }
+  --outstanding_sends_;
+  CompleteLocal({wr_id, WorkCompletion::Op::kSend, std::move(status), byte_len, {}});
+}
+
+void RdmaQp::Fail(Status cause) {
+  if (state_ == State::kError) {
+    return;
+  }
+  state_ = State::kError;
+  error_status_ = cause;
+  while (!recv_queue_.empty()) {
+    auto [recv_id, recv_buf] = std::move(recv_queue_.front());
+    recv_queue_.pop_front();
+    CompleteLocal({recv_id, WorkCompletion::Op::kRecv, cause, 0, {}});
+  }
+  for (const std::uint64_t wr_id : inflight_sends_) {
+    CompleteLocal({wr_id, WorkCompletion::Op::kSend, cause, 0, {}});
+  }
+  inflight_sends_.clear();
+  outstanding_sends_ = 0;
+}
+
 Status RdmaQp::PostRecv(std::uint64_t wr_id, Buffer buffer) {
   if (state_ == State::kError) {
-    return ConnectionReset("qp in error state");
+    return error_status_;
   }
   if (!nic_->IsRegistered(buffer)) {
     return Status(ErrorCode::kPermissionDenied, "recv buffer not in a registered region");
@@ -33,8 +59,7 @@ Status RdmaQp::PostRecv(std::uint64_t wr_id, Buffer buffer) {
 
 Status RdmaQp::PostSend(std::uint64_t wr_id, std::vector<Buffer> segments) {
   if (state_ != State::kEstablished) {
-    return state_ == State::kError ? ConnectionReset("qp in error state")
-                                   : NotConnected("qp not yet connected");
+    return state_ == State::kError ? error_status_ : NotConnected("qp not yet connected");
   }
   if (outstanding_sends_ >= nic_->config_.max_send_wr) {
     return ResourceExhausted("send queue full");
@@ -49,6 +74,7 @@ Status RdmaQp::PostSend(std::uint64_t wr_id, std::vector<Buffer> segments) {
     return ConnectionReset("peer gone");
   }
   ++outstanding_sends_;
+  inflight_sends_.insert(wr_id);
 
   HostCpu& host = *nic_->host_;
   host.Work(host.cost().pcie_doorbell_ns);
@@ -78,10 +104,12 @@ void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
   const CostModel& cost = host.cost();
 
   if (state_ == State::kError) {
-    host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
-      sender->CompleteLocal(
-          {id, WorkCompletion::Op::kSend, ConnectionReset("remote qp error"), 0, {}});
-      --sender->outstanding_sends_;
+    // Surface the typed cause (kQpError on injected faults) instead of a generic reset.
+    const Status cause = error_status_.code() == ErrorCode::kConnectionReset
+                             ? ConnectionReset("remote qp error")
+                             : error_status_;
+    host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id, cause] {
+      sender->CompleteSend(id, cause, 0);
     });
     return;
   }
@@ -100,10 +128,7 @@ void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
     }
     state_ = State::kError;
     host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
-      sender->CompleteLocal({id, WorkCompletion::Op::kSend,
-                             Status(ErrorCode::kResourceExhausted, "receiver not ready"), 0,
-                             {}});
-      --sender->outstanding_sends_;
+      sender->CompleteSend(id, Status(ErrorCode::kResourceExhausted, "receiver not ready"), 0);
       sender->state_ = State::kError;
     });
     return;
@@ -118,10 +143,7 @@ void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
                    Status(ErrorCode::kInvalidArgument, "recv buffer too small"), 0, {}});
     state_ = State::kError;
     host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id] {
-      sender->CompleteLocal({id, WorkCompletion::Op::kSend,
-                             Status(ErrorCode::kInvalidArgument, "remote length error"), 0,
-                             {}});
-      --sender->outstanding_sends_;
+      sender->CompleteSend(id, Status(ErrorCode::kInvalidArgument, "remote length error"), 0);
     });
     return;
   }
@@ -134,11 +156,9 @@ void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
                  recv_buf.Slice(0, wr.message.size())});
 
   // Hardware ack back to the sender.
-  host.sim().Schedule(cost.wire_latency_ns,
-                      [sender, id = wr.wr_id, n = wr.message.size()] {
-                        sender->CompleteLocal({id, WorkCompletion::Op::kSend, OkStatus(), n, {}});
-                        --sender->outstanding_sends_;
-                      });
+  host.sim().Schedule(cost.wire_latency_ns, [sender, id = wr.wr_id, n = wr.message.size()] {
+    sender->CompleteSend(id, OkStatus(), n);
+  });
 }
 
 Status RdmaQp::PostRead(std::uint64_t wr_id, Buffer dest, RKey rkey, std::size_t offset) {
@@ -244,9 +264,41 @@ DeviceCaps RdmaNic::caps() const {
   };
 }
 
+FaultDeviceId RdmaNic::AttachFaultInjector(FaultInjector* faults) {
+  faults_ = faults;
+  fault_dev_ = faults->Register("rdma/" + host_->name(),
+                                [this](const FaultEvent& event) { OnFault(event); });
+  return fault_dev_;
+}
+
+void RdmaNic::OnFault(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kQpError:
+      FailAllQps(QpError("qp forced to error state"));
+      break;
+    case FaultKind::kDeviceFailed:
+      FailAllQps(DeviceFailed("rdma nic is dead"));
+      break;
+    default:
+      break;  // kRegExhausted is latched in the injector; RegisterMemory consults it
+  }
+}
+
+void RdmaNic::FailAllQps(Status cause) {
+  for (const auto& qp : qps_) {
+    qp->Fail(cause);
+  }
+}
+
 Result<RKey> RdmaNic::RegisterMemory(std::shared_ptr<BufferStorage> storage) {
   if (storage == nullptr || storage->capacity() == 0) {
     return InvalidArgument("empty region");
+  }
+  if (faults_ != nullptr && faults_->device_failed(fault_dev_)) {
+    return DeviceFailed("rdma nic is dead");
+  }
+  if (faults_ != nullptr && faults_->reg_exhausted(fault_dev_)) {
+    return ResourceExhausted("memory registration exhausted");
   }
   if (registered_.contains(storage.get())) {
     return AlreadyExists("region already registered");

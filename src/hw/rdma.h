@@ -24,6 +24,7 @@
 #include "src/common/buffer.h"
 #include "src/common/result.h"
 #include "src/hw/device.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
@@ -56,6 +57,11 @@ class RdmaQp {
  public:
   bool connected() const { return state_ == State::kEstablished; }
   bool failed() const { return state_ == State::kError; }
+
+  // Why this QP is in the error state. Defaults to the generic kConnectionReset cause;
+  // injected faults record a typed cause (kQpError / kDeviceFailed) instead so the
+  // libOS can surface it through wait().
+  const Status& error_status() const { return error_status_; }
 
   // Posts a receive buffer. The buffer's backing storage must be registered.
   Status PostRecv(std::uint64_t wr_id, Buffer buffer);
@@ -92,12 +98,20 @@ class RdmaQp {
   void CompleteLocal(WorkCompletion wc);
   void DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
                       std::shared_ptr<RdmaQp> sender);
+  // Completes an in-flight send exactly once (no-op if Fail() already flushed it).
+  void CompleteSend(std::uint64_t wr_id, Status status, std::size_t byte_len);
+  // Forces the QP to the error state with a typed cause: flushes every posted recv WQE
+  // and every in-flight send to the CQ with `cause` and drops the recv buffers, so no
+  // waiter hangs and no buffer stays device-held (§4.4/§4.5).
+  void Fail(Status cause);
 
   RdmaNic* nic_;
   State state_ = State::kConnecting;
+  Status error_status_ = Status(ErrorCode::kConnectionReset, "qp in error state");
   std::weak_ptr<RdmaQp> peer_;
   std::deque<std::pair<std::uint64_t, Buffer>> recv_queue_;
   std::deque<WorkCompletion> cq_;
+  std::unordered_set<std::uint64_t> inflight_sends_;
   std::size_t outstanding_sends_ = 0;
 };
 
@@ -145,12 +159,26 @@ class RdmaNic {
   // (~1 RTT of simulated time) or failed() if nobody listens there.
   std::shared_ptr<RdmaQp> Connect(const std::string& addr);
 
+  // --- Fault injection ---
+
+  // Registers this NIC with the injector. A kQpError or kDeviceFailed fault forces
+  // every QP on the NIC into the error state with a typed cause; kRegExhausted makes
+  // RegisterMemory fail until the run ends.
+  FaultDeviceId AttachFaultInjector(FaultInjector* faults);
+  // Transitions every QP to the error state, flushing posted WQEs with `cause`.
+  void FailAllQps(Status cause);
+  FaultDeviceId fault_device() const { return fault_dev_; }
+
  private:
   friend class RdmaQp;
+
+  void OnFault(const FaultEvent& event);
 
   HostCpu* host_;
   RdmaCm* cm_;
   RdmaConfig config_;
+  FaultInjector* faults_ = nullptr;
+  FaultDeviceId fault_dev_ = kInvalidFaultDevice;
   RKey next_rkey_ = 1;
   std::unordered_map<RKey, std::shared_ptr<BufferStorage>> regions_;
   std::unordered_set<const BufferStorage*> registered_;

@@ -34,6 +34,18 @@ TimeNs NetStack::rx_cost() const {
 }
 
 bool NetStack::Poll() {
+  if (nic_->failed() && !device_failed_) {
+    device_failed_ = true;
+    // The NIC is gone for good: no retransmission can ever be acknowledged. Abort every
+    // connection now so pending operations complete with errors and the stack's
+    // send-queue/in-flight buffer references are dropped.
+    for (auto& c : conns_) {
+      if (!c->closed()) {
+        c->Abort();
+      }
+    }
+    return true;
+  }
   bool progress = false;
   for (std::size_t i = 0; i < config_.rx_batch; ++i) {
     auto frame = nic_->PollRx(config_.nic_queue);

@@ -75,6 +75,12 @@ class NetStack final : public Poller, public TcpIo {
   std::uint64_t frames_rx() const { return frames_rx_; }
   std::uint64_t frames_tx() const { return frames_tx_; }
 
+  // True once the backing NIC has died. Latched by Poll(): on first observation every
+  // live connection is aborted, which releases the buffers the stack held for
+  // retransmission (§4.5 free-protection) and lets pending pops fail fast instead of
+  // spinning through RTO cycles that can never succeed.
+  bool device_failed() const { return device_failed_; }
+
  private:
   struct ConnKey {
     std::uint16_t local_port;
@@ -123,6 +129,7 @@ class NetStack final : public Poller, public TcpIo {
   std::uint16_t next_ephemeral_ = 49152;
   std::uint64_t frames_rx_ = 0;
   std::uint64_t frames_tx_ = 0;
+  bool device_failed_ = false;
 };
 
 }  // namespace demi

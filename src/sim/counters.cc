@@ -48,6 +48,12 @@ std::string_view CounterName(Counter c) {
       return "kv_requests";
     case Counter::kStreamScans:
       return "stream_scans";
+    case Counter::kFaultsInjected:
+      return "faults_injected";
+    case Counter::kOpsFailed:
+      return "ops_failed";
+    case Counter::kLinkFlaps:
+      return "link_flaps";
     case Counter::kNumCounters:
       break;
   }

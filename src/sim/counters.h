@@ -34,6 +34,9 @@ enum class Counter : std::size_t {
   kHostCpuNs,           // ns of CPU charged on the host
   kKvRequests,          // application-level requests served
   kStreamScans,         // partial-message re-scans (C2 stream wasted work)
+  kFaultsInjected,      // fault events fired by the FaultInjector
+  kOpsFailed,           // device operations failed because of an injected fault
+  kLinkFlaps,           // NIC link down transitions
   kNumCounters,
 };
 

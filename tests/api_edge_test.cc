@@ -145,6 +145,116 @@ TEST(ApiEdgeTest, WaitAnyOnEmptyTokenListTimesOut) {
   EXPECT_EQ(r.code(), ErrorCode::kTimedOut);
 }
 
+// --- Wait timeout vs fault-driven error interleavings ---
+
+namespace waitfault {
+// One connected catnip pair with a pop parked on the client; used by the Wait tests.
+struct Rig {
+  Rig()
+      : sh(h.AddHost("server", "10.0.0.1")),
+        ch(h.AddHost("client", "10.0.0.2")),
+        sl(h.Catnip(sh)),
+        cl(h.Catnip(ch)) {
+    const QDesc lqd = *sl.Socket();
+    EXPECT_TRUE(sl.Bind(lqd, 7000).ok());
+    EXPECT_TRUE(sl.Listen(lqd).ok());
+    const QToken atok = *sl.AcceptAsync(lqd);
+    cqd = *cl.Socket();
+    const QToken ctok = *cl.ConnectAsync(cqd, Endpoint{sh.ip, 7000});
+    EXPECT_TRUE(cl.Wait(ctok, 10 * kSecond)->status.ok());
+    sqd = sl.Wait(atok, 10 * kSecond)->new_qd;
+  }
+  TestHarness h;
+  TestHarness::Host& sh;
+  TestHarness::Host& ch;
+  CatnipLibOS& sl;
+  CatnipLibOS& cl;
+  QDesc sqd = kInvalidQDesc;
+  QDesc cqd = kInvalidQDesc;
+};
+}  // namespace waitfault
+
+TEST(ApiEdgeTest, WaitTimeoutFiresBeforeScheduledFault) {
+  // The deadline precedes the fault: Wait must report kTimedOut and leave the token
+  // pending; a second Wait then observes the fault's typed error on the same token.
+  waitfault::Rig rig;
+  const QToken pop = *rig.cl.Pop(rig.cqd);
+  rig.h.faults().ScheduleDeviceFailure(rig.ch.nic->fault_device(),
+                                       rig.h.sim().now() + 10 * kMillisecond);
+  auto early = rig.cl.Wait(pop, 2 * kMillisecond);
+  EXPECT_EQ(early.code(), ErrorCode::kTimedOut);
+  auto late = rig.cl.Wait(pop, kSecond);
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_TRUE(late->status.code() == ErrorCode::kDeviceFailed ||
+              late->status.code() == ErrorCode::kConnectionReset)
+      << late->status;
+}
+
+TEST(ApiEdgeTest, WaitFaultErrorBeatsLaterTimeout) {
+  // The fault precedes the deadline: Wait must deliver the typed error as a completed
+  // QResult (not a kTimedOut wait failure), and well before the deadline.
+  waitfault::Rig rig;
+  const QToken pop = *rig.cl.Pop(rig.cqd);
+  const TimeNs start = rig.h.sim().now();
+  rig.h.faults().ScheduleDeviceFailure(rig.ch.nic->fault_device(),
+                                       start + 2 * kMillisecond);
+  auto r = rig.cl.Wait(pop, 60 * kSecond);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->status.code() == ErrorCode::kDeviceFailed ||
+              r->status.code() == ErrorCode::kConnectionReset)
+      << r->status;
+  EXPECT_LT(rig.h.sim().now(), start + kSecond);
+}
+
+TEST(ApiEdgeTest, WaitAnyReturnsFaultedTokenAmongPending) {
+  // Two parked pops on different queues of the same libOS; the NIC death completes
+  // both, and WaitAny must hand back one of them as a completed (errored) result.
+  waitfault::Rig rig;
+  const QDesc uqd = *rig.cl.SocketUdp();
+  ASSERT_TRUE(rig.cl.Bind(uqd, 9100).ok());
+  const QToken tcp_pop = *rig.cl.Pop(rig.cqd);
+  const QToken udp_pop = *rig.cl.Pop(uqd);
+  const QToken tokens[] = {tcp_pop, udp_pop};
+
+  // First: with no fault, WaitAny times out and both tokens stay pending.
+  auto idle = rig.cl.WaitAny(tokens, kMillisecond);
+  EXPECT_EQ(idle.code(), ErrorCode::kTimedOut);
+
+  rig.h.faults().ScheduleDeviceFailure(rig.ch.nic->fault_device(),
+                                       rig.h.sim().now() + kMillisecond);
+  auto first = rig.cl.WaitAny(tokens, kSecond);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->second.status.ok());
+  // The other token also completed (device death flushes every queue) and remains
+  // redeemable: WaitAny on the remainder returns it without stepping time.
+  const QToken rest[] = {tokens[1 - first->first]};
+  auto second = rig.cl.WaitAny(rest, kSecond);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(second->second.status.ok());
+}
+
+TEST(ApiEdgeTest, WaitAllCollectsTypedErrorsFromFault) {
+  // WaitAll over a token set that can only finish via the fault path: a timeout
+  // shorter than the fault reports kTimedOut; a second WaitAll collects every
+  // result, each carrying the typed error, none lost to the first attempt.
+  waitfault::Rig rig;
+  const QDesc uqd = *rig.cl.SocketUdp();
+  ASSERT_TRUE(rig.cl.Bind(uqd, 9200).ok());
+  const QToken tokens[] = {*rig.cl.Pop(rig.cqd), *rig.cl.Pop(uqd)};
+
+  rig.h.faults().ScheduleDeviceFailure(rig.ch.nic->fault_device(),
+                                       rig.h.sim().now() + 10 * kMillisecond);
+  auto early = rig.cl.WaitAll(tokens, 2 * kMillisecond);
+  EXPECT_EQ(early.code(), ErrorCode::kTimedOut);
+  auto all = rig.cl.WaitAll(tokens, kSecond);
+  ASSERT_TRUE(all.ok()) << all.status();
+  ASSERT_EQ(all->size(), 2u);
+  for (const QResult& res : *all) {
+    EXPECT_FALSE(res.status.ok());
+    EXPECT_NE(res.status.code(), ErrorCode::kTimedOut) << res.status;
+  }
+}
+
 TEST(ApiEdgeTest, SortQueueIsStableForEqualPriorities) {
   TestHarness h;
   auto& host = h.AddHost("a", "10.0.0.1");
