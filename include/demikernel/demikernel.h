@@ -28,6 +28,7 @@
 #include "src/core/harness.h"
 #include "src/core/libos.h"
 #include "src/core/queue_ops.h"
+#include "src/core/recovery.h"
 #include "src/core/types.h"
 #include "src/memory/sgarray.h"
 

@@ -48,6 +48,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "qp_error";
     case ErrorCode::kMediaError:
       return "media_error";
+    case ErrorCode::kRetryExhausted:
+      return "retry_exhausted";
+    case ErrorCode::kDegraded:
+      return "degraded";
     case ErrorCode::kInternal:
       return "internal";
   }

@@ -39,6 +39,8 @@ enum class ErrorCode : std::uint8_t {
   kDeviceFailed,        // EIO: the device backing this queue died; ops cannot complete.
   kQpError,             // RDMA queue pair transitioned to the error state.
   kMediaError,          // Block-device media error: data at this LBA is unreadable.
+  kRetryExhausted,      // Recovery gave up: retries/failover exceeded the policy deadline.
+  kDegraded,            // Device is in a degraded (but possibly recoverable) state.
   kInternal,            // Invariant violation; always a bug.
 };
 
@@ -112,6 +114,10 @@ inline Status QpError(std::string msg) { return Status(ErrorCode::kQpError, std:
 inline Status MediaError(std::string msg) {
   return Status(ErrorCode::kMediaError, std::move(msg));
 }
+inline Status RetryExhausted(std::string msg) {
+  return Status(ErrorCode::kRetryExhausted, std::move(msg));
+}
+inline Status Degraded(std::string msg) { return Status(ErrorCode::kDegraded, std::move(msg)); }
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 
 }  // namespace demi

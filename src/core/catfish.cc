@@ -9,7 +9,66 @@
 namespace demi {
 
 CatfishLibOS::CatfishLibOS(HostCpu* host, BlockDevice* bdev, CatfishConfig config)
-    : LibOS(host), bdev_(bdev), config_(config) {}
+    : LibOS(host),
+      bdev_(bdev),
+      config_(std::move(config)),
+      retry_rng_(config_.recovery.seed ^ 0xca7f15ull),
+      alive_(std::make_shared<bool>(true)) {}
+
+namespace {
+// Faults worth retrying: the command may succeed on resubmission. Device death is
+// permanent and surfaces immediately.
+bool TransientDeviceError(const Status& status) {
+  return status.code() == ErrorCode::kTimedOut || status.code() == ErrorCode::kMediaError;
+}
+}  // namespace
+
+std::uint64_t CatfishLibOS::SubmitIo(bool is_write, std::uint64_t lba, Buffer buf,
+                                     CompletionFn done, int attempt, TimeNs started_at) {
+  CompletionFn wrapped = std::move(done);
+  if (config_.recovery.enabled) {
+    std::weak_ptr<bool> alive = alive_;
+    CompletionFn inner = std::move(wrapped);
+    wrapped = [this, alive, is_write, lba, buf, inner, attempt,
+               started_at](const Status& status) {
+      if (status.ok() || !TransientDeviceError(status)) {
+        inner(status);
+        return;
+      }
+      const RetryPolicy& policy = config_.recovery.retry;
+      const int next = attempt + 1;
+      if (next >= policy.max_attempts ||
+          host_->sim().now() > started_at + policy.deadline_ns) {
+        host_->Count(Counter::kRetryGiveups);
+        inner(RetryExhausted(std::string("device retries exhausted: ") +
+                             std::string(status.message())));
+        return;
+      }
+      host_->Count(Counter::kRetriesAttempted);
+      const TimeNs delay = policy.BackoffBeforeAttempt(next, retry_rng_);
+      host_->sim().Schedule(delay, [this, alive, is_write, lba, buf, inner, next,
+                                    started_at] {
+        if (alive.expired()) {
+          return;  // the libOS is gone; drop the resubmission
+        }
+        (void)SubmitIo(is_write, lba, buf, inner, next, started_at);
+      });
+    };
+  }
+  const std::uint64_t cmd = next_cmd_++;
+  const Status status = is_write ? bdev_->SubmitWrite(cmd, lba, buf)
+                                 : bdev_->SubmitRead(cmd, lba, 1, buf);
+  if (status.code() == ErrorCode::kResourceExhausted) {
+    deferred_.push_back(Deferred{is_write, lba, std::move(buf), std::move(wrapped)});
+    return cmd;
+  }
+  if (!status.ok()) {
+    wrapped(status);
+    return cmd;
+  }
+  callbacks_[cmd] = std::move(wrapped);
+  return cmd;
+}
 
 Result<std::unique_ptr<IoQueue>> CatfishLibOS::NewFileQueue(const std::string& path,
                                                             bool create) {
@@ -31,33 +90,13 @@ Result<std::unique_ptr<IoQueue>> CatfishLibOS::NewFileQueue(const std::string& p
 }
 
 std::uint64_t CatfishLibOS::SubmitWrite(std::uint64_t lba, Buffer data, CompletionFn done) {
-  const std::uint64_t cmd = next_cmd_++;
-  const Status status = bdev_->SubmitWrite(cmd, lba, data);
-  if (status.code() == ErrorCode::kResourceExhausted) {
-    deferred_.push_back(Deferred{true, lba, std::move(data), std::move(done)});
-    return cmd;
-  }
-  if (!status.ok()) {
-    done(status);
-    return cmd;
-  }
-  callbacks_[cmd] = std::move(done);
-  return cmd;
+  return SubmitIo(/*is_write=*/true, lba, std::move(data), std::move(done), /*attempt=*/0,
+                  host_->sim().now());
 }
 
 std::uint64_t CatfishLibOS::SubmitRead(std::uint64_t lba, Buffer dest, CompletionFn done) {
-  const std::uint64_t cmd = next_cmd_++;
-  const Status status = bdev_->SubmitRead(cmd, lba, 1, dest);
-  if (status.code() == ErrorCode::kResourceExhausted) {
-    deferred_.push_back(Deferred{false, lba, std::move(dest), std::move(done)});
-    return cmd;
-  }
-  if (!status.ok()) {
-    done(status);
-    return cmd;
-  }
-  callbacks_[cmd] = std::move(done);
-  return cmd;
+  return SubmitIo(/*is_write=*/false, lba, std::move(dest), std::move(done), /*attempt=*/0,
+                  host_->sim().now());
 }
 
 bool CatfishLibOS::PollDevice() {

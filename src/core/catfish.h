@@ -24,12 +24,16 @@
 #include <vector>
 
 #include "src/core/libos.h"
+#include "src/core/recovery.h"
 #include "src/hw/block_device.h"
 
 namespace demi {
 
 struct CatfishConfig {
   std::uint64_t extent_blocks = 4096;  // 16 MiB per file at 4 KiB blocks
+  // When enabled, transient device errors (timeouts, media errors) are retried with
+  // the policy's backoff/deadline before surfacing kRetryExhausted to the caller.
+  RecoveryConfig recovery;
 };
 
 class CatfishLibOS final : public LibOS {
@@ -64,8 +68,15 @@ class CatfishLibOS final : public LibOS {
  private:
   friend class CatfishFileQueue;
 
+  // Common submit path: wraps `done` with the transient-error retry layer (when
+  // recovery is enabled) before handing the command to the device.
+  std::uint64_t SubmitIo(bool is_write, std::uint64_t lba, Buffer buf,
+                         CompletionFn done, int attempt, TimeNs started_at);
+
   BlockDevice* bdev_;
   CatfishConfig config_;
+  Rng retry_rng_;
+  std::shared_ptr<bool> alive_;  // guards scheduled resubmissions
   std::unordered_map<std::string, FileMeta> catalog_;
   std::uint64_t next_free_lba_ = 1;  // LBA 0 reserved
   std::uint64_t next_cmd_ = 1;

@@ -155,6 +155,22 @@ bool CatnapSocketQueue::Progress(CompletionSink& sink) {
   return progress;
 }
 
+Status CatnapSocketQueue::Cancel(QToken token) {
+  for (auto it = pending_pushes_.begin(); it != pending_pushes_.end(); ++it) {
+    if (it->token == token) {
+      pending_pushes_.erase(it);
+      return OkStatus();
+    }
+  }
+  for (auto it = pending_pops_.begin(); it != pending_pops_.end(); ++it) {
+    if (*it == token) {
+      pending_pops_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("token not pending on this queue");
+}
+
 Status CatnapSocketQueue::Close() {
   if (closed_) {
     return OkStatus();

@@ -52,6 +52,7 @@ class CatnapSocketQueue final : public IoQueue {
   Result<std::unique_ptr<IoQueue>> TryAccept() override;
   Status StartConnect(Endpoint remote) override;
   Status ConnectStatus() override;
+  Status Cancel(QToken token) override;
   Status Close() override;
 
  private:

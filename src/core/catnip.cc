@@ -1,12 +1,20 @@
 #include "src/core/catnip.h"
 
+#include <algorithm>
+
+#include "src/common/byte_order.h"
 #include "src/common/logging.h"
+#include "src/sim/counters.h"
 
 namespace demi {
 
 CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
                          CatnipConfig config)
-    : LibOS(host), nic_(nic) {
+    : LibOS(host),
+      nic_(nic),
+      kernel_(control_kernel),
+      config_(std::move(config)),
+      session_rng_(config_.recovery.seed ^ 0x5e5510d15ull) {
   // Control path (Figure 2): ask the kernel for a dedicated NIC queue, once.
   if (control_kernel != nullptr) {
     auto lease = control_kernel->AllocateNicQueue();
@@ -16,10 +24,10 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
     (void)control_kernel->MapForDevice(2 * 1024 * 1024);
   }
   NetStackConfig net_cfg;
-  net_cfg.ip = config.ip;
+  net_cfg.ip = config_.ip;
   net_cfg.nic_queue = nic_queue_;
-  net_cfg.tcp = config.tcp;
-  net_cfg.seed = config.seed;
+  net_cfg.tcp = config_.tcp;
+  net_cfg.seed = config_.seed;
   // Costs default to the user-level stack entries of the cost model.
   stack_ = std::make_unique<NetStack>(host, nic, net_cfg);
 }
@@ -35,6 +43,27 @@ Result<QDesc> CatnipLibOS::SocketUdp() {
 
 // --- CatnipTcpQueue ---
 
+CatnipTcpQueue::CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn)
+    : libos_(libos), conn_(conn) {
+  // Accepted plain connections (conn != null) never speak the recovery protocol:
+  // recovery sessions are built through the listener's embryo path instead, so a
+  // recovery-enabled server still interoperates with plain-mode peers.
+  recovery_ = libos->recovery().enabled && conn == nullptr;
+  if (recovery_) {
+    const RecoveryConfig& cfg = libos->recovery();
+    log_ = ReplayLog(cfg.replay_log_limit);
+    breaker_ = CircuitBreaker(cfg.breaker_threshold);
+    rng_ = Rng(cfg.seed ^ libos->NewSessionId());
+    alive_ = std::make_shared<bool>(true);
+  }
+}
+
+CatnipTcpQueue::~CatnipTcpQueue() {
+  if (recovery_ && session_id_ != 0 && libos_->FindSession(session_id_) == this) {
+    libos_->UnregisterSession(session_id_);
+  }
+}
+
 Status CatnipTcpQueue::Bind(std::uint16_t port) {
   bound_port_ = port;
   return OkStatus();
@@ -47,61 +76,130 @@ Status CatnipTcpQueue::Listen() {
   auto listener = libos_->stack().TcpListen(bound_port_);
   RETURN_IF_ERROR(listener.status());
   listener_ = *listener;
+  if (recovery_ && libos_->kernel() != nullptr) {
+    // Legacy-path twin: the same port on the kernel stack, so sessions can reattach
+    // even when the bypass NIC is gone.
+    SimKernel* kernel = libos_->kernel();
+    auto fd = kernel->Socket();
+    if (fd.ok() && kernel->Bind(*fd, bound_port_).ok() && kernel->Listen(*fd).ok()) {
+      kernel_listen_fd_ = *fd;
+    } else if (fd.ok()) {
+      (void)kernel->CloseFd(*fd);
+    }
+  }
   return OkStatus();
 }
 
 Result<std::unique_ptr<IoQueue>> CatnipTcpQueue::TryAccept() {
-  if (listener_ == nullptr) {
+  if (!recovery_) {
+    if (listener_ == nullptr) {
+      return Status(ErrorCode::kInvalidArgument, "not listening");
+    }
+    TcpConnection* conn = listener_->Accept();
+    if (conn == nullptr) {
+      return Status(ErrorCode::kWouldBlock);
+    }
+    return std::unique_ptr<IoQueue>(new CatnipTcpQueue(libos_, conn));
+  }
+  if (listener_ == nullptr && kernel_listen_fd_ < 0) {
     return Status(ErrorCode::kInvalidArgument, "not listening");
   }
-  TcpConnection* conn = listener_->Accept();
-  if (conn == nullptr) {
+  (void)ProgressListener(*libos_);
+  if (accept_ready_.empty()) {
     return Status(ErrorCode::kWouldBlock);
   }
-  return std::unique_ptr<IoQueue>(new CatnipTcpQueue(libos_, conn));
+  std::unique_ptr<IoQueue> q = std::move(accept_ready_.front());
+  accept_ready_.pop_front();
+  return q;
 }
 
 Status CatnipTcpQueue::StartConnect(Endpoint remote) {
-  if (conn_ != nullptr) {
+  if (!recovery_) {
+    if (conn_ != nullptr) {
+      return Status(ErrorCode::kAlreadyConnected, "connect");
+    }
+    auto conn = libos_->stack().TcpConnect(remote);
+    RETURN_IF_ERROR(conn.status());
+    conn_ = *conn;
+    return OkStatus();
+  }
+  if (session_id_ != 0) {
     return Status(ErrorCode::kAlreadyConnected, "connect");
   }
-  auto conn = libos_->stack().TcpConnect(remote);
-  RETURN_IF_ERROR(conn.status());
-  conn_ = *conn;
+  is_client_ = true;
+  session_id_ = libos_->NewSessionId();
+  primary_remote_ = remote;
+  outage_start_ = now();
+  attempt_ = 0;
+  target_ = Target::kFast;
+  in_outage_ = false;
+  // The initial dial goes through the same retry machinery as a mid-session outage,
+  // so a connect racing a fault is retried instead of surfacing kDeviceFailed.
+  BeginAttempt();
   return OkStatus();
 }
 
 Status CatnipTcpQueue::ConnectStatus() {
-  if (conn_ == nullptr) {
+  if (!recovery_) {
+    if (conn_ == nullptr) {
+      return NotConnected("connect not started");
+    }
+    if (libos_->stack().device_failed()) {
+      return DeviceFailed("nic is dead");
+    }
+    if (conn_->established()) {
+      return OkStatus();
+    }
+    if (conn_->dead()) {
+      return ConnectionRefused("connect failed");
+    }
+    return WouldBlock();
+  }
+  if (session_id_ == 0 || !is_client_) {
     return NotConnected("connect not started");
   }
-  if (libos_->stack().device_failed()) {
-    return DeviceFailed("nic is dead");
+  switch (phase_) {
+    case Phase::kActive:
+      return OkStatus();
+    case Phase::kFailed:
+      return stream_error_.ok() ? ConnectionRefused("connect failed") : stream_error_;
+    default:
+      return WouldBlock();
   }
-  if (conn_->established()) {
-    return OkStatus();
-  }
-  if (conn_->dead()) {
-    return ConnectionRefused("connect failed");
-  }
-  return WouldBlock();
 }
 
 Status CatnipTcpQueue::StartPush(QToken token, const SgArray& sga) {
   if (closed_) {
     return BadDescriptor("push on closed queue");
   }
-  if (conn_ == nullptr) {
+  if (!recovery_) {
+    if (conn_ == nullptr) {
+      return NotConnected("push before connect");
+    }
+    PendingPush push;
+    push.token = token;
+    // Zero copy: the wire parts reference the application's sga segments. The TCP
+    // stack holds those references until acknowledged — free-protection does the rest
+    // (§4.5).
+    for (Buffer& part : EncodeFrame(sga)) {
+      push.parts.push_back(std::move(part));
+    }
+    pending_pushes_.push_back(std::move(push));
+    return OkStatus();
+  }
+  if (session_id_ == 0) {
     return NotConnected("push before connect");
   }
-  PendingPush push;
-  push.token = token;
-  // Zero copy: the wire parts reference the application's sga segments. The TCP stack
-  // holds those references until acknowledged — free-protection does the rest (§4.5).
-  for (Buffer& part : EncodeFrame(sga)) {
-    push.parts.push_back(std::move(part));
+  if (phase_ == Phase::kFailed) {
+    QResult res;
+    res.op = OpType::kPush;
+    res.status = stream_error_.ok() ? ConnectionReset("session failed") : stream_error_;
+    libos_->CompleteOp(token, std::move(res));
+    return OkStatus();
   }
-  pending_pushes_.push_back(std::move(push));
+  // The push completes once the element enters the replay log (the session has taken
+  // responsibility for delivery); a full log exerts backpressure by parking the token.
+  staged_pushes_.emplace_back(token, sga);
   return OkStatus();
 }
 
@@ -109,14 +207,68 @@ Status CatnipTcpQueue::StartPop(QToken token) {
   if (closed_) {
     return BadDescriptor("pop on closed queue");
   }
-  if (conn_ == nullptr) {
+  if (!recovery_) {
+    if (conn_ == nullptr) {
+      return NotConnected("pop before connect");
+    }
+    pending_pops_.push_back(token);
+    return OkStatus();
+  }
+  if (session_id_ == 0) {
     return NotConnected("pop before connect");
   }
+  if (phase_ == Phase::kFailed && ready_elements_.empty()) {
+    QResult res;
+    res.op = OpType::kPop;
+    res.status = stream_error_.ok() ? ConnectionReset("session failed") : stream_error_;
+    libos_->CompleteOp(token, std::move(res));
+    return OkStatus();
+  }
   pending_pops_.push_back(token);
+  if (phase_ == Phase::kFailed) {
+    (void)ServePops();
+  }
   return OkStatus();
 }
 
+Status CatnipTcpQueue::Cancel(QToken token) {
+  for (auto it = staged_pushes_.begin(); it != staged_pushes_.end(); ++it) {
+    if (it->first == token) {
+      staged_pushes_.erase(it);
+      return OkStatus();
+    }
+  }
+  for (auto it = pending_pushes_.begin(); it != pending_pushes_.end(); ++it) {
+    if (it->token == token) {
+      pending_pushes_.erase(it);
+      return OkStatus();
+    }
+  }
+  for (auto it = pending_pops_.begin(); it != pending_pops_.end(); ++it) {
+    if (*it == token) {
+      pending_pops_.erase(it);
+      return OkStatus();
+    }
+  }
+  return NotFound("token not pending on this queue");
+}
+
 bool CatnipTcpQueue::Progress(CompletionSink& sink) {
+  if (!recovery_) {
+    return ProgressPlain(sink);
+  }
+  if (closed_) {
+    return false;
+  }
+  if (listener_ != nullptr || kernel_listen_fd_ >= 0) {
+    return ProgressListener(sink);
+  }
+  return ProgressRecovery(sink);
+}
+
+// The pre-recovery data path, unchanged — plus serving elements inherited from an
+// embryo handoff (preloaded_).
+bool CatnipTcpQueue::ProgressPlain(CompletionSink& sink) {
   if (closed_ || conn_ == nullptr) {
     return false;
   }
@@ -171,6 +323,16 @@ bool CatnipTcpQueue::Progress(CompletionSink& sink) {
     progress = true;
   }
 
+  while (!pending_pops_.empty() && !preloaded_.empty()) {
+    QResult res;
+    res.op = OpType::kPop;
+    res.sga = std::move(preloaded_.front());
+    preloaded_.pop_front();
+    sink.CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+    progress = true;
+  }
+
   // Zero-copy receive: stream slices feed the frame decoder directly.
   if (!pending_pops_.empty()) {
     while (true) {
@@ -218,13 +380,630 @@ bool CatnipTcpQueue::Progress(CompletionSink& sink) {
   return progress;
 }
 
+// --- recovery: listener ---
+
+bool CatnipTcpQueue::ProgressListener(CompletionSink& sink) {
+  (void)sink;
+  bool progress = false;
+  if (listener_ != nullptr) {
+    while (TcpConnection* c = listener_->Accept()) {
+      Embryo embryo;
+      embryo.transport.AttachFast(c);
+      embryos_.push_back(std::move(embryo));
+      progress = true;
+    }
+  }
+  SimKernel* kernel = libos_->kernel();
+  if (kernel_listen_fd_ >= 0 && kernel != nullptr) {
+    while (kernel->AcceptReady(kernel_listen_fd_)) {
+      auto fd = kernel->Accept(kernel_listen_fd_);
+      if (!fd.ok()) {
+        break;
+      }
+      Embryo embryo;
+      embryo.transport.AttachLegacyAccepted(kernel, *fd);
+      embryos_.push_back(std::move(embryo));
+      progress = true;
+    }
+  }
+  for (auto it = embryos_.begin(); it != embryos_.end();) {
+    if (PumpEmbryo(*it)) {
+      it = embryos_.erase(it);
+      progress = true;
+    } else {
+      ++it;
+    }
+  }
+  return progress;
+}
+
+// Returns true when the embryo resolved (adopted, promoted, or dropped).
+bool CatnipTcpQueue::PumpEmbryo(Embryo& embryo) {
+  while (true) {
+    Buffer chunk = embryo.transport.Recv(65536);
+    if (chunk.empty()) {
+      break;
+    }
+    embryo.decoder.Feed(std::move(chunk));
+  }
+  auto decoded = embryo.decoder.Next();
+  if (!decoded.ok()) {
+    embryo.transport.Abort();  // garbage framing before identifying itself
+    return true;
+  }
+  if (!decoded->has_value()) {
+    if (embryo.transport.dead()) {
+      embryo.transport.Abort();
+      return true;
+    }
+    return false;  // first frame not complete yet
+  }
+  SgArray first = std::move(**decoded);
+  if (auto hello = ParseHello(first); hello.has_value() && !hello->is_ack) {
+    CatnipTcpQueue* existing = libos_->FindSession(hello->session_id);
+    if (existing != nullptr) {
+      // Reattach: route the new transport to the live session, silently.
+      existing->AdoptTransport(std::move(embryo.transport), std::move(embryo.decoder),
+                               hello->last_rx_seq);
+    } else {
+      auto queue = std::unique_ptr<CatnipTcpQueue>(new CatnipTcpQueue(libos_, nullptr));
+      queue->is_client_ = false;
+      queue->session_id_ = hello->session_id;
+      libos_->RegisterSession(queue->session_id_, queue.get());
+      queue->AdoptTransport(std::move(embryo.transport), std::move(embryo.decoder),
+                            hello->last_rx_seq);
+      accept_ready_.push_back(std::move(queue));
+    }
+    return true;
+  }
+  if (embryo.transport.kind() == FailoverTransport::Kind::kFast) {
+    // A plain-mode peer: the embryo becomes an ordinary queue, keeping the decoder
+    // state and the already-decoded first element.
+    TcpConnection* conn = embryo.transport.ReleaseFast();
+    auto queue = std::unique_ptr<CatnipTcpQueue>(new CatnipTcpQueue(libos_, conn));
+    queue->decoder_ = std::move(embryo.decoder);
+    queue->preloaded_.push_back(std::move(first));
+    accept_ready_.push_back(std::move(queue));
+    return true;
+  }
+  embryo.transport.Abort();  // legacy-path peer that doesn't speak recovery
+  return true;
+}
+
+void CatnipTcpQueue::AdoptTransport(FailoverTransport transport, FrameDecoder decoder,
+                                    std::uint64_t peer_last_rx) {
+  ++attempt_epoch_;  // cancels any park-deadline or attempt timer
+  transport_ = std::move(transport);
+  decoder_ = std::move(decoder);
+  log_.EvictThroughSeq(peer_last_rx);
+  log_.MarkAllUnwritten();
+  wire_parts_.clear();
+  control_parts_.clear();
+  bytes_sent_ = 0;
+  clean_eof_ = false;
+  attempt_ = 0;
+  in_outage_ = false;
+  breaker_.RecordSuccess();
+  QueueControlFrame(HelloFrame{/*is_ack=*/true, /*is_ping=*/false, session_id_,
+                               last_rx_seq_});
+  phase_ = Phase::kActive;
+  last_rx_activity_ = now();
+  ArmKeepalive();
+}
+
+// --- recovery: connecting-side state machine ---
+
+void CatnipTcpQueue::BeginAttempt() {
+  if (now() > OutageDeadline()) {
+    GiveUp(RetryExhausted("recovery deadline exceeded"));
+    return;
+  }
+  if (in_outage_ || attempt_ > 0) {
+    libos_->host().Count(Counter::kRetriesAttempted);
+  }
+  bool dialing = false;
+  if (target_ == Target::kFast) {
+    if (!libos_->stack().device_failed()) {
+      auto conn = libos_->stack().TcpConnect(primary_remote_);
+      if (conn.ok()) {
+        transport_.AttachFast(*conn);
+        dialing = true;
+      }
+    }
+  } else if (libos_->kernel() != nullptr) {
+    const RecoveryConfig& cfg = libos_->recovery();
+    const Endpoint remote =
+        cfg.has_fallback_remote ? cfg.fallback_remote : primary_remote_;
+    dialing = transport_.ConnectLegacy(libos_->kernel(), remote).ok();
+  }
+  if (!dialing) {
+    OnAttemptFailed();
+    return;
+  }
+  phase_ = Phase::kConnecting;
+  ArmAttemptTimer();
+}
+
+void CatnipTcpQueue::OnAttemptEstablished() {
+  // Fresh byte stream: everything unacknowledged must be re-sent behind a HELLO.
+  decoder_ = FrameDecoder();
+  control_parts_.clear();
+  wire_parts_.clear();
+  bytes_sent_ = 0;
+  log_.MarkAllUnwritten();
+  QueueControlFrame(HelloFrame{/*is_ack=*/false, /*is_ping=*/false, session_id_,
+                               last_rx_seq_});
+  phase_ = Phase::kHandshake;
+  // The attempt timer armed by BeginAttempt stays live: it covers the handshake too.
+}
+
+void CatnipTcpQueue::OnAttemptFailed() {
+  ++attempt_epoch_;
+  transport_.Abort();
+  phase_ = Phase::kIdle;
+  const RetryPolicy& policy = libos_->recovery().retry;
+  ++attempt_;
+  if (attempt_ >= policy.max_attempts) {
+    if (target_ == Target::kFast) {
+      if (breaker_.RecordExhaustion()) {
+        libos_->host().Count(Counter::kBreakerTrips);
+      }
+      // Fast path exhausted this outage: fail over to the legacy kernel path.
+      target_ = Target::kLegacy;
+      attempt_ = 0;
+    } else {
+      GiveUp(RetryExhausted("fast and legacy paths exhausted"));
+      return;
+    }
+  }
+  const TimeNs delay = policy.BackoffBeforeAttempt(attempt_, rng_);
+  if (now() + delay > OutageDeadline()) {
+    GiveUp(RetryExhausted("recovery deadline exceeded"));
+    return;
+  }
+  ScheduleGuarded(delay, [this] {
+    if (phase_ == Phase::kIdle) {
+      BeginAttempt();
+    }
+  });
+}
+
+void CatnipTcpQueue::OnHandshakeComplete() {
+  ++attempt_epoch_;  // disarms the attempt timer
+  phase_ = Phase::kActive;
+  attempt_ = 0;
+  in_outage_ = false;
+  last_rx_activity_ = now();
+  ArmKeepalive();
+  breaker_.RecordSuccess();
+  if (transport_.kind() == FailoverTransport::Kind::kLegacy) {
+    if (!failed_over_) {
+      failed_over_ = true;
+      libos_->host().Count(Counter::kFailovers);
+    }
+  } else if (failed_over_) {
+    failed_over_ = false;
+    libos_->host().Count(Counter::kFastPathRepromotions);
+  }
+}
+
+void CatnipTcpQueue::StartOutage() {
+  // A tripped breaker skips the fast-path attempts this outage would burn.
+  Redial(breaker_.tripped() ? Target::kLegacy : Target::kFast, /*count_as_outage=*/true);
+}
+
+void CatnipTcpQueue::Redial(Target target, bool count_as_outage) {
+  ++attempt_epoch_;
+  transport_.Abort();
+  outage_start_ = now();
+  attempt_ = 0;
+  target_ = target;
+  in_outage_ = count_as_outage;
+  phase_ = Phase::kIdle;
+  BeginAttempt();
+}
+
+void CatnipTcpQueue::Park() {
+  ++attempt_epoch_;
+  transport_.Abort();
+  phase_ = Phase::kParked;
+  outage_start_ = now();
+  // A parked session holds its state for the peer to reattach, but not forever.
+  ScheduleGuarded(libos_->recovery().retry.deadline_ns, [this] {
+    if (phase_ == Phase::kParked) {
+      GiveUp(RetryExhausted("peer did not reattach before the deadline"));
+    }
+  });
+}
+
+void CatnipTcpQueue::GiveUp(Status cause) {
+  ++attempt_epoch_;
+  transport_.Abort();
+  stream_error_ = cause;
+  phase_ = Phase::kFailed;
+  if (cause.code() == ErrorCode::kRetryExhausted) {
+    libos_->host().Count(Counter::kRetryGiveups);
+  }
+  if (session_id_ != 0 && libos_->FindSession(session_id_) == this) {
+    libos_->UnregisterSession(session_id_);
+  }
+  // Serve what was salvaged, then fail everything still pending — no hung qtokens.
+  (void)ServePops();
+  while (!pending_pops_.empty()) {
+    QResult res;
+    res.op = OpType::kPop;
+    res.status = cause;
+    libos_->CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+  }
+  const Status push_err =
+      cause.code() == ErrorCode::kEndOfFile ? ConnectionReset("peer closed") : cause;
+  while (!staged_pushes_.empty()) {
+    QResult res;
+    res.op = OpType::kPush;
+    res.status = push_err;
+    libos_->CompleteOp(staged_pushes_.front().first, std::move(res));
+    staged_pushes_.pop_front();
+  }
+}
+
+// --- recovery: session data path ---
+
+bool CatnipTcpQueue::ProgressRecovery(CompletionSink& sink) {
+  (void)sink;  // recovery completions go through libos_ (timers have no sink)
+  if (session_id_ == 0) {
+    return false;  // socket created but neither connected nor adopted
+  }
+  bool progress = false;
+  health_.Observe(libos_->nic().link_up(),
+                  libos_->nic().failed() || libos_->stack().device_failed(), now());
+  switch (phase_) {
+    case Phase::kIdle:   // a backoff timer owns the next step
+    case Phase::kFailed:
+      break;
+    case Phase::kConnecting:
+      if (transport_.established()) {
+        OnAttemptEstablished();
+        progress = true;
+      } else if (TransportDied()) {
+        OnAttemptFailed();
+        progress = true;
+      }
+      break;
+    case Phase::kHandshake:
+      if (TransportDied()) {
+        OnAttemptFailed();
+        progress = true;
+        break;
+      }
+      progress |= PumpWriter();
+      progress |= PumpReader(/*force=*/true);
+      break;
+    case Phase::kActive: {
+      if (transport_.recv_eof()) {
+        clean_eof_ = true;
+      }
+      if (TransportDied()) {
+        progress = true;
+        SalvageDrain();
+        if (clean_eof_) {
+          GiveUp(EndOfFile());
+        } else if (is_client_) {
+          StartOutage();
+        } else {
+          Park();
+        }
+        break;
+      }
+      progress |= StageToLog();
+      progress |= PumpWriter();
+      log_.EvictAcked(bytes_sent_ - transport_.unacked_bytes());
+      progress |= PumpReader(/*force=*/false);
+      progress |= ServePops();
+      // Fast-path re-promotion: once a flapped device has been continuously healthy
+      // long enough, voluntarily migrate back (salvaging buffered bytes first).
+      if (phase_ == Phase::kActive && is_client_ &&
+          transport_.kind() == FailoverTransport::Kind::kLegacy &&
+          !libos_->stack().device_failed() &&
+          health_.health() == DeviceHealth::kHealthy &&
+          health_.HealthyFor(now()) >= libos_->recovery().repromote_after_ns) {
+        SalvageDrain();
+        Redial(Target::kFast, /*count_as_outage=*/false);
+        progress = true;
+      }
+      break;
+    }
+    case Phase::kParked:
+      progress |= StageToLog();
+      progress |= ServePops();
+      break;
+  }
+  return progress;
+}
+
+bool CatnipTcpQueue::StageToLog() {
+  bool progress = false;
+  while (!staged_pushes_.empty() && !log_.full()) {
+    auto& [token, sga] = staged_pushes_.front();
+    log_.Append(next_seq_++, std::move(sga));
+    QResult res;
+    res.op = OpType::kPush;
+    libos_->CompleteOp(token, std::move(res));
+    staged_pushes_.pop_front();
+    progress = true;
+  }
+  return progress;
+}
+
+bool CatnipTcpQueue::PumpWriter() {
+  if (!transport_.established()) {
+    return false;
+  }
+  bool progress = false;
+  while (!control_parts_.empty()) {
+    const std::size_t n = control_parts_.front().size();
+    const Status status = transport_.Send(control_parts_.front());
+    if (!status.ok()) {
+      return progress;  // stalled or dying; the phase machine notices death
+    }
+    bytes_sent_ += n;
+    control_parts_.pop_front();
+    progress = true;
+  }
+  while (true) {
+    if (wire_parts_.empty()) {
+      ReplayLog::Entry* next = log_.NextUnwritten();
+      if (next == nullptr) {
+        break;
+      }
+      wire_seq_ = next->seq;
+      Buffer seq_hdr = Buffer::Allocate(kRecoverySeqHeader);
+      ByteWriter writer(seq_hdr.mutable_span());
+      writer.U64(next->seq);
+      SgArray wire(std::move(seq_hdr));
+      for (const Buffer& seg : next->element.segments()) {
+        wire.Append(seg);
+      }
+      for (Buffer& part : EncodeFrame(wire)) {
+        wire_parts_.push_back(std::move(part));
+      }
+    }
+    bool stalled = false;
+    while (!wire_parts_.empty()) {
+      const std::size_t n = wire_parts_.front().size();
+      const Status status = transport_.Send(wire_parts_.front());
+      if (!status.ok()) {
+        stalled = true;
+        break;
+      }
+      bytes_sent_ += n;
+      wire_parts_.pop_front();
+      progress = true;
+    }
+    if (stalled) {
+      break;
+    }
+    // The entry whose parts just drained is fully on the wire at offset bytes_sent_.
+    for (ReplayLog::Entry& entry : log_.entries()) {
+      if (entry.seq == wire_seq_) {
+        entry.written = true;
+        entry.end_offset = bytes_sent_;
+        break;
+      }
+    }
+  }
+  return progress;
+}
+
+bool CatnipTcpQueue::PumpReader(bool force) {
+  if (!force && pending_pops_.empty()) {
+    return false;  // rely on transport flow control to bound buffering
+  }
+  bool progress = false;
+  while (true) {
+    Buffer chunk = transport_.Recv(65536);
+    if (chunk.empty()) {
+      break;
+    }
+    last_rx_activity_ = now();
+    decoder_.Feed(std::move(chunk));
+    progress = true;
+  }
+  while (true) {
+    auto decoded = decoder_.Next();
+    if (!decoded.ok()) {
+      GiveUp(decoded.status());  // corrupt framing is unrecoverable in-session
+      return true;
+    }
+    if (!decoded->has_value()) {
+      break;
+    }
+    ProcessFrame(**decoded);
+    progress = true;
+  }
+  return progress;
+}
+
+void CatnipTcpQueue::ProcessFrame(const SgArray& body) {
+  if (auto hello = ParseHello(body); hello.has_value()) {
+    if (hello->is_ack && phase_ == Phase::kHandshake) {
+      log_.EvictThroughSeq(hello->last_rx_seq);
+      OnHandshakeComplete();
+    }
+    return;
+  }
+  std::uint64_t seq = 0;
+  if (!ReadSeqHeader(body, &seq) || seq == kRecoveryControlSeq) {
+    return;  // runt or unrecognized control frame
+  }
+  if (seq <= last_rx_seq_) {
+    return;  // duplicate from a replay: already delivered
+  }
+  last_rx_seq_ = seq;
+  ready_elements_.push_back(StripBytes(body, kRecoverySeqHeader));
+}
+
+bool CatnipTcpQueue::ServePops() {
+  bool progress = false;
+  while (!pending_pops_.empty() && !ready_elements_.empty()) {
+    QResult res;
+    res.op = OpType::kPop;
+    res.sga = std::move(ready_elements_.front());
+    ready_elements_.pop_front();
+    libos_->CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+    progress = true;
+  }
+  if (phase_ == Phase::kActive && ready_elements_.empty() &&
+      (clean_eof_ || transport_.recv_eof())) {
+    while (!pending_pops_.empty()) {
+      QResult res;
+      res.op = OpType::kPop;
+      res.status = EndOfFile();
+      libos_->CompleteOp(pending_pops_.front(), std::move(res));
+      pending_pops_.pop_front();
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+void CatnipTcpQueue::SalvageDrain() {
+  // TCP keeps in-order — hence transport-acknowledged — data readable even after a
+  // reset, and the peer's replay log only evicts acknowledged bytes. Draining here
+  // therefore recovers exactly the elements the peer will not replay.
+  while (true) {
+    Buffer chunk = transport_.Recv(65536);
+    if (chunk.empty()) {
+      break;
+    }
+    decoder_.Feed(std::move(chunk));
+  }
+  while (true) {
+    auto decoded = decoder_.Next();
+    if (!decoded.ok() || !decoded->has_value()) {
+      break;
+    }
+    ProcessFrame(**decoded);
+  }
+}
+
+void CatnipTcpQueue::QueueControlFrame(const HelloFrame& hello) {
+  SgArray body(EncodeHello(hello));
+  for (Buffer& part : EncodeFrame(body)) {
+    control_parts_.push_back(std::move(part));
+  }
+}
+
+void CatnipTcpQueue::ArmKeepalive() {
+  const TimeNs idle = libos_->recovery().keepalive_idle_ns;
+  if (idle == 0 || keepalive_armed_) {
+    return;
+  }
+  keepalive_armed_ = true;
+  // Deliberately NOT ScheduleGuarded: attempt epochs advance on every reconnect,
+  // but the keepalive guards the whole session. Only destruction or close kill it.
+  std::weak_ptr<bool> alive = alive_;
+  libos_->sim().Schedule(idle, [this, alive] {
+    if (alive.expired() || closed_) {
+      return;
+    }
+    keepalive_armed_ = false;
+    KeepaliveTick();
+  });
+}
+
+void CatnipTcpQueue::KeepaliveTick() {
+  if (phase_ != Phase::kActive) {
+    return;  // re-armed when the session next (re)activates
+  }
+  if (!pending_pops_.empty() && transport_.established() &&
+      now() - last_rx_activity_ >= libos_->recovery().keepalive_idle_ns) {
+    HelloFrame ping;
+    ping.is_ping = true;
+    ping.session_id = session_id_;
+    ping.last_rx_seq = last_rx_seq_;
+    QueueControlFrame(ping);
+    PumpWriter();
+  }
+  ArmKeepalive();
+}
+
+void CatnipTcpQueue::ArmAttemptTimer() {
+  ScheduleGuarded(libos_->recovery().retry.attempt_timeout_ns, [this] {
+    if (phase_ == Phase::kConnecting || phase_ == Phase::kHandshake) {
+      OnAttemptFailed();
+    }
+  });
+}
+
+void CatnipTcpQueue::ScheduleGuarded(TimeNs delay, std::function<void()> fn) {
+  std::weak_ptr<bool> alive = alive_;
+  const std::uint64_t epoch = attempt_epoch_;
+  libos_->sim().Schedule(delay, [this, alive, epoch, fn = std::move(fn)] {
+    if (alive.expired() || closed_ || epoch != attempt_epoch_) {
+      return;  // the queue is gone, or the state machine moved past this timer
+    }
+    fn();
+  });
+}
+
+bool CatnipTcpQueue::TransportDied() const {
+  if (transport_.kind() == FailoverTransport::Kind::kFast &&
+      libos_->stack().device_failed()) {
+    return true;
+  }
+  return transport_.dead();
+}
+
+TimeNs CatnipTcpQueue::now() const { return libos_->sim().now(); }
+
+TimeNs CatnipTcpQueue::OutageDeadline() const {
+  return outage_start_ + libos_->recovery().retry.deadline_ns;
+}
+
 Status CatnipTcpQueue::Close() {
   if (closed_) {
     return OkStatus();
   }
   closed_ = true;
-  if (conn_ != nullptr) {
-    conn_->Close();
+  if (!recovery_) {
+    if (conn_ != nullptr) {
+      conn_->Close();
+    }
+    return OkStatus();
+  }
+  ++attempt_epoch_;
+  if (kernel_listen_fd_ >= 0 && libos_->kernel() != nullptr) {
+    (void)libos_->kernel()->CloseFd(kernel_listen_fd_);
+    kernel_listen_fd_ = -1;
+  }
+  for (Embryo& embryo : embryos_) {
+    embryo.transport.Abort();
+  }
+  embryos_.clear();
+  accept_ready_.clear();
+  while (!pending_pops_.empty()) {
+    QResult res;
+    res.op = OpType::kPop;
+    res.status = Cancelled("queue closed");
+    libos_->CompleteOp(pending_pops_.front(), std::move(res));
+    pending_pops_.pop_front();
+  }
+  while (!staged_pushes_.empty()) {
+    QResult res;
+    res.op = OpType::kPush;
+    res.status = Cancelled("queue closed");
+    libos_->CompleteOp(staged_pushes_.front().first, std::move(res));
+    staged_pushes_.pop_front();
+  }
+  if (session_id_ != 0 && libos_->FindSession(session_id_) == this) {
+    libos_->UnregisterSession(session_id_);
+  }
+  transport_.Reset();  // graceful close on whichever path is live
+  if (phase_ != Phase::kFailed) {
+    phase_ = Phase::kFailed;
+    stream_error_ = Cancelled("queue closed");
   }
   return OkStatus();
 }

@@ -13,15 +13,28 @@
 // Catnip also offers UDP queues where one datagram = one queue element. Those are the
 // offload showcase: on a SmartNIC-capable device, a filter() over a UDP queue is
 // installed as an on-NIC program and filtered packets never cost host CPU (§4.3).
+//
+// Recovery mode (opt-in via CatnipConfig::recovery): TCP queues become *sessions*
+// that survive the death of the transport underneath them. Pushed elements carry a
+// sequence number and are retained in a bounded replay log until transport-level
+// acknowledgment; when the bypass NIC dies or a flapped link kills the connection,
+// the connecting side re-dials — fast path first with backoff, then the legacy
+// kernel stack once a circuit breaker trips — replays the unacknowledged suffix,
+// and resumes pending qtokens. Listeners accept on both paths and route a reattach
+// HELLO to the live session. See src/core/recovery.h and DESIGN.md "Recovery model".
 
 #ifndef SRC_CORE_CATNIP_H_
 #define SRC_CORE_CATNIP_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "src/core/libos.h"
+#include "src/core/recovery.h"
 #include "src/hw/nic.h"
 #include "src/kernel/kernel.h"
 #include "src/net/framing.h"
@@ -29,16 +42,20 @@
 
 namespace demi {
 
+class CatnipTcpQueue;
+
 struct CatnipConfig {
   Ipv4Address ip;
   TcpConfig tcp;
   std::uint64_t seed = 11;
+  RecoveryConfig recovery;  // disabled by default; the plain path is untouched
 };
 
 class CatnipLibOS final : public LibOS {
  public:
   // `control_kernel` may be null (no kernel on the host); then the libOS takes NIC
   // queue 0 directly. With a kernel, the queue is leased through the control path.
+  // Recovery mode requires a kernel (the legacy path runs through it).
   CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel, CatnipConfig config);
   // Queue destructors (UDP unbind) reach into the stack; drop them while it lives.
   ~CatnipLibOS() override { DestroyQueues(); }
@@ -47,23 +64,40 @@ class CatnipLibOS final : public LibOS {
   NetStack& stack() { return *stack_; }
   SimNic& nic() { return *nic_; }
   int nic_queue() const { return nic_queue_; }
+  SimKernel* kernel() { return kernel_; }
+  const RecoveryConfig& recovery() const { return config_.recovery; }
 
   Result<QDesc> SocketUdp() override;
+
+  // --- session registry (recovery listeners route reattach HELLOs here) ---
+  std::uint64_t NewSessionId() { return session_rng_.NextU64() | 1; }  // never 0
+  void RegisterSession(std::uint64_t sid, CatnipTcpQueue* queue) { sessions_[sid] = queue; }
+  void UnregisterSession(std::uint64_t sid) { sessions_.erase(sid); }
+  CatnipTcpQueue* FindSession(std::uint64_t sid) {
+    auto it = sessions_.find(sid);
+    return it == sessions_.end() ? nullptr : it->second;
+  }
 
  protected:
   Result<std::unique_ptr<IoQueue>> NewSocketQueue() override;
 
  private:
   SimNic* nic_;
+  SimKernel* kernel_ = nullptr;
+  CatnipConfig config_;
   int nic_queue_ = 0;
   std::unique_ptr<NetStack> stack_;
+  Rng session_rng_;
+  std::unordered_map<std::uint64_t, CatnipTcpQueue*> sessions_;
 };
 
-// TCP socket queue: framed atomic units over the user-level byte stream.
+// TCP socket queue: framed atomic units over the user-level byte stream. In recovery
+// mode the queue is a session whose byte stream can migrate between the bypass path
+// and the legacy-kernel path (see file header).
 class CatnipTcpQueue final : public IoQueue {
  public:
-  CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn)
-      : libos_(libos), conn_(conn) {}
+  CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn);
+  ~CatnipTcpQueue() override;
 
   Status StartPush(QToken token, const SgArray& sga) override;
   Status StartPop(QToken token) override;
@@ -74,18 +108,85 @@ class CatnipTcpQueue final : public IoQueue {
   Result<std::unique_ptr<IoQueue>> TryAccept() override;
   Status StartConnect(Endpoint remote) override;
   Status ConnectStatus() override;
+  Status Cancel(QToken token) override;
   Status Close() override;
 
   TcpConnection* connection() { return conn_; }
 
+  // --- recovery-mode introspection (tests/stats) ---
+  bool recovery_enabled() const { return recovery_; }
+  std::uint64_t session_id() const { return session_id_; }
+  FailoverTransport::Kind transport_kind() const { return transport_.kind(); }
+  const HealthMonitor& health() const { return health_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  std::size_t replay_log_size() const { return log_.size(); }
+
  private:
+  friend class CatnipLibOS;
+
   struct PendingPush {
     QToken token;
     std::deque<Buffer> parts;
   };
 
+  // A just-accepted connection whose first frame decides its fate: a HELLO makes it
+  // a recovery session (new, or a reattach to a live one); any other frame means a
+  // plain-mode peer and the embryo becomes an ordinary queue.
+  struct Embryo {
+    FailoverTransport transport;
+    FrameDecoder decoder;
+  };
+
+  enum class Phase : std::uint8_t {
+    kIdle,        // between reconnect attempts (a timer owns the next step)
+    kConnecting,  // transport dialing
+    kHandshake,   // transport up; HELLO sent, replay started, waiting for the ACK
+    kActive,      // session attached and flowing
+    kParked,      // server side: transport died, waiting for the peer to reattach
+    kFailed,      // recovery gave up; stream_error_ is terminal
+  };
+  enum class Target : std::uint8_t { kFast, kLegacy };
+
+  // --- plain path (byte-identical to the pre-recovery code) ---
+  bool ProgressPlain(CompletionSink& sink);
+
+  // --- recovery path ---
+  bool ProgressRecovery(CompletionSink& sink);
+  bool ProgressListener(CompletionSink& sink);
+  bool PumpEmbryo(Embryo& embryo);
+  void BeginAttempt();
+  void OnAttemptEstablished();
+  void OnAttemptFailed();
+  void OnHandshakeComplete();
+  void StartOutage();  // client: transport died mid-session; start re-dialing
+  // Drops the current transport and dials `target` afresh. `count_as_outage`
+  // distinguishes forced reconnects (counted as retries) from voluntary
+  // re-promotion dials.
+  void Redial(Target target, bool count_as_outage);
+  void Park();         // server: transport died; wait for the peer to reattach
+  void AdoptTransport(FailoverTransport transport, FrameDecoder decoder,
+                      std::uint64_t peer_last_rx);
+  void GiveUp(Status cause);
+  void SalvageDrain();  // drain acknowledged bytes off a dead transport
+  bool StageToLog();    // staged pushes -> replay log (completes their tokens)
+  bool PumpWriter();    // control frames + next unwritten log entry -> transport
+  bool PumpReader(bool force);
+  void ProcessFrame(const SgArray& body);
+  bool ServePops();
+  void QueueControlFrame(const HelloFrame& hello);
+  // Keepalive: probe an idle peer we owe a pop from, so a silently dead one turns
+  // into transport death. The timer outlives attempt epochs (it guards the whole
+  // session, not one attempt), re-arming itself while the session is active.
+  void ArmKeepalive();
+  void KeepaliveTick();
+  void ArmAttemptTimer();
+  void ScheduleGuarded(TimeNs delay, std::function<void()> fn);
+  bool TransportDied() const;
+  TimeNs now() const;
+  TimeNs OutageDeadline() const;
+
   CatnipLibOS* libos_;
-  TcpConnection* conn_ = nullptr;  // null until connect/accept
+  TcpConnection* conn_ = nullptr;  // null until connect/accept (plain path)
   TcpListener* listener_ = nullptr;
   std::uint16_t bound_port_ = 0;
   bool closed_ = false;
@@ -93,6 +194,45 @@ class CatnipTcpQueue final : public IoQueue {
   Status stream_error_;
   std::deque<PendingPush> pending_pushes_;
   std::deque<QToken> pending_pops_;
+  // Elements decoded before this queue existed (embryo handoff of a plain peer).
+  std::deque<SgArray> preloaded_;
+
+  // --- recovery session state (untouched when recovery_ is false) ---
+  bool recovery_ = false;
+  bool is_client_ = false;
+  std::uint64_t session_id_ = 0;
+  Endpoint primary_remote_{};
+  Phase phase_ = Phase::kIdle;
+  Target target_ = Target::kFast;
+  FailoverTransport transport_;
+  ReplayLog log_{0};
+  std::uint64_t next_seq_ = 1;      // sequence for the next staged element
+  std::uint64_t last_rx_seq_ = 0;   // highest element sequence delivered
+  std::uint64_t bytes_sent_ = 0;    // stream offset on the current transport
+  std::uint64_t wire_seq_ = 0;      // log entry the wire parts belong to
+  std::deque<Buffer> control_parts_;
+  std::deque<Buffer> wire_parts_;
+  std::deque<std::pair<QToken, SgArray>> staged_pushes_;
+  std::deque<SgArray> ready_elements_;
+  int attempt_ = 0;
+  bool in_outage_ = false;  // reconnecting after an established session died
+  TimeNs outage_start_ = 0;
+  CircuitBreaker breaker_{1};
+  HealthMonitor health_;
+  bool failed_over_ = false;   // currently running on the legacy path
+  bool clean_eof_ = false;     // peer FIN consumed: stream end, not an outage
+  TimeNs last_rx_activity_ = 0;   // when bytes last arrived on the transport
+  bool keepalive_armed_ = false;  // at most one keepalive timer in flight
+  Rng rng_{0};
+  // Guards timer callbacks against queue destruction (weak) and stale attempts
+  // (epoch: bumped whenever the state machine moves past what a timer armed).
+  std::shared_ptr<bool> alive_;
+  std::uint64_t attempt_epoch_ = 0;
+
+  // --- recovery listener state ---
+  int kernel_listen_fd_ = -1;
+  std::deque<Embryo> embryos_;
+  std::deque<std::unique_ptr<CatnipTcpQueue>> accept_ready_;
 };
 
 // UDP datagram queue: one datagram = one element; filter-offload capable.

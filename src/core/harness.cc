@@ -42,12 +42,30 @@ TestHarness::Host& TestHarness::AddHost(const std::string& name, const std::stri
     host->bdev = std::make_unique<BlockDevice>(host->cpu.get());
     host->bdev->AttachFaultInjector(&faults_);
   }
+  host->kernel_ip = host->ip;
+  if (options.with_kernel_nic && options.with_kernel) {
+    // Dedicated kernel NIC: a plain device on its own MAC and a derived IP, so the
+    // legacy kernel path keeps working when the bypass NIC dies.
+    NicConfig knic_cfg;
+    knic_cfg.num_queues = 1;
+    host->knic = std::make_unique<SimNic>(host->cpu.get(), &fabric_,
+                                          MacAddress::ForHost(1000 + next_host_id_ - 1),
+                                          knic_cfg);
+    host->knic->AttachFaultInjector(&faults_);
+    host->kernel_ip = Ipv4Address{host->ip.addr + (100u << 16)};
+  }
   if (options.with_kernel) {
     SimKernelConfig kcfg;
-    kcfg.ip = host->ip;
+    kcfg.ip = host->kernel_ip;
     kcfg.tcp = options.tcp;
-    host->kernel = std::make_unique<SimKernel>(host->cpu.get(), host->nic.get(),
+    SimNic* kernel_nic = host->knic != nullptr ? host->knic.get() : host->nic.get();
+    host->kernel = std::make_unique<SimKernel>(host->cpu.get(), kernel_nic,
                                                host->bdev.get(), kcfg);
+    if (host->knic != nullptr && host->nic != nullptr) {
+      // The kernel's stack runs on the dedicated NIC; bypass-queue leases for
+      // libOSes still come from the (separate) bypass device.
+      host->kernel->SetBypassNic(host->nic.get());
+    }
   }
   hosts_.push_back(std::move(host));
   return *hosts_.back();
@@ -73,6 +91,20 @@ CatnipLibOS& TestHarness::Catnip(Host& host) {
   return *out;
 }
 
+CatnipLibOS& TestHarness::Catnip(Host& host, RecoveryConfig recovery) {
+  DEMI_CHECK(host.nic != nullptr);
+  CatnipConfig cfg;
+  cfg.ip = host.ip;
+  cfg.tcp = host.options.tcp;
+  cfg.recovery = std::move(recovery);
+  cfg.recovery.enabled = true;
+  auto libos =
+      std::make_unique<CatnipLibOS>(host.cpu.get(), host.nic.get(), host.kernel.get(), cfg);
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
 CatmintLibOS& TestHarness::Catmint(Host& host) {
   DEMI_CHECK(host.rdma != nullptr);
   CatmintConfig cfg;
@@ -83,9 +115,10 @@ CatmintLibOS& TestHarness::Catmint(Host& host) {
   return *out;
 }
 
-CatfishLibOS& TestHarness::Catfish(Host& host) {
+CatfishLibOS& TestHarness::Catfish(Host& host, CatfishConfig config) {
   DEMI_CHECK(host.bdev != nullptr);
-  auto libos = std::make_unique<CatfishLibOS>(host.cpu.get(), host.bdev.get());
+  auto libos =
+      std::make_unique<CatfishLibOS>(host.cpu.get(), host.bdev.get(), std::move(config));
   auto* out = libos.get();
   host.liboses.push_back(std::move(libos));
   return *out;

@@ -30,6 +30,10 @@ struct HostOptions {
   bool with_rdma = false;
   bool with_block_device = false;
   bool with_kernel = true;       // legacy kernel (needed for Catnap and control path)
+  // Gives the legacy kernel its own (plain, reliable) NIC instead of sharing the
+  // bypass NIC, so the kernel path survives bypass-device death. The kernel stack
+  // then lives at Host::kernel_ip. Used by recovery-mode failover tests.
+  bool with_kernel_nic = false;
   bool charges_clock = true;     // false for load-generator hosts
   int nic_queues = 2;            // queue 0 for the kernel, 1+ leased to libOSes
   bool nic_offload = false;      // SmartNIC capability
@@ -46,8 +50,10 @@ class TestHarness {
   struct Host {
     std::string name;
     Ipv4Address ip;
+    Ipv4Address kernel_ip;  // kernel stack's address (== ip unless with_kernel_nic)
     std::unique_ptr<HostCpu> cpu;
     std::unique_ptr<SimNic> nic;
+    std::unique_ptr<SimNic> knic;  // dedicated kernel NIC (with_kernel_nic)
     std::unique_ptr<RdmaNic> rdma;
     std::unique_ptr<BlockDevice> bdev;
     std::unique_ptr<SimKernel> kernel;
@@ -68,8 +74,10 @@ class TestHarness {
   // LibOS factories (the harness keeps ownership inside the host).
   CatnapLibOS& Catnap(Host& host);
   CatnipLibOS& Catnip(Host& host);
+  // Recovery-enabled Catnip: TCP queues become failover-capable sessions.
+  CatnipLibOS& Catnip(Host& host, RecoveryConfig recovery);
   CatmintLibOS& Catmint(Host& host);
-  CatfishLibOS& Catfish(Host& host);
+  CatfishLibOS& Catfish(Host& host, CatfishConfig config = CatfishConfig{});
 
   // Convenience: steps the simulation until `pred` or `deadline`.
   bool RunUntil(const std::function<bool()>& pred, TimeNs deadline = 60 * kSecond) {

@@ -38,6 +38,9 @@ QToken LibOS::NewToken(QDesc qd, OpType type) {
 }
 
 void LibOS::CompleteOp(QToken token, QResult result) {
+  if (abandoned_.erase(token) > 0) {
+    return;  // cancelled earlier; the caller no longer wants this result
+  }
   auto it = token_qd_.find(token);
   if (it != token_qd_.end()) {
     if (result.qd == kInvalidQDesc) {
@@ -326,16 +329,51 @@ Result<std::vector<QResult>> LibOS::WaitAll(std::span<const QToken> tokens,
   return out;
 }
 
-Result<QResult> LibOS::BlockingPush(QDesc qd, const SgArray& sga) {
+Result<QResult> LibOS::BlockingPush(QDesc qd, const SgArray& sga, TimeNs timeout) {
   auto token = Push(qd, sga);
   RETURN_IF_ERROR(token.status());
-  return Wait(*token);
+  return WaitBounded(*token, timeout);
 }
 
-Result<QResult> LibOS::BlockingPop(QDesc qd) {
+Result<QResult> LibOS::BlockingPop(QDesc qd, TimeNs timeout) {
   auto token = Pop(qd);
   RETURN_IF_ERROR(token.status());
-  return Wait(*token);
+  return WaitBounded(*token, timeout);
+}
+
+Result<QResult> LibOS::WaitBounded(QToken token, TimeNs timeout) {
+  auto r = Wait(token, timeout);
+  if (r.code() != ErrorCode::kTimedOut) {
+    return r;
+  }
+  // The deadline fired mid-operation (possibly mid-failover). The op may have
+  // completed on the very step that hit the deadline; give it one last look, then
+  // cancel so the qtoken is never left hanging.
+  auto last = TakeResult(token);
+  if (last.ok()) {
+    return last;
+  }
+  (void)CancelOp(token);
+  return r;
+}
+
+Status LibOS::CancelOp(QToken token) {
+  if (completed_.erase(token) > 0) {
+    return OkStatus();  // result arrived but was never claimed; drop it
+  }
+  if (auto it = token_qd_.find(token); it != token_qd_.end()) {
+    IoQueue* q = GetQueue(it->second);
+    token_qd_.erase(it);
+    if (q == nullptr || !q->Cancel(token).ok()) {
+      // The queue cannot un-register the op; swallow its completion instead.
+      abandoned_.insert(token);
+    }
+    return OkStatus();
+  }
+  if (control_ops_.erase(token) > 0) {
+    return OkStatus();
+  }
+  return NotFound("unknown qtoken");
 }
 
 SgArray LibOS::SgaAlloc(std::size_t bytes) {

@@ -25,6 +25,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -102,8 +103,13 @@ class LibOS : public Poller, public CompletionSink {
                                                   TimeNs timeout = kWaitForever);
   Result<std::vector<QResult>> WaitAll(std::span<const QToken> tokens,
                                        TimeNs timeout = kWaitForever);
-  Result<QResult> BlockingPush(QDesc qd, const SgArray& sga);
-  Result<QResult> BlockingPop(QDesc qd);
+  // Bounded-time even across a failover in progress: on timeout the operation is
+  // cancelled (never a hung qtoken) and kTimedOut is returned.
+  Result<QResult> BlockingPush(QDesc qd, const SgArray& sga, TimeNs timeout = kWaitForever);
+  Result<QResult> BlockingPop(QDesc qd, TimeNs timeout = kWaitForever);
+  // Abandons a pending operation: its result (if it ever arrives) is dropped and the
+  // token is forgotten. kNotFound for unknown tokens.
+  Status CancelOp(QToken token);
 
   // --- memory (§4.5) ---
 
@@ -117,6 +123,9 @@ class LibOS : public Poller, public CompletionSink {
   bool Poll() override;
   void CompleteOp(QToken token, QResult result) override;
   std::size_t open_queues() const { return qtable_.size(); }
+  // Operations started but not yet completed (the no-hung-qtoken invariant checks
+  // this is 0 after a WaitAll sweep).
+  std::size_t pending_ops() const { return token_qd_.size() + control_ops_.size(); }
 
  protected:
   // Queue factories each libOS provides for its device type.
@@ -159,6 +168,8 @@ class LibOS : public Poller, public CompletionSink {
 
   bool PollControlOps();
   bool PollSplices();
+  // Wait with a deadline that cancels the op on timeout (never a hung qtoken).
+  Result<QResult> WaitBounded(QToken token, TimeNs timeout);
 
   std::unordered_map<QDesc, std::unique_ptr<IoQueue>> qtable_;
   QDesc next_qd_ = 1;
@@ -166,6 +177,9 @@ class LibOS : public Poller, public CompletionSink {
   std::unordered_map<QToken, QDesc> token_qd_;          // pending tokens
   std::unordered_map<QToken, QResult> completed_;
   std::unordered_map<QToken, ControlOp> control_ops_;   // pending accepts/connects
+  // Cancelled tokens whose queue could not un-register them; their eventual
+  // completions are swallowed.
+  std::unordered_set<QToken> abandoned_;
   std::vector<Splice> splices_;
 };
 

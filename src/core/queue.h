@@ -55,6 +55,12 @@ class IoQueue {
   // Connect progress: OK once established, kWouldBlock while in flight, error if dead.
   virtual Status ConnectStatus() { return Unsupported("connect"); }
 
+  // Abandons one registered-but-incomplete operation: the queue forgets the token and
+  // will never complete it. kNotFound if the token is unknown or already completed;
+  // queues that cannot un-register work return kUnsupported and the libOS instead
+  // drops the completion when it eventually arrives.
+  virtual Status Cancel(QToken token) { return Unsupported("cancel"); }
+
   // Graceful close; pending operations complete with kCancelled.
   virtual Status Close() = 0;
 

@@ -470,7 +470,8 @@ bool SimKernel::FsyncDone(std::uint64_t token) {
 // --- control path for libOSes ---
 
 Result<int> SimKernel::AllocateNicQueue() {
-  if (nic_ == nullptr) {
+  SimNic* leased = bypass_nic_ != nullptr ? bypass_nic_ : nic_;
+  if (leased == nullptr) {
     return Unsupported("host has no NIC");
   }
   // Control path: validate, program the NIC's queue ownership, set up the IOMMU. A
@@ -478,10 +479,19 @@ Result<int> SimKernel::AllocateNicQueue() {
   for (int i = 0; i < 4; ++i) {
     ChargeSyscall();
   }
-  if (next_leased_queue_ >= nic_->config().num_queues) {
+  if (next_leased_queue_ >= leased->config().num_queues) {
     return ResourceExhausted("no NIC queues left to lease");
   }
   return next_leased_queue_++;
+}
+
+void SimKernel::SetBypassNic(SimNic* nic) {
+  bypass_nic_ = nic;
+  // Queue 0 of the leased device belongs to the kernel only when the kernel's own
+  // stack runs on it; on a dedicated-kernel-NIC host every bypass queue is leasable.
+  if (nic != nullptr && nic != nic_) {
+    next_leased_queue_ = 0;
+  }
 }
 
 Status SimKernel::MapForDevice(std::size_t bytes) {

@@ -121,6 +121,10 @@ class SimKernel final : public Poller {
   // Leases a kernel-bypass NIC queue to a libOS. Control-path cost: a few syscalls of
   // setup; afterwards the kernel is out of the picture entirely.
   Result<int> AllocateNicQueue();
+  // Names the device libOS leases come from. Defaults to the kernel's own NIC (the
+  // shared-device topology); the harness points it at the bypass NIC when the kernel
+  // runs on a dedicated NIC, where the kernel owns no queue of the bypass device.
+  void SetBypassNic(SimNic* nic);
   // Registers a libOS memory arena for device DMA (IOMMU mapping update).
   Status MapForDevice(std::size_t bytes);
 
@@ -162,6 +166,7 @@ class SimKernel final : public Poller {
 
   HostCpu* host_;
   SimNic* nic_;
+  SimNic* bypass_nic_ = nullptr;  // lease target; nic_ unless SetBypassNic was called
   BlockDevice* bdev_;
   SimKernelConfig config_;
   Vfs vfs_;

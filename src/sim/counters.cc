@@ -54,6 +54,16 @@ std::string_view CounterName(Counter c) {
       return "ops_failed";
     case Counter::kLinkFlaps:
       return "link_flaps";
+    case Counter::kFailovers:
+      return "failovers";
+    case Counter::kFastPathRepromotions:
+      return "fast_path_repromotions";
+    case Counter::kRetriesAttempted:
+      return "retries_attempted";
+    case Counter::kRetryGiveups:
+      return "retry_giveups";
+    case Counter::kBreakerTrips:
+      return "breaker_trips";
     case Counter::kNumCounters:
       break;
   }

@@ -37,6 +37,11 @@ enum class Counter : std::size_t {
   kFaultsInjected,      // fault events fired by the FaultInjector
   kOpsFailed,           // device operations failed because of an injected fault
   kLinkFlaps,           // NIC link down transitions
+  kFailovers,           // sessions migrated bypass -> legacy-kernel path
+  kFastPathRepromotions,  // sessions migrated back legacy -> bypass path
+  kRetriesAttempted,    // recovery (re)connect / I/O retry attempts started
+  kRetryGiveups,        // recovery gave up (deadline or attempts exhausted)
+  kBreakerTrips,        // per-queue circuit breakers tripped to failover
   kNumCounters,
 };
 

@@ -20,6 +20,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "op_timeout";
     case FaultKind::kRegExhausted:
       return "reg_exhausted";
+    case FaultKind::kQpRestored:
+      return "qp_restored";
+    case FaultKind::kRegRestored:
+      return "reg_restored";
     case FaultKind::kPartition:
       return "partition";
     case FaultKind::kHeal:
@@ -112,11 +116,15 @@ void FaultInjector::Fire(FaultEvent event) {
       case FaultKind::kRegExhausted:
         d.reg_exhausted = true;
         break;
+      case FaultKind::kRegRestored:
+        d.reg_exhausted = false;
+        break;
       case FaultKind::kMediaError:
       case FaultKind::kOpTimeout:
         d.one_shot_ops.push_back(event.kind);
         break;
       case FaultKind::kQpError:
+      case FaultKind::kQpRestored:
       case FaultKind::kPartition:
       case FaultKind::kHeal:
         break;  // no latched per-device state; the handler/partition map carries it
@@ -152,6 +160,18 @@ void FaultInjector::ScheduleQpError(FaultDeviceId dev, TimeNs at) {
 
 void FaultInjector::ScheduleRegExhaustion(FaultDeviceId dev, TimeNs at) {
   sim_->ScheduleAt(at, [this, dev] { Fire({FaultKind::kRegExhausted, dev}); });
+}
+
+void FaultInjector::ScheduleTransientQpError(FaultDeviceId dev, TimeNs at,
+                                             TimeNs recover_after) {
+  ScheduleQpError(dev, at);
+  sim_->ScheduleAt(at + recover_after, [this, dev] { Fire({FaultKind::kQpRestored, dev}); });
+}
+
+void FaultInjector::ScheduleTransientRegExhaustion(FaultDeviceId dev, TimeNs at,
+                                                   TimeNs recover_after) {
+  ScheduleRegExhaustion(dev, at);
+  sim_->ScheduleAt(at + recover_after, [this, dev] { Fire({FaultKind::kRegRestored, dev}); });
 }
 
 void FaultInjector::ScheduleOpFault(FaultDeviceId dev, FaultKind kind, TimeNs at) {

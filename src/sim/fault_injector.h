@@ -44,6 +44,8 @@ enum class FaultKind : std::uint8_t {
   kMediaError,    // block device: next matching op fails with kMediaError.
   kOpTimeout,     // block device: next matching op completes late with kTimedOut.
   kRegExhausted,  // memory-registration table is full; RegisterMemory fails.
+  kQpRestored,    // RDMA NIC recovered: queue pairs may be re-created.
+  kRegRestored,   // memory-registration table has room again.
   kPartition,     // fabric stops forwarding between a port pair.
   kHeal,          // fabric partition removed.
 };
@@ -93,6 +95,11 @@ class FaultInjector {
   void ScheduleDeviceFailure(FaultDeviceId dev, TimeNs at);
   void ScheduleQpError(FaultDeviceId dev, TimeNs at);
   void ScheduleRegExhaustion(FaultDeviceId dev, TimeNs at);
+  // Auto-recovering variants: the fault fires at `at` and the matching restore event
+  // (kQpRestored / kRegRestored) fires at `at + recover_after`, so retry success and
+  // retry exhaustion are both reachable from a seeded script.
+  void ScheduleTransientQpError(FaultDeviceId dev, TimeNs at, TimeNs recover_after);
+  void ScheduleTransientRegExhaustion(FaultDeviceId dev, TimeNs at, TimeNs recover_after);
   // Queues a one-shot per-operation fault (kMediaError or kOpTimeout) armed at `at`.
   void ScheduleOpFault(FaultDeviceId dev, FaultKind kind, TimeNs at);
   void SchedulePartition(std::uint32_t port_a, std::uint32_t port_b, TimeNs at,

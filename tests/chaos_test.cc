@@ -127,6 +127,149 @@ Outcome RunKvChaos(std::uint64_t seed) {
 
 constexpr std::uint64_t kSeeds[] = {1, 7, 42, 1234, 0xdeadbeef};
 
+// --- PR 2: permanent NIC death, with and without the recovery layer -------------
+
+constexpr std::uint16_t kEchoPort = 7;
+constexpr std::uint16_t kKvPort = 6379;
+
+// Everything observable about a NIC-death run, including the recovery counters.
+using RecoveryOutcome = std::tuple<TimeNs,           // final virtual time
+                                   bool,             // client.done()
+                                   bool,             // client.failed()
+                                   std::uint64_t,    // requests completed
+                                   std::uint64_t,    // faults injected
+                                   std::uint64_t,    // failovers
+                                   std::uint64_t,    // retries attempted
+                                   std::uint64_t>;   // retry giveups
+
+// A seeded schedule that previously killed these workloads outright: one transient
+// link flap for flavor, then a *permanent* device failure on one of the bypass NICs
+// while the run is in full flight.
+void ScheduleNicDeathChaos(TestHarness& h, TestHarness::Host& a, TestHarness::Host& b,
+                           std::uint64_t seed) {
+  Rng rng(seed ^ 0x4e1cdeadULL);
+  const FaultDeviceId flap_victim =
+      rng.NextBool(0.5) ? a.nic->fault_device() : b.nic->fault_device();
+  h.faults().ScheduleLinkFlap(flap_victim, 100 * kMicrosecond + rng.NextBelow(500 * kMicrosecond),
+                              100 * kMicrosecond + rng.NextBelow(200 * kMicrosecond));
+  const FaultDeviceId death_victim =
+      rng.NextBool(0.5) ? a.nic->fault_device() : b.nic->fault_device();
+  const TimeNs death_at = 800 * kMicrosecond + rng.NextBelow(400 * kMicrosecond);
+  h.faults().ScheduleDeviceFailure(death_victim, death_at);
+}
+
+RecoveryOutcome ReadRecoveryOutcome(TestHarness& h, bool done, bool failed,
+                                    std::uint64_t completed) {
+  auto& c = h.sim().counters();
+  return {h.sim().now(),
+          done,
+          failed,
+          completed,
+          c.Get(Counter::kFaultsInjected),
+          c.Get(Counter::kFailovers),
+          c.Get(Counter::kRetriesAttempted),
+          c.Get(Counter::kRetryGiveups)};
+}
+
+// Shared NIC-death topology: recovery runs give each host a dedicated kernel NIC
+// (the legacy path must survive bypass death) and point the client's fallback at
+// the server's kernel-stack listener; plain runs reproduce the PR 1 topology.
+struct NicDeathRig {
+  NicDeathRig(std::uint64_t seed, bool recovery, std::uint16_t port) {
+    FabricConfig fabric;
+    fabric.seed = seed;
+    h = std::make_unique<TestHarness>(CostModel{}, fabric);
+    HostOptions sopts;
+    sopts.with_kernel_nic = recovery;
+    sopts.tcp.max_retries = 4;  // detect a dead peer within virtual tens of ms
+    server = &h->AddHost("server", "10.0.0.1", sopts);
+    HostOptions copts = sopts;
+    copts.charges_clock = false;
+    client = &h->AddHost("client", "10.0.0.2", copts);
+    if (recovery) {
+      RecoveryConfig cfg;
+      cfg.retry.attempt_timeout_ns = 1 * kMillisecond;
+      cfg.retry.max_attempts = 4;
+      server_libos = &h->Catnip(*server, cfg);
+      cfg.fallback_remote = Endpoint{server->kernel_ip, port};
+      cfg.has_fallback_remote = true;
+      client_libos = &h->Catnip(*client, cfg);
+    } else {
+      server_libos = &h->Catnip(*server);
+      client_libos = &h->Catnip(*client);
+    }
+  }
+
+  std::unique_ptr<TestHarness> h;
+  TestHarness::Host* server = nullptr;
+  TestHarness::Host* client = nullptr;
+  CatnipLibOS* server_libos = nullptr;
+  CatnipLibOS* client_libos = nullptr;
+};
+
+RecoveryOutcome RunEchoNicDeath(std::uint64_t seed, bool recovery) {
+  constexpr std::uint64_t kTarget = 300;
+  NicDeathRig rig(seed, recovery, kEchoPort);
+  DemiEchoServer server(rig.server_libos, kEchoPort);
+  DemiEchoClient client(rig.client_libos, Endpoint{rig.server->ip, kEchoPort}, 64, kTarget);
+  ScheduleNicDeathChaos(*rig.h, *rig.server, *rig.client, seed);
+
+  const bool terminated =
+      rig.h->RunUntil([&] { return client.done() || client.failed(); }, 600 * kSecond);
+  if (recovery) {
+    // The headline invariant: zero client-visible errors on a schedule that kills
+    // the bypass device for good — the session migrated to the legacy path.
+    EXPECT_TRUE(terminated) << "seed " << seed << ": client hung under NIC death";
+    EXPECT_TRUE(client.done()) << "seed " << seed;
+    EXPECT_FALSE(client.failed()) << "seed " << seed;
+    EXPECT_EQ(client.completed(), kTarget) << "seed " << seed;
+    EXPECT_GE(rig.h->sim().counters().Get(Counter::kFailovers), 1u) << "seed " << seed;
+    // WaitAll-after-chaos sweep: every qtoken resolved; nothing hung.
+    EXPECT_EQ(rig.client_libos->pending_ops(), 0u) << "seed " << seed;
+  } else {
+    // Without recovery the same class of schedule is fatal: either an explicit
+    // typed failure (the PR 1 contract) or — when the *peer's* NIC dies with
+    // nothing of ours in flight — a silent hang, since plain TCP has no
+    // keepalive. Either way the workload never completes.
+    EXPECT_FALSE(client.done() && !client.failed()) << "seed " << seed;
+    EXPECT_LT(client.completed(), kTarget) << "seed " << seed;
+  }
+  return ReadRecoveryOutcome(*rig.h, client.done(), client.failed(), client.completed());
+}
+
+RecoveryOutcome RunKvNicDeath(std::uint64_t seed, bool recovery) {
+  constexpr std::uint64_t kTarget = 300;
+  NicDeathRig rig(seed, recovery, kKvPort);
+  KvWorkloadConfig wcfg;
+  wcfg.num_keys = 100;
+  wcfg.value_bytes = 512;
+  KvWorkload workload(wcfg);
+  DemiKvServer server(rig.server_libos, kKvPort);
+  for (std::uint64_t k = 0; k < wcfg.num_keys; ++k) {
+    (void)server.engine().Execute(workload.LoadCommand(k));
+  }
+  DemiKvClient client(rig.client_libos, Endpoint{rig.server->ip, kKvPort}, &workload,
+                      kTarget);
+  ScheduleNicDeathChaos(*rig.h, *rig.server, *rig.client,
+                        seed + 0x9e3779b97f4a7c15ULL);  // decorrelate from echo
+
+  const bool terminated =
+      rig.h->RunUntil([&] { return client.done() || client.failed(); }, 600 * kSecond);
+  if (recovery) {
+    EXPECT_TRUE(terminated) << "seed " << seed << ": client hung under NIC death";
+    EXPECT_TRUE(client.done()) << "seed " << seed;
+    EXPECT_FALSE(client.failed()) << "seed " << seed;
+    EXPECT_EQ(client.completed(), kTarget) << "seed " << seed;
+    EXPECT_GE(rig.h->sim().counters().Get(Counter::kFailovers), 1u) << "seed " << seed;
+    EXPECT_EQ(rig.client_libos->pending_ops(), 0u) << "seed " << seed;
+  } else {
+    // See RunEchoNicDeath: explicit failure or a keepalive-less hang, never success.
+    EXPECT_FALSE(client.done() && !client.failed()) << "seed " << seed;
+    EXPECT_LT(client.completed(), kTarget) << "seed " << seed;
+  }
+  return ReadRecoveryOutcome(*rig.h, client.done(), client.failed(), client.completed());
+}
+
 TEST(ChaosTest, EchoSurvivesSeededFaultSchedules) {
   for (const std::uint64_t seed : kSeeds) {
     const Outcome first = RunEchoChaos(seed);
@@ -146,6 +289,39 @@ TEST(ChaosTest, KvSurvivesSeededFaultSchedules) {
 
 TEST(ChaosTest, DifferentSeedsProduceDifferentFaultSequences) {
   EXPECT_NE(RunEchoChaos(1), RunEchoChaos(2));
+}
+
+TEST(ChaosTest, EchoSurvivesNicDeathWithRecovery) {
+  for (const std::uint64_t seed : kSeeds) {
+    const RecoveryOutcome first = RunEchoNicDeath(seed, /*recovery=*/true);
+    EXPECT_GE(std::get<4>(first), 3u) << "seed " << seed << ": chaos never fired";
+    EXPECT_EQ(first, RunEchoNicDeath(seed, /*recovery=*/true)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, EchoFailsUnderNicDeathWithoutRecovery) {
+  for (const std::uint64_t seed : kSeeds) {
+    const RecoveryOutcome first = RunEchoNicDeath(seed, /*recovery=*/false);
+    EXPECT_EQ(std::get<5>(first), 0u) << "seed " << seed << ": failover without recovery";
+    // The failure itself is bit-deterministic: same seed, same final state.
+    EXPECT_EQ(first, RunEchoNicDeath(seed, /*recovery=*/false)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, KvSurvivesNicDeathWithRecovery) {
+  for (const std::uint64_t seed : kSeeds) {
+    const RecoveryOutcome first = RunKvNicDeath(seed, /*recovery=*/true);
+    EXPECT_GE(std::get<4>(first), 3u) << "seed " << seed << ": chaos never fired";
+    EXPECT_EQ(first, RunKvNicDeath(seed, /*recovery=*/true)) << "seed " << seed;
+  }
+}
+
+TEST(ChaosTest, KvFailsUnderNicDeathWithoutRecovery) {
+  for (const std::uint64_t seed : kSeeds) {
+    const RecoveryOutcome first = RunKvNicDeath(seed, /*recovery=*/false);
+    EXPECT_EQ(std::get<5>(first), 0u) << "seed " << seed << ": failover without recovery";
+    EXPECT_EQ(first, RunKvNicDeath(seed, /*recovery=*/false)) << "seed " << seed;
+  }
 }
 
 }  // namespace
