@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Data-path bench runner: builds the four data-path benches in Release (-O2), runs
+# them, and records both simulated latency (p50/p99 ns) and wall-clock simulator
+# throughput (ops/s) into BENCH_datapath.json so the perf trajectory has a baseline.
+#
+# Usage:
+#   bench/run_benches.sh [before|after]
+#     Section label to write into BENCH_datapath.json (default: after). Run once on
+#     the old tree as `before` and once on the new tree as `after` to get a
+#     comparable pair in one file.
+#
+# Environment:
+#   BENCH_BUILD_DIR     build directory (default: <repo>/build-bench)
+#   BENCH_OUT           output json (default: <repo>/BENCH_datapath.json)
+#   BENCH_RUNS          timing runs per bench; wall_ms is the min (default: 5)
+#   BENCH_BASELINE_BUILD_DIR
+#                       prebuilt bench binaries of a baseline tree. When set, each
+#                       timing round runs baseline and current back to back
+#                       (interleaved), and BOTH a "before" (baseline) and an
+#                       "after" (current) section are written in one invocation —
+#                       sequential whole-tree runs are not comparable when
+#                       machine load drifts between them.
+#   BENCH_SMOKE=1       smoke mode for ctest: use an existing build's bench
+#                       binaries, run them once, and fail on any SHAPE-FAIL
+#                       verdict; writes no json.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BENCH_BUILD_DIR:-$REPO/build-bench}"
+OUT="${BENCH_OUT:-$REPO/BENCH_datapath.json}"
+LABEL="${1:-after}"
+SMOKE="${BENCH_SMOKE:-0}"
+BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
+
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c3_wakeups)
+
+if [[ "$SMOKE" != "1" ]]; then
+  cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
+  cmake --build "$BUILD" -j "$(nproc)" --target "${BENCHES[@]}" >/dev/null
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Wall time is min-of-N (smoke mode: 1 run): the minimum is the least load-sensitive
+# wall-clock estimator, so before/after numbers stay comparable across runs.
+RUNS="${BENCH_RUNS:-5}"
+if [[ "$SMOKE" == "1" ]]; then RUNS=1; fi
+
+if [[ -n "$BASELINE" ]]; then
+  LABELS=(before after)
+  DIRS=("$BASELINE" "$BUILD")
+else
+  LABELS=("$LABEL")
+  DIRS=("$BUILD")
+fi
+
+declare -A WALL_MS  # keyed "label/bench"
+for b in "${BENCHES[@]}"; do
+  for li in "${!LABELS[@]}"; do
+    exe="${DIRS[$li]}/bench/$b"
+    if [[ ! -x "$exe" ]]; then
+      echo "missing bench binary: $exe" >&2
+      exit 1
+    fi
+  done
+  for (( r = 0; r < RUNS; r++ )); do
+    # Inner loop over labels: baseline and current alternate within each round.
+    for li in "${!LABELS[@]}"; do
+      label="${LABELS[$li]}"
+      exe="${DIRS[$li]}/bench/$b"
+      t0=$(date +%s%N)
+      "$exe" > "$TMP/$label-$b.txt"
+      t1=$(date +%s%N)
+      ms=$(( (t1 - t0) / 1000000 ))
+      key="$label/$b"
+      if [[ -z "${WALL_MS[$key]:-}" || "$ms" -lt "${WALL_MS[$key]}" ]]; then
+        WALL_MS[$key]=$ms
+      fi
+    done
+  done
+  for label in "${LABELS[@]}"; do
+    if grep -q 'SHAPE-FAIL' "$TMP/$label-$b.txt"; then
+      echo "$b ($label): SHAPE-FAIL" >&2
+      sed -n '/SHAPE-FAIL/p' "$TMP/$label-$b.txt" >&2
+      exit 1
+    fi
+    echo "$b ($label): SHAPE-OK (${WALL_MS[$label/$b]} ms wall, best of $RUNS)"
+  done
+done
+
+if [[ "$SMOKE" == "1" ]]; then
+  exit 0
+fi
+
+ops_per_sec() {  # ops wall_ms
+  local ops=$1 ms=$2
+  if (( ms == 0 )); then ms=1; fi
+  echo $(( ops * 1000 / ms ))
+}
+
+emit_section() {  # label -> json on stdout
+  local label=$1
+
+  # f1: 2 systems x 2000 echo requests; "client-observed RTT p50   <posix>   <bypass>"
+  local f1_ops=4000 f1_p50_posix f1_p50_bypass
+  read -r f1_p50_posix f1_p50_bypass < <(
+    awk '/client-observed RTT p50/{print $(NF-1), $NF}' "$TMP/$label-bench_f1_datapath.txt")
+
+  # e1: 4 libOSes x 2000 requests; columns from the end: p50 p99 mean sys copyB
+  local e1_ops=8000 e1_catnip_p50 e1_catnip_p99 e1_posix_p50 e1_posix_p99
+  read -r e1_catnip_p50 e1_catnip_p99 < <(
+    awk '$1=="catnip"{print $(NF-4), $(NF-3)}' "$TMP/$label-bench_e1_echo.txt")
+  read -r e1_posix_p50 e1_posix_p99 < <(
+    awk '$1=="posix"{print $(NF-4), $(NF-3)}' "$TMP/$label-bench_e1_echo.txt")
+
+  # c1: 5 value sizes x 2 systems x 1500 requests; catnip copy count at the 4KB row.
+  local c1_ops=15000 c1_copies_4k
+  c1_copies_4k=$(awk -F'|' '$1 ~ /^4096/{n=split($3, a, " "); print a[n]}' \
+    "$TMP/$label-bench_c1_zerocopy.txt")
+
+  # c3: herd table; wait_any wakeups at 16 waiters (third pipe-separated column).
+  local c3_wakeups
+  c3_wakeups=$(awk -F'|' '$1 ~ /^16 /{split($3, a, " "); print a[1]}' \
+    "$TMP/$label-bench_c3_wakeups.txt")
+
+  cat <<EOF
+{
+  "f1_datapath": {
+    "wall_ms": ${WALL_MS[$label/bench_f1_datapath]},
+    "ops": $f1_ops,
+    "ops_per_sec": $(ops_per_sec "$f1_ops" "${WALL_MS[$label/bench_f1_datapath]}"),
+    "rtt_p50_ns": {"posix": $f1_p50_posix, "kernel_bypass": $f1_p50_bypass},
+    "verdict": "SHAPE-OK"
+  },
+  "e1_echo": {
+    "wall_ms": ${WALL_MS[$label/bench_e1_echo]},
+    "ops": $e1_ops,
+    "ops_per_sec": $(ops_per_sec "$e1_ops" "${WALL_MS[$label/bench_e1_echo]}"),
+    "catnip": {"p50_ns": $e1_catnip_p50, "p99_ns": $e1_catnip_p99},
+    "posix": {"p50_ns": $e1_posix_p50, "p99_ns": $e1_posix_p99},
+    "verdict": "SHAPE-OK"
+  },
+  "c1_zerocopy": {
+    "wall_ms": ${WALL_MS[$label/bench_c1_zerocopy]},
+    "ops": $c1_ops,
+    "ops_per_sec": $(ops_per_sec "$c1_ops" "${WALL_MS[$label/bench_c1_zerocopy]}"),
+    "catnip_copies_at_4k": $c1_copies_4k,
+    "verdict": "SHAPE-OK"
+  },
+  "c3_wakeups": {
+    "wall_ms": ${WALL_MS[$label/bench_c3_wakeups]},
+    "wait_any_wakeups_at_16_waiters": $c3_wakeups,
+    "verdict": "SHAPE-OK"
+  }
+}
+EOF
+}
+
+declare -A SECTIONS
+for label in "${LABELS[@]}"; do
+  SECTIONS[$label]="$(emit_section "$label")"
+done
+
+if command -v jq >/dev/null && [[ -f "$OUT" ]]; then
+  for label in "${LABELS[@]}"; do
+    jq --argjson section "${SECTIONS[$label]}" ". + {\"$label\": \$section}" "$OUT" > "$OUT.tmp"
+    mv "$OUT.tmp" "$OUT"
+  done
+else
+  {
+    printf '{'
+    sep=''
+    for label in "${LABELS[@]}"; do
+      printf '%s\n  "%s": %s' "$sep" "$label" "${SECTIONS[$label]}"
+      sep=','
+    done
+    printf '\n}\n'
+  } > "$OUT"
+fi
+echo "wrote section(s) ${LABELS[*]} to $OUT"

@@ -69,4 +69,11 @@ Buffer ConcatCopy(std::span<const Buffer> parts) {
   return out;
 }
 
+Buffer FrameChain::Gather() const {
+  if (part_count() == 1) {
+    return front();
+  }
+  return ConcatCopy(parts_span());
+}
+
 }  // namespace demi

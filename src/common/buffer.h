@@ -13,6 +13,7 @@
 #ifndef SRC_COMMON_BUFFER_H_
 #define SRC_COMMON_BUFFER_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -20,6 +21,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace demi {
 
@@ -105,6 +107,67 @@ class Buffer {
 // Concatenates buffers into one freshly allocated buffer (copies; used only off the
 // zero-copy fast path, e.g. by the POSIX baseline and by tests).
 Buffer ConcatCopy(std::span<const Buffer> parts);
+
+// A scatter-gather chain of Buffers forming one wire frame: protocol headers up front,
+// application payload Buffers behind them, each part a refcounted view. The chain is
+// how a frame travels from the stack to the simulated NIC without flattening: while the
+// device holds the chain, every part's backing storage stays alive (free-protection,
+// §4.5), and the app's payload bytes are never copied on the host.
+class FrameChain {
+ public:
+  // Typical chains are [eth+ip hdr, tcp hdr, payload slice(s)] — four inline slots
+  // cover the whole TX fast path, so building a chain costs zero heap allocations.
+  static constexpr std::size_t kInlineParts = 4;
+
+  FrameChain() = default;
+  explicit FrameChain(Buffer single) { Append(std::move(single)); }
+
+  void Append(Buffer part) {
+    total_bytes_ += part.size();
+    if (!overflow_.empty()) {
+      overflow_.push_back(std::move(part));
+    } else if (count_ < kInlineParts) {
+      inline_[count_++] = std::move(part);
+    } else {
+      // Spill: from here on all parts live in the vector.
+      overflow_.reserve(kInlineParts * 2);
+      for (Buffer& b : inline_) {
+        overflow_.push_back(std::move(b));
+      }
+      overflow_.push_back(std::move(part));
+    }
+  }
+
+  // Total bytes across all parts (the wire size of the frame).
+  std::size_t size() const { return total_bytes_; }
+  bool empty() const { return total_bytes_ == 0; }
+  std::size_t part_count() const {
+    return overflow_.empty() ? count_ : overflow_.size();
+  }
+  std::span<const Buffer> parts_span() const {
+    return overflow_.empty() ? std::span<const Buffer>(inline_.data(), count_)
+                             : std::span<const Buffer>(overflow_);
+  }
+  std::span<const Buffer> parts() const { return parts_span(); }
+
+  // First part — by convention the (mutable) link-layer header, which the ARP
+  // resolver may patch in place while a frame is parked.
+  Buffer& front() { return overflow_.empty() ? inline_.front() : overflow_.front(); }
+  const Buffer& front() const {
+    return overflow_.empty() ? inline_.front() : overflow_.front();
+  }
+
+  // Flattens into one contiguous Buffer. A single-part chain returns its part
+  // unchanged (no copy); multi-part chains copy once. On the TX path this runs at
+  // the *device* (modeling NIC scatter-gather DMA), never on the host CPU.
+  Buffer Gather() const;
+
+ private:
+  std::array<Buffer, kInlineParts> inline_;
+  std::size_t count_ = 0;
+  std::vector<Buffer> overflow_;
+  std::size_t total_bytes_ = 0;
+};
 
 }  // namespace demi
 

@@ -18,6 +18,49 @@ std::uint16_t InternetChecksum(std::span<const std::byte> data, std::uint32_t in
 std::uint32_t ChecksumPartial(std::span<const std::byte> data, std::uint32_t acc);
 std::uint16_t FoldChecksum(std::uint32_t acc);
 
+// Streaming Internet-checksum accumulator for scatter-gather data. ChecksumPartial
+// pads an odd trailing byte as if it ended the datagram, which is wrong mid-stream;
+// this class carries the dangling byte across part boundaries so odd-length middle
+// parts sum correctly.
+class ChecksumAccumulator {
+ public:
+  explicit ChecksumAccumulator(std::uint32_t initial = 0) : acc_(initial) {}
+
+  void Add(std::span<const std::byte> data) {
+    std::uint32_t acc = acc_;
+    std::size_t i = 0;
+    if (have_odd_ && !data.empty()) {
+      acc += static_cast<std::uint32_t>(odd_) << 8 | std::to_integer<std::uint8_t>(data[0]);
+      have_odd_ = false;
+      i = 1;
+    }
+    // Even-length middle region goes through the wide ChecksumPartial loop; only a
+    // dangling odd byte is carried over to the next part.
+    const std::size_t even = (data.size() - i) & ~std::size_t{1};
+    acc = ChecksumPartial(data.subspan(i, even), acc);
+    i += even;
+    if (i < data.size()) {
+      odd_ = std::to_integer<std::uint8_t>(data[i]);
+      have_odd_ = true;
+    }
+    acc_ = acc;
+  }
+
+  // Folds to the final 16-bit checksum, zero-padding a dangling odd byte (datagram end).
+  std::uint16_t Fold() const {
+    std::uint32_t acc = acc_;
+    if (have_odd_) {
+      acc += static_cast<std::uint32_t>(odd_) << 8;
+    }
+    return FoldChecksum(acc);
+  }
+
+ private:
+  std::uint32_t acc_;
+  std::uint8_t odd_ = 0;
+  bool have_odd_ = false;
+};
+
 // CRC32C (Castagnoli), table-driven.
 std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t initial = 0);
 

@@ -8,6 +8,7 @@
 #define SRC_COMMON_POOL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -57,6 +58,80 @@ class ObjectPool {
   std::size_t chunk_size_;
   std::vector<std::unique_ptr<T[]>> chunks_;
   std::vector<T*> free_;
+  std::size_t live_ = 0;
+};
+
+// Dense slot table with generation tags: O(1) acquire/release by index, no hashing.
+// Each slot carries a generation counter bumped on release, so a handle that packs
+// (generation, index) can be validated with one array access plus one compare. This is
+// the backing store for the libOS qtoken table — the constant-time replacement for
+// per-operation hash-map lookups on the wait path.
+//
+// Note: slots live in a std::vector, so references into the table are invalidated by
+// Acquire() (growth may reallocate). Re-index after any call that can add a slot.
+template <typename T>
+class SlotPool {
+ public:
+  // Acquires a free slot and returns its index. The slot's value is default-reset and
+  // its current generation is readable via generation(index). Generations start at 1,
+  // so a (generation << k | index) handle is never 0.
+  std::size_t Acquire() {
+    if (free_.empty()) {
+      slots_.emplace_back();
+      free_.push_back(slots_.size() - 1);
+    }
+    const std::size_t index = free_.back();
+    free_.pop_back();
+    slots_[index].live = true;
+    ++live_;
+    return index;
+  }
+
+  // Returns the slot to the free list and bumps its generation, invalidating every
+  // outstanding handle that names the old generation.
+  void Release(std::size_t index) {
+    DEMI_CHECK(index < slots_.size());
+    Entry& e = slots_[index];
+    DEMI_CHECK(e.live);
+    e.live = false;
+    ++e.generation;
+    e.value = T{};
+    --live_;
+    free_.push_back(index);
+  }
+
+  // True iff `index` names a live slot whose current generation matches.
+  bool Alive(std::size_t index, std::uint32_t generation) const {
+    return index < slots_.size() && slots_[index].live &&
+           slots_[index].generation == generation;
+  }
+
+  std::uint32_t generation(std::size_t index) const {
+    DEMI_CHECK(index < slots_.size());
+    return slots_[index].generation;
+  }
+
+  T& operator[](std::size_t index) {
+    DEMI_CHECK(index < slots_.size() && slots_[index].live);
+    return slots_[index].value;
+  }
+  const T& operator[](std::size_t index) const {
+    DEMI_CHECK(index < slots_.size() && slots_[index].live);
+    return slots_[index].value;
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t generation = 1;
+    bool live = false;
+    T value{};
+  };
+
+  std::vector<Entry> slots_;
+  std::vector<std::size_t> free_;
   std::size_t live_ = 0;
 };
 

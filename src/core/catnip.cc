@@ -28,6 +28,9 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
   net_cfg.nic_queue = nic_queue_;
   net_cfg.tcp = config_.tcp;
   net_cfg.seed = config_.seed;
+  // Zero-copy TX: protocol headers come from the libOS memory manager's
+  // pre-registered header pool instead of the heap.
+  net_cfg.memory = &memory_;
   // Costs default to the user-level stack entries of the cost model.
   stack_ = std::make_unique<NetStack>(host, nic, net_cfg);
 }
@@ -181,7 +184,7 @@ Status CatnipTcpQueue::StartPush(QToken token, const SgArray& sga) {
     // Zero copy: the wire parts reference the application's sga segments. The TCP
     // stack holds those references until acknowledged — free-protection does the rest
     // (§4.5).
-    for (Buffer& part : EncodeFrame(sga)) {
+    for (Buffer& part : EncodeFrame(sga, &libos_->memory())) {
       push.parts.push_back(std::move(part));
     }
     pending_pushes_.push_back(std::move(push));
@@ -764,7 +767,7 @@ bool CatnipTcpQueue::PumpWriter() {
       for (const Buffer& seg : next->element.segments()) {
         wire.Append(seg);
       }
-      for (Buffer& part : EncodeFrame(wire)) {
+      for (Buffer& part : EncodeFrame(wire, &libos_->memory())) {
         wire_parts_.push_back(std::move(part));
       }
     }
@@ -890,7 +893,7 @@ void CatnipTcpQueue::SalvageDrain() {
 
 void CatnipTcpQueue::QueueControlFrame(const HelloFrame& hello) {
   SgArray body(EncodeHello(hello));
-  for (Buffer& part : EncodeFrame(body)) {
+  for (Buffer& part : EncodeFrame(body, &libos_->memory())) {
     control_parts_.push_back(std::move(part));
   }
 }
@@ -1050,8 +1053,10 @@ Status CatnipUdpQueue::StartPush(QToken token, const SgArray& sga) {
     return NotConnected("udp push requires connect(remote)");
   }
   // One element = one datagram; the device keeps the unit intact on the wire, which
-  // is the "preserve the application data unit on the device" goal of §4.2.
-  const Status status = libos_->stack().UdpSend(bound_port_, remote_, sga.Flatten());
+  // is the "preserve the application data unit on the device" goal of §4.2. The
+  // segments ride to the NIC as referenced slices — no flatten, no copy.
+  const Status status = libos_->stack().UdpSend(
+      bound_port_, remote_, std::span<const Buffer>(sga.segments()));
   QResult res;
   res.op = OpType::kPush;
   res.status = status;

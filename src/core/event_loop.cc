@@ -6,7 +6,19 @@ DemiEventLoop::DemiEventLoop(LibOS* libos) : libos_(libos) {
   libos_->sim().AddPoller(this);
 }
 
-DemiEventLoop::~DemiEventLoop() { libos_->sim().RemovePoller(this); }
+DemiEventLoop::~DemiEventLoop() {
+  for (auto& [qd, watch] : watches_) {
+    if (watch.token != kInvalidQToken) {
+      libos_->UnwatchToken(watch.token);
+    }
+  }
+  libos_->sim().RemovePoller(this);
+}
+
+void DemiEventLoop::OnTokenComplete(QToken token, QDesc qd) {
+  (void)token;
+  ready_.push_back(qd);
+}
 
 void DemiEventLoop::Arm(QDesc qd, Watch& watch) {
   if (watch.is_accept) {
@@ -15,6 +27,10 @@ void DemiEventLoop::Arm(QDesc qd, Watch& watch) {
   } else {
     auto token = libos_->Pop(qd);
     watch.token = token.ok() ? *token : kInvalidQToken;
+  }
+  if (watch.token != kInvalidQToken) {
+    // Already-completed tokens fire into ready_ now and dispatch next Poll round.
+    (void)libos_->WatchToken(watch.token, this);
   }
 }
 
@@ -47,27 +63,38 @@ Status DemiEventLoop::WatchPop(QDesc qd, PopHandler handler) {
   return OkStatus();
 }
 
-void DemiEventLoop::Unwatch(QDesc qd) { watches_.erase(qd); }
+void DemiEventLoop::Unwatch(QDesc qd) {
+  auto it = watches_.find(qd);
+  if (it == watches_.end()) {
+    return;
+  }
+  if (it->second.token != kInvalidQToken) {
+    libos_->UnwatchToken(it->second.token);
+  }
+  watches_.erase(it);
+}
 
 void DemiEventLoop::CallLater(TimeNs delay, std::function<void()> fn) {
   libos_->sim().Schedule(delay, std::move(fn));
 }
 
 bool DemiEventLoop::Poll() {
-  bool progress = false;
-  // Snapshot: handlers may watch/unwatch from inside callbacks.
-  std::vector<QDesc> ready;
-  for (auto& [qd, watch] : watches_) {
-    if (watch.token != kInvalidQToken && libos_->OpDone(watch.token)) {
-      ready.push_back(qd);
-    }
+  if (ready_.empty()) {
+    return false;
   }
-  for (const QDesc qd : ready) {
+  bool progress = false;
+  // Swap into scratch: handlers may watch/unwatch (growing ready_) from callbacks.
+  scratch_.clear();
+  std::swap(ready_, scratch_);
+  for (const QDesc qd : scratch_) {
     auto it = watches_.find(qd);
     if (it == watches_.end()) {
       continue;  // unwatched by an earlier callback this round
     }
     Watch& watch = it->second;
+    if (watch.token == kInvalidQToken || !libos_->OpDone(watch.token)) {
+      continue;  // stale notification (token already consumed and re-armed)
+    }
     auto result = libos_->TakeResult(watch.token);
     watch.token = kInvalidQToken;
     progress = true;

@@ -6,18 +6,24 @@
 // the loop keeps one pop (or accept) outstanding per watched queue, dispatching each
 // completion to exactly one callback — the event-driven programming model preserved,
 // the epoll pathologies gone.
+//
+// Delivery is push-based: the loop registers itself as a CompletionWatcher on each
+// outstanding token, so a poll round with nothing ready is a single empty-vector
+// check — O(1) regardless of how many queues are watched — instead of an O(watches)
+// OpDone scan.
 
 #ifndef SRC_CORE_EVENT_LOOP_H_
 #define SRC_CORE_EVENT_LOOP_H_
 
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/core/libos.h"
 
 namespace demi {
 
-class DemiEventLoop final : public Poller {
+class DemiEventLoop final : public Poller, public CompletionWatcher {
  public:
   // Called once per arrived element; the loop re-arms the pop automatically. A non-OK
   // result (EOF, reset) is delivered once and the watch is removed.
@@ -39,6 +45,7 @@ class DemiEventLoop final : public Poller {
 
   std::uint64_t dispatched() const { return dispatched_; }
   bool Poll() override;
+  void OnTokenComplete(QToken token, QDesc qd) override;
 
  private:
   struct Watch {
@@ -53,6 +60,8 @@ class DemiEventLoop final : public Poller {
   LibOS* libos_;
   std::unordered_map<QDesc, Watch> watches_;
   std::uint64_t dispatched_ = 0;
+  std::vector<QDesc> ready_;    // queues whose watched token completed
+  std::vector<QDesc> scratch_;  // swapped with ready_ per Poll; no per-poll allocation
 };
 
 }  // namespace demi

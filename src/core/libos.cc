@@ -31,24 +31,78 @@ IoQueue* LibOS::GetQueue(QDesc qd) const {
 }
 
 QToken LibOS::NewToken(QDesc qd, OpType type) {
-  const QToken token = next_token_++;
-  token_qd_[token] = qd;
-  (void)type;
-  return token;
+  const std::size_t index = ops_.Acquire();
+  OpSlot& slot = ops_[index];
+  slot.qd = qd;
+  slot.type = type;
+  slot.state = OpState::kPending;
+  ++pending_count_;
+  return static_cast<QToken>(ops_.generation(index)) << 32 | index;
+}
+
+void LibOS::ReleaseFailedToken(QToken token) {
+  OpSlot* slot = FindSlot(token);
+  if (slot == nullptr) {
+    return;
+  }
+  if (slot->state == OpState::kPending) {
+    --pending_count_;
+  }
+  ReleaseSlot(token);
+}
+
+void LibOS::PushReady(QToken token) {
+  if (ready_ring_.Push(token)) {
+    return;
+  }
+  // Ring full. Most entries are usually stale (their results were already claimed
+  // straight off the slot table by Wait/TakeResult), so compact in place; grow only
+  // when the live completions genuinely outnumber the capacity.
+  std::vector<QToken> live;
+  live.reserve(ready_ring_.size() + 1);
+  while (auto t = ready_ring_.Pop()) {
+    const OpSlot* slot = FindSlot(*t);
+    if (slot != nullptr && slot->state == OpState::kCompleted) {
+      live.push_back(*t);
+    }
+  }
+  live.push_back(token);
+  if (live.size() >= ready_ring_.capacity()) {
+    ready_ring_ = RingBuffer<QToken>(ready_ring_.capacity() * 2);
+  }
+  for (const QToken t : live) {
+    const bool pushed = ready_ring_.Push(t);
+    DEMI_CHECK(pushed);
+  }
 }
 
 void LibOS::CompleteOp(QToken token, QResult result) {
-  if (abandoned_.erase(token) > 0) {
-    return;  // cancelled earlier; the caller no longer wants this result
+  OpSlot* slot = FindSlot(token);
+  if (slot == nullptr) {
+    return;  // stale token (released earlier); drop the result
   }
-  auto it = token_qd_.find(token);
-  if (it != token_qd_.end()) {
-    if (result.qd == kInvalidQDesc) {
-      result.qd = it->second;
-    }
-    token_qd_.erase(it);
+  if (slot->state == OpState::kAbandoned) {
+    ReleaseSlot(token);  // cancelled earlier; the caller no longer wants this result
+    return;
   }
-  completed_[token] = std::move(result);
+  if (result.qd == kInvalidQDesc) {
+    result.qd = slot->qd;
+  }
+  if (slot->state == OpState::kCompleted) {
+    slot->result = std::move(result);  // double completion: last one wins (as before)
+    return;
+  }
+  --pending_count_;
+  slot->state = OpState::kCompleted;
+  slot->done_seq = ++done_seq_counter_;
+  slot->result = std::move(result);
+  if (slot->watcher != nullptr) {
+    CompletionWatcher* watcher = slot->watcher;
+    slot->watcher = nullptr;
+    watcher->OnTokenComplete(token, slot->qd);
+  } else {
+    PushReady(token);
+  }
 }
 
 // --- control path: network ---
@@ -96,7 +150,8 @@ Result<QToken> LibOS::AcceptAsync(QDesc qd) {
     return BadDescriptor("accept");
   }
   const QToken token = NewToken(qd, OpType::kAccept);
-  control_ops_[token] = ControlOp{OpType::kAccept, qd};
+  FindSlot(token)->control = true;
+  control_tokens_.push_back(token);
   return token;
 }
 
@@ -117,7 +172,8 @@ Result<QToken> LibOS::ConnectAsync(QDesc qd, Endpoint remote) {
   }
   RETURN_IF_ERROR(q->StartConnect(remote));
   const QToken token = NewToken(qd, OpType::kConnect);
-  control_ops_[token] = ControlOp{OpType::kConnect, qd};
+  FindSlot(token)->control = true;
+  control_tokens_.push_back(token);
   return token;
 }
 
@@ -216,7 +272,7 @@ Result<QToken> LibOS::Push(QDesc qd, const SgArray& sga) {
   const QToken token = NewToken(qd, OpType::kPush);
   const Status status = q->StartPush(token, sga);
   if (!status.ok()) {
-    token_qd_.erase(token);
+    ReleaseFailedToken(token);
     return status;
   }
   return token;
@@ -231,13 +287,16 @@ Result<QToken> LibOS::Pop(QDesc qd) {
   const QToken token = NewToken(qd, OpType::kPop);
   const Status status = q->StartPop(token);
   if (!status.ok()) {
-    token_qd_.erase(token);
+    ReleaseFailedToken(token);
     return status;
   }
   return token;
 }
 
-bool LibOS::OpDone(QToken token) const { return completed_.contains(token); }
+bool LibOS::OpDone(QToken token) const {
+  const OpSlot* slot = FindSlot(token);
+  return slot != nullptr && slot->state == OpState::kCompleted;
+}
 
 Result<QResult> LibOS::TakeResult(QToken token) {
   auto r = TakeResultInternal(token);
@@ -249,15 +308,15 @@ Result<QResult> LibOS::TakeResult(QToken token) {
 }
 
 Result<QResult> LibOS::TakeResultInternal(QToken token) {
-  auto it = completed_.find(token);
-  if (it == completed_.end()) {
-    if (!token_qd_.contains(token) && !control_ops_.contains(token)) {
-      return BadDescriptor("unknown qtoken");
-    }
+  OpSlot* slot = FindSlot(token);
+  if (slot == nullptr || slot->state == OpState::kAbandoned) {
+    return BadDescriptor("unknown qtoken");
+  }
+  if (slot->state == OpState::kPending) {
     return WouldBlock();
   }
-  QResult out = std::move(it->second);
-  completed_.erase(it);
+  QResult out = std::move(slot->result);
+  ReleaseSlot(token);
   return out;
 }
 
@@ -282,19 +341,48 @@ Result<std::pair<std::size_t, QResult>> LibOS::WaitAny(std::span<const QToken> t
                                                        TimeNs timeout) {
   ChargeCall();
   const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
-  while (true) {
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      if (OpDone(tokens[i])) {
-        auto r = TakeResult(tokens[i]);
-        RETURN_IF_ERROR(r.status());
-        return std::make_pair(i, std::move(*r));
-      }
+  // One initial scan: if anything already completed, take the *earliest* completion
+  // (done_seq order = FIFO fairness across tokens that finished before this call).
+  std::size_t best = tokens.size();
+  std::uint64_t best_seq = UINT64_MAX;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const OpSlot* slot = FindSlot(tokens[i]);
+    if (slot != nullptr && slot->state == OpState::kCompleted && slot->done_seq < best_seq) {
+      best = i;
+      best_seq = slot->done_seq;
     }
+  }
+  if (best < tokens.size()) {
+    auto r = TakeResult(tokens[best]);
+    RETURN_IF_ERROR(r.status());
+    return std::make_pair(best, std::move(*r));
+  }
+  // Ring-driven wait: map token -> position once, then consume completions in the
+  // order the ready ring delivers them — O(1) per simulation step instead of O(k).
+  std::unordered_map<QToken, std::size_t> want;
+  want.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    want.emplace(tokens[i], i);
+  }
+  while (true) {
     if (sim().now() > deadline) {
       return TimedOut("wait_any");
     }
     if (!sim().StepOnce()) {
       return TimedOut("simulation idle; no operation can complete");
+    }
+    while (auto t = ready_ring_.Pop()) {
+      const OpSlot* slot = FindSlot(*t);
+      if (slot == nullptr || slot->state != OpState::kCompleted) {
+        continue;  // stale hint: already claimed off the slot table
+      }
+      auto it = want.find(*t);
+      if (it == want.end()) {
+        continue;  // someone else's completion; its slot still holds the result
+      }
+      auto r = TakeResult(*t);
+      RETURN_IF_ERROR(r.status());
+      return std::make_pair(it->second, std::move(*r));
     }
   }
 }
@@ -302,28 +390,59 @@ Result<std::pair<std::size_t, QResult>> LibOS::WaitAny(std::span<const QToken> t
 Result<std::vector<QResult>> LibOS::WaitAll(std::span<const QToken> tokens,
                                             TimeNs timeout) {
   ChargeCall();
+  // Validate every token before consuming anything: a bad token mid-list fails the
+  // whole call up front, leaving the other tokens' results claimable instead of
+  // consuming (and then discarding) a partial sweep.
+  for (const QToken t : tokens) {
+    const OpSlot* slot = FindSlot(t);
+    if (slot == nullptr || slot->state == OpState::kAbandoned) {
+      return BadDescriptor("unknown qtoken");
+    }
+  }
   std::vector<QResult> out(tokens.size());
   std::vector<bool> done(tokens.size(), false);
-  const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
   std::size_t remaining = tokens.size();
+  std::unordered_map<QToken, std::size_t> want;
+  want.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (done[i]) {
+      continue;
+    }
+    if (OpDone(tokens[i])) {
+      auto r = TakeResult(tokens[i]);
+      RETURN_IF_ERROR(r.status());
+      out[i] = std::move(*r);
+      done[i] = true;
+      --remaining;
+    } else {
+      want.emplace(tokens[i], i);
+    }
+  }
+  const TimeNs deadline = timeout < 0 ? INT64_MAX : sim().now() + timeout;
   while (remaining > 0) {
-    for (std::size_t i = 0; i < tokens.size(); ++i) {
-      if (!done[i] && OpDone(tokens[i])) {
-        auto r = TakeResult(tokens[i]);
-        RETURN_IF_ERROR(r.status());
-        out[i] = std::move(*r);
-        done[i] = true;
-        --remaining;
-      }
-    }
-    if (remaining == 0) {
-      break;
-    }
     if (sim().now() > deadline) {
       return TimedOut("wait_all");
     }
     if (!sim().StepOnce()) {
       return TimedOut("simulation idle");
+    }
+    while (auto t = ready_ring_.Pop()) {
+      const OpSlot* slot = FindSlot(*t);
+      if (slot == nullptr || slot->state != OpState::kCompleted) {
+        continue;  // stale hint
+      }
+      auto it = want.find(*t);
+      if (it == want.end() || done[it->second]) {
+        continue;
+      }
+      auto r = TakeResult(*t);
+      RETURN_IF_ERROR(r.status());
+      out[it->second] = std::move(*r);
+      done[it->second] = true;
+      --remaining;
+      if (remaining == 0) {
+        break;
+      }
     }
   }
   return out;
@@ -358,22 +477,50 @@ Result<QResult> LibOS::WaitBounded(QToken token, TimeNs timeout) {
 }
 
 Status LibOS::CancelOp(QToken token) {
-  if (completed_.erase(token) > 0) {
-    return OkStatus();  // result arrived but was never claimed; drop it
+  OpSlot* slot = FindSlot(token);
+  if (slot == nullptr || slot->state == OpState::kAbandoned) {
+    return NotFound("unknown qtoken");
   }
-  if (auto it = token_qd_.find(token); it != token_qd_.end()) {
-    IoQueue* q = GetQueue(it->second);
-    token_qd_.erase(it);
-    if (q == nullptr || !q->Cancel(token).ok()) {
-      // The queue cannot un-register the op; swallow its completion instead.
-      abandoned_.insert(token);
-    }
+  if (slot->state == OpState::kCompleted) {
+    ReleaseSlot(token);  // result arrived but was never claimed; drop it
     return OkStatus();
   }
-  if (control_ops_.erase(token) > 0) {
+  --pending_count_;
+  if (slot->control) {
+    // PollControlOps skips dead tokens and lazily compacts control_tokens_.
+    ReleaseSlot(token);
     return OkStatus();
   }
-  return NotFound("unknown qtoken");
+  IoQueue* q = GetQueue(slot->qd);
+  if (q == nullptr || !q->Cancel(token).ok()) {
+    // The queue cannot un-register the op; swallow its completion instead.
+    slot->state = OpState::kAbandoned;
+    slot->watcher = nullptr;
+  } else {
+    ReleaseSlot(token);
+  }
+  return OkStatus();
+}
+
+Status LibOS::WatchToken(QToken token, CompletionWatcher* watcher) {
+  OpSlot* slot = FindSlot(token);
+  if (slot == nullptr || slot->state == OpState::kAbandoned) {
+    return NotFound("unknown qtoken");
+  }
+  if (slot->state == OpState::kCompleted) {
+    // Already done: deliver now; the result stays parked until TakeResult.
+    watcher->OnTokenComplete(token, slot->qd);
+    return OkStatus();
+  }
+  slot->watcher = watcher;
+  return OkStatus();
+}
+
+void LibOS::UnwatchToken(QToken token) {
+  OpSlot* slot = FindSlot(token);
+  if (slot != nullptr && slot->state == OpState::kPending) {
+    slot->watcher = nullptr;
+  }
 }
 
 SgArray LibOS::SgaAlloc(std::size_t bytes) {
@@ -385,56 +532,49 @@ SgArray LibOS::SgaAlloc(std::size_t bytes) {
 
 bool LibOS::PollControlOps() {
   bool progress = false;
-  for (auto it = control_ops_.begin(); it != control_ops_.end();) {
-    const QToken token = it->first;
-    const ControlOp& op = it->second;
-    IoQueue* q = GetQueue(op.qd);
-    if (q == nullptr) {
-      QResult res;
-      res.op = op.type;
-      res.qd = op.qd;
-      res.status = Cancelled("queue closed");
-      CompleteOp(token, std::move(res));
-      it = control_ops_.erase(it);
-      progress = true;
+  for (std::size_t i = 0; i < control_tokens_.size();) {
+    const QToken token = control_tokens_[i];
+    const OpSlot* slot = FindSlot(token);
+    if (slot == nullptr || slot->state != OpState::kPending) {
+      // Cancelled or otherwise retired; compact lazily.
+      control_tokens_[i] = control_tokens_.back();
+      control_tokens_.pop_back();
       continue;
     }
-    if (op.type == OpType::kAccept) {
+    const QDesc qd = slot->qd;
+    const OpType type = slot->type;
+    IoQueue* q = GetQueue(qd);
+    QResult res;
+    res.op = type;
+    res.qd = qd;
+    bool finished = false;
+    if (q == nullptr) {
+      res.status = Cancelled("queue closed");
+      finished = true;
+    } else if (type == OpType::kAccept) {
       auto accepted = q->TryAccept();
       if (accepted.ok()) {
-        QResult res;
-        res.op = OpType::kAccept;
-        res.qd = op.qd;
         res.new_qd = InstallQueue(std::move(*accepted));
-        CompleteOp(token, std::move(res));
-        it = control_ops_.erase(it);
-        progress = true;
-        continue;
-      }
-      if (accepted.code() != ErrorCode::kWouldBlock) {
-        QResult res;
-        res.op = OpType::kAccept;
-        res.qd = op.qd;
+        finished = true;
+      } else if (accepted.code() != ErrorCode::kWouldBlock) {
         res.status = accepted.status();
-        CompleteOp(token, std::move(res));
-        it = control_ops_.erase(it);
-        progress = true;
-        continue;
+        finished = true;
       }
-    } else if (op.type == OpType::kConnect) {
+    } else if (type == OpType::kConnect) {
       const Status status = q->ConnectStatus();
       if (status.code() != ErrorCode::kWouldBlock) {
-        QResult res;
-        res.op = OpType::kConnect;
-        res.qd = op.qd;
         res.status = status;
-        CompleteOp(token, std::move(res));
-        it = control_ops_.erase(it);
-        progress = true;
-        continue;
+        finished = true;
       }
     }
-    ++it;
+    if (finished) {
+      CompleteOp(token, std::move(res));
+      control_tokens_[i] = control_tokens_.back();
+      control_tokens_.pop_back();
+      progress = true;
+    } else {
+      ++i;
+    }
   }
   return progress;
 }
@@ -476,13 +616,14 @@ bool LibOS::PollSplices() {
 bool LibOS::Poll() {
   bool progress = false;
   // Iterate a snapshot: Progress may install queues (not expected, but combinators
-  // issue internal ops through the libOS which can mutate tables).
-  std::vector<IoQueue*> queues;
-  queues.reserve(qtable_.size());
+  // issue internal ops through the libOS which can mutate tables). The scratch vector
+  // is a member so steady-state polling does not allocate.
+  poll_scratch_.clear();
+  poll_scratch_.reserve(qtable_.size());
   for (auto& [qd, q] : qtable_) {
-    queues.push_back(q.get());
+    poll_scratch_.push_back(q.get());
   }
-  for (IoQueue* q : queues) {
+  for (IoQueue* q : poll_scratch_) {
     progress |= q->Progress(*this);
   }
   progress |= PollDevice();

@@ -25,10 +25,11 @@
 #include <span>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/common/pool.h"
+#include "src/common/ring_buffer.h"
 #include "src/core/queue.h"
 #include "src/core/types.h"
 #include "src/memory/memory_manager.h"
@@ -37,6 +38,16 @@
 namespace demi {
 
 constexpr TimeNs kWaitForever = -1;
+
+// Direct completion delivery for event-driven consumers (DemiEventLoop): instead of
+// scanning tokens for OpDone, a watcher registered on a pending token is called the
+// moment the operation completes. Exactly one consumer sees each completion — a
+// watched token's completion bypasses the shared ready ring.
+class CompletionWatcher {
+ public:
+  virtual ~CompletionWatcher() = default;
+  virtual void OnTokenComplete(QToken token, QDesc qd) = 0;
+};
 
 class LibOS : public Poller, public CompletionSink {
  public:
@@ -111,6 +122,12 @@ class LibOS : public Poller, public CompletionSink {
   // token is forgotten. kNotFound for unknown tokens.
   Status CancelOp(QToken token);
 
+  // Registers `watcher` for direct delivery when `token` completes; fires immediately
+  // if the token already completed. kNotFound for unknown tokens. The watcher must
+  // outlive the token or call UnwatchToken first.
+  Status WatchToken(QToken token, CompletionWatcher* watcher);
+  void UnwatchToken(QToken token);
+
   // --- memory (§4.5) ---
 
   SgArray SgaAlloc(std::size_t bytes);
@@ -125,7 +142,7 @@ class LibOS : public Poller, public CompletionSink {
   std::size_t open_queues() const { return qtable_.size(); }
   // Operations started but not yet completed (the no-hung-qtoken invariant checks
   // this is 0 after a WaitAll sweep).
-  std::size_t pending_ops() const { return token_qd_.size() + control_ops_.size(); }
+  std::size_t pending_ops() const { return pending_count_; }
 
  protected:
   // Queue factories each libOS provides for its device type.
@@ -155,16 +172,58 @@ class LibOS : public Poller, public CompletionSink {
   MemoryManager memory_;
 
  private:
-  struct ControlOp {
-    OpType type;
-    QDesc qd;
+  enum class OpState : std::uint8_t {
+    kPending,
+    kCompleted,  // result parked in the slot, waiting to be claimed
+    kAbandoned,  // cancelled; the eventual completion is swallowed
   };
+
+  // One pending/completed operation. Qtokens pack (generation << 32 | slot index), so
+  // every lookup on the wait path is one array access + one generation compare — no
+  // hashing, no per-op map nodes.
+  struct OpSlot {
+    QDesc qd = kInvalidQDesc;
+    OpType type = OpType::kPush;
+    OpState state = OpState::kPending;
+    bool control = false;  // accept/connect polled by PollControlOps
+    std::uint64_t done_seq = 0;  // completion order, for wait_any FIFO fairness
+    QResult result;
+    CompletionWatcher* watcher = nullptr;
+  };
+
   struct Splice {
     QDesc in;
     QDesc out;
     QToken pop_token = kInvalidQToken;   // outstanding internal pop
     QToken push_token = kInvalidQToken;  // outstanding internal push
   };
+
+  static std::size_t TokenIndex(QToken token) {
+    return static_cast<std::size_t>(token & 0xFFFFFFFFu);
+  }
+  static std::uint32_t TokenGeneration(QToken token) {
+    return static_cast<std::uint32_t>(token >> 32);
+  }
+
+  // Slot for `token`, or nullptr if the token is stale/unknown.
+  OpSlot* FindSlot(QToken token) {
+    const std::size_t index = TokenIndex(token);
+    if (!ops_.Alive(index, TokenGeneration(token))) {
+      return nullptr;
+    }
+    return &ops_[index];
+  }
+  const OpSlot* FindSlot(QToken token) const {
+    const std::size_t index = TokenIndex(token);
+    if (!ops_.Alive(index, TokenGeneration(token))) {
+      return nullptr;
+    }
+    return &ops_[index];
+  }
+  void ReleaseSlot(QToken token) { ops_.Release(TokenIndex(token)); }
+  // Drops a token that never started (StartPush/StartPop failed synchronously).
+  void ReleaseFailedToken(QToken token);
+  void PushReady(QToken token);
 
   bool PollControlOps();
   bool PollSplices();
@@ -173,14 +232,17 @@ class LibOS : public Poller, public CompletionSink {
 
   std::unordered_map<QDesc, std::unique_ptr<IoQueue>> qtable_;
   QDesc next_qd_ = 1;
-  QToken next_token_ = 1;
-  std::unordered_map<QToken, QDesc> token_qd_;          // pending tokens
-  std::unordered_map<QToken, QResult> completed_;
-  std::unordered_map<QToken, ControlOp> control_ops_;   // pending accepts/connects
-  // Cancelled tokens whose queue could not un-register them; their eventual
-  // completions are swallowed.
-  std::unordered_set<QToken> abandoned_;
+  SlotPool<OpSlot> ops_;           // every issued token, pending or parked-completed
+  std::size_t pending_count_ = 0;  // ops started and not yet completed/cancelled
+  std::uint64_t done_seq_counter_ = 0;
+  // Completion ready ring: CompleteOp pushes finished tokens here; Wait/WaitAny/
+  // WaitAll consume in completion (FIFO) order instead of rescanning their token sets
+  // every simulation step. Entries are hints — the slot table is the source of truth,
+  // so stale entries (already claimed via TakeResult) are skipped on pop.
+  RingBuffer<QToken> ready_ring_{256};
+  std::vector<QToken> control_tokens_;  // pending accepts/connects, lazily compacted
   std::vector<Splice> splices_;
+  std::vector<IoQueue*> poll_scratch_;  // reused per Poll(); avoids per-poll allocation
 };
 
 }  // namespace demi

@@ -65,6 +65,43 @@ Status SimNic::Transmit(int queue, Buffer frame) {
   return OkStatus();
 }
 
+Status SimNic::Transmit(int queue, FrameChain chain) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  DEMI_CHECK(chain.size() >= kEthHeaderSize);
+  if (failed_) {
+    return DeviceFailed("nic is dead");
+  }
+  Queue& q = queues_[queue];
+  if (q.tx_in_flight >= config_.ring_size) {
+    host_->Count(Counter::kPacketsDropped);
+    return ResourceExhausted("tx ring full");
+  }
+  ++q.tx_in_flight;
+
+  // Driver side: one doorbell regardless of how many scatter-gather descriptors the
+  // chain spans (the descriptors were written with the same posted MMIO batch).
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  host_->Count(Counter::kDoorbells);
+
+  // Device side: the chain is captured by value, so every part's refcount pins its
+  // slot until wire time — the application can "free" payload buffers immediately and
+  // free-protection (§4.5) keeps them alive. The gather happens on the NIC's DMA
+  // engine, so it charges no host CPU and no kBytesCopied.
+  const TimeNs device_delay = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
+  host_->sim().Schedule(device_delay, [this, queue, chain = std::move(chain)]() mutable {
+    Queue& dq = queues_[queue];
+    --dq.tx_in_flight;
+    if (failed_ || !link_up()) {
+      host_->Count(Counter::kPacketsDropped);
+      return;
+    }
+    host_->Count(Counter::kDmaOps);
+    host_->Count(Counter::kPacketsTx);
+    fabric_->Transmit(port_, chain.Gather());
+  });
+  return OkStatus();
+}
+
 bool SimNic::link_up() const {
   if (failed_) {
     return false;

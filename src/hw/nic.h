@@ -67,6 +67,12 @@ class SimNic {
   // full (callers must back off, as a real PMD must).
   Status Transmit(int queue, Buffer frame);
 
+  // Scatter-gather form: the frame is a chain of Buffer parts (header buffers + payload
+  // slices). The device holds a reference on every part until wire time, then gathers
+  // them with its own DMA engine — no host CPU copy is charged, which is the zero-copy
+  // TX contract (§4.5 free-protection plus NIC scatter-gather).
+  Status Transmit(int queue, FrameChain chain);
+
   // Drains one received frame from `queue`'s RX ring, if any. Free of charge: the
   // caller (kernel driver or libOS) charges its own per-packet processing cost.
   std::optional<Buffer> PollRx(int queue);

@@ -20,16 +20,22 @@ class MemoryManager::Arena final : public BufferStorage {
 class MemoryManager::PooledStorage final : public BufferStorage {
  public:
   PooledStorage(MemoryManager* mgr, std::shared_ptr<bool> mgr_alive,
-                std::shared_ptr<Arena> arena, std::size_t offset, std::size_t slot_size)
+                std::shared_ptr<Arena> arena, std::size_t offset, std::size_t slot_size,
+                bool header_slot = false)
       : BufferStorage(arena->data() + offset, slot_size),
         mgr_(mgr),
         mgr_alive_(std::move(mgr_alive)),
         arena_(std::move(arena)),
-        offset_(offset) {}
+        offset_(offset),
+        header_slot_(header_slot) {}
 
   ~PooledStorage() override {
     if (*mgr_alive_) {
-      mgr_->RecycleSlot(arena_.get(), offset_, capacity_);
+      if (header_slot_) {
+        mgr_->RecycleHeaderSlot(std::move(arena_), offset_);
+      } else {
+        mgr_->RecycleSlot(std::move(arena_), offset_, capacity_);
+      }
     }
   }
 
@@ -40,6 +46,7 @@ class MemoryManager::PooledStorage final : public BufferStorage {
   std::shared_ptr<bool> mgr_alive_;
   std::shared_ptr<Arena> arena_;
   std::size_t offset_;
+  bool header_slot_;
 };
 
 MemoryManager::MemoryManager(HostCpu* host, MemoryConfig config)
@@ -82,37 +89,90 @@ void MemoryManager::GrowClass(SizeClass& cls) {
   const std::size_t slots = arena_bytes / cls.slot_size;
   cls.free_slots.reserve(cls.free_slots.size() + slots);
   for (std::size_t i = 0; i < slots; ++i) {
-    cls.free_slots.emplace_back(arena.get(), i * cls.slot_size);
+    cls.free_slots.emplace_back(arena, i * cls.slot_size);
   }
   arenas_.push_back(std::move(arena));
 }
 
-void MemoryManager::RecycleSlot(Arena* arena, std::size_t offset, std::size_t slot_size) {
+void MemoryManager::GrowHeaderPool() {
+  const std::size_t arena_bytes = std::max(config_.header_arena_bytes, kHeaderSlotSize);
+  auto arena = std::make_shared<Arena>(arena_bytes);
+  bytes_reserved_ += arena_bytes;
+  // Like every arena, the header arena is registered with all attached devices up
+  // front, so header buffers are always DMA-able with zero per-send registration.
+  for (const auto& dev : devices_) {
+    dev(arena);
+  }
+  const std::size_t slots = arena_bytes / kHeaderSlotSize;
+  header_free_slots_.reserve(header_free_slots_.size() + slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    header_free_slots_.emplace_back(arena, i * kHeaderSlotSize);
+  }
+  arenas_.push_back(std::move(arena));
+}
+
+void MemoryManager::RecycleHeaderSlot(std::shared_ptr<Arena> arena, std::size_t offset) {
+  --live_slots_;
+  header_free_slots_.emplace_back(std::move(arena), offset);
+}
+
+void MemoryManager::RecycleSlot(std::shared_ptr<Arena> arena, std::size_t offset,
+                                std::size_t slot_size) {
   --live_slots_;
   for (auto& cls : classes_) {
     if (cls.slot_size == slot_size) {
-      cls.free_slots.emplace_back(arena, offset);
+      cls.free_slots.emplace_back(std::move(arena), offset);
       return;
     }
   }
   // Oversized one-off slot: the dedicated arena is simply dropped with its storage.
 }
 
+Buffer MemoryManager::AllocateHeader(std::size_t size) {
+  DEMI_CHECK(size > 0);
+  if (size > kHeaderSlotSize) {
+    ++header_pool_misses_;
+    host_->Count(Counter::kHeaderPoolMisses);
+    return Allocate(size);
+  }
+  host_->Work(config_.header_alloc_ns);
+  host_->Count(Counter::kBufferAllocs);
+  ++allocs_;
+  ++live_slots_;
+  if (header_free_slots_.empty()) {
+    ++header_pool_misses_;
+    host_->Count(Counter::kHeaderPoolMisses);
+    GrowHeaderPool();
+  } else {
+    ++header_pool_hits_;
+    ++pool_hits_;
+    host_->Count(Counter::kHeaderPoolHits);
+  }
+  auto [arena, offset] = std::move(header_free_slots_.back());
+  header_free_slots_.pop_back();
+  auto storage = std::make_shared<PooledStorage>(this, alive_, std::move(arena), offset,
+                                                 kHeaderSlotSize, /*header_slot=*/true);
+  return Buffer::FromStorage(std::move(storage), 0, size);
+}
+
 Buffer MemoryManager::Allocate(std::size_t size) {
   DEMI_CHECK(size > 0);
   host_->Work(config_.alloc_ns);
+  host_->Count(Counter::kBufferAllocs);
   ++allocs_;
   ++live_slots_;
 
   if (size > kSlotSizes.back()) {
-    // Oversized: dedicated registered arena for this allocation.
+    // Oversized: dedicated registered arena owned solely by this allocation — it is
+    // NOT retained in arenas_, so it dies (and unreserves) with its last reference.
+    // Devices attached later will not see it; devices attach at startup, before any
+    // oversized traffic exists.
     auto arena = std::make_shared<Arena>(size);
     bytes_reserved_ += size;
     for (const auto& dev : devices_) {
       dev(arena);
     }
-    arenas_.push_back(arena);
-    auto storage = std::make_shared<PooledStorage>(this, alive_, arena, 0, size);
+    auto storage = std::make_shared<PooledStorage>(this, alive_, std::move(arena), 0, size);
     return Buffer::FromStorage(std::move(storage), 0, size);
   }
 
@@ -122,19 +182,8 @@ Buffer MemoryManager::Allocate(std::size_t size) {
   } else {
     ++pool_hits_;
   }
-  auto [arena_ptr, offset] = cls.free_slots.back();
+  auto [arena, offset] = std::move(cls.free_slots.back());
   cls.free_slots.pop_back();
-
-  // Find the owning shared_ptr (arenas_ is small; linear scan is fine off the fast
-  // path — the fast path is the pool_hits_ branch, which still needs the arena ref).
-  std::shared_ptr<Arena> arena;
-  for (const auto& a : arenas_) {
-    if (a.get() == arena_ptr) {
-      arena = a;
-      break;
-    }
-  }
-  DEMI_CHECK(arena != nullptr);
   auto storage = std::make_shared<PooledStorage>(this, alive_, std::move(arena), offset,
                                                  cls.slot_size);
   return Buffer::FromStorage(std::move(storage), 0, size);

@@ -36,6 +36,11 @@ namespace demi {
 struct MemoryConfig {
   std::size_t arena_bytes = 2 * 1024 * 1024;  // 2 MiB arenas (hugepage-sized)
   TimeNs alloc_ns = 25;                        // pooled alloc/free CPU cost
+  // The header pool is a single-size free list with no size-class dispatch; its pop is
+  // cheap enough that the cost is subsumed by the per-segment stack processing cost the
+  // caller already charges, so it defaults to free.
+  TimeNs header_alloc_ns = 0;
+  std::size_t header_arena_bytes = 64 * 1024;  // dedicated pre-registered header arena
 };
 
 class MemoryManager {
@@ -55,6 +60,15 @@ class MemoryManager {
   // Allocates a buffer of exactly `size` bytes from the pools.
   Buffer Allocate(std::size_t size);
 
+  // Allocates a protocol-header buffer from the dedicated pre-registered header pool.
+  // Headers (eth+ip, tcp, udp, framing) are all <= kHeaderSlotSize, so this is a plain
+  // free-list pop with no size-class dispatch; oversized requests fall back to
+  // Allocate() and count as pool misses.
+  Buffer AllocateHeader(std::size_t size);
+
+  // Largest request the header pool serves from its own slots.
+  static constexpr std::size_t kHeaderSlotSize = 64;
+
   // Allocates a single-segment scatter-gather array (the public sgaalloc).
   SgArray AllocateSga(std::size_t size);
 
@@ -64,13 +78,17 @@ class MemoryManager {
   std::uint64_t pool_hits() const { return pool_hits_; }  // reused a recycled slot
   std::size_t arena_count() const { return arenas_.size(); }
   std::uint64_t live_slots() const { return live_slots_; }
+  std::uint64_t header_pool_hits() const { return header_pool_hits_; }
+  std::uint64_t header_pool_misses() const { return header_pool_misses_; }
 
  private:
   class Arena;
   class PooledStorage;
+  // Free slots carry the owning arena's shared_ptr so an allocation is a pure pop —
+  // no lookup to recover the arena reference on the hot path.
   struct SizeClass {
     std::size_t slot_size;
-    std::vector<std::pair<Arena*, std::size_t>> free_slots;  // (arena, offset)
+    std::vector<std::pair<std::shared_ptr<Arena>, std::size_t>> free_slots;
   };
 
   static constexpr std::array<std::size_t, 8> kSlotSizes = {64,    256,    1024,   4096,
@@ -78,7 +96,10 @@ class MemoryManager {
 
   SizeClass& ClassFor(std::size_t size);
   void GrowClass(SizeClass& cls);
-  void RecycleSlot(Arena* arena, std::size_t offset, std::size_t slot_size);
+  void GrowHeaderPool();
+  void RecycleSlot(std::shared_ptr<Arena> arena, std::size_t offset,
+                   std::size_t slot_size);
+  void RecycleHeaderSlot(std::shared_ptr<Arena> arena, std::size_t offset);
 
   HostCpu* host_;
   MemoryConfig config_;
@@ -89,6 +110,9 @@ class MemoryManager {
   std::uint64_t allocs_ = 0;
   std::uint64_t pool_hits_ = 0;
   std::uint64_t live_slots_ = 0;
+  std::vector<std::pair<std::shared_ptr<Arena>, std::size_t>> header_free_slots_;
+  std::uint64_t header_pool_hits_ = 0;
+  std::uint64_t header_pool_misses_ = 0;
   // Set false on destruction; PooledStorage destructors skip recycling afterwards
   // (their arena shared_ptr keeps the memory itself valid).
   std::shared_ptr<bool> alive_;

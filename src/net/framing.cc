@@ -2,12 +2,13 @@
 
 #include "src/common/byte_order.h"
 #include "src/common/logging.h"
+#include "src/memory/memory_manager.h"
 
 namespace demi {
 
-std::vector<Buffer> EncodeFrame(const SgArray& sga) {
+std::vector<Buffer> EncodeFrame(const SgArray& sga, MemoryManager* mem) {
   DEMI_CHECK(sga.total_bytes() <= kMaxFrameBody);
-  Buffer header = Buffer::Allocate(4);
+  Buffer header = mem != nullptr ? mem->AllocateHeader(4) : Buffer::Allocate(4);
   ByteWriter w(header.mutable_span());
   w.U32(static_cast<std::uint32_t>(sga.total_bytes()));
   std::vector<Buffer> parts;

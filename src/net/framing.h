@@ -20,12 +20,15 @@
 
 namespace demi {
 
+class MemoryManager;
+
 // Upper bound on one framed message; protects the decoder from hostile lengths.
 constexpr std::size_t kMaxFrameBody = 64 * 1024 * 1024;
 
 // Encodes `sga` as wire parts: a fresh 4-byte length header followed by references to
-// the sga's segments (no payload copy).
-std::vector<Buffer> EncodeFrame(const SgArray& sga);
+// the sga's segments (no payload copy). When `mem` is set, the length header comes from
+// the pre-registered header pool instead of the heap.
+std::vector<Buffer> EncodeFrame(const SgArray& sga, MemoryManager* mem = nullptr);
 
 // Incremental decoder over an arbitrary-chunked byte stream.
 class FrameDecoder {

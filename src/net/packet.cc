@@ -128,6 +128,33 @@ void WriteTcpHeader(std::span<std::byte> out, const TcpHeader& h, Ipv4Address sr
   out[17] = std::byte{static_cast<std::uint8_t>(csum & 0xFF)};
 }
 
+void WriteTcpHeaderSg(std::span<std::byte> out, const TcpHeader& h, Ipv4Address src,
+                      Ipv4Address dst, std::span<const Buffer> payload_parts) {
+  DEMI_CHECK(out.size() >= kTcpHeaderSize);
+  ByteWriter w(out);
+  w.U16(h.src_port);
+  w.U16(h.dst_port);
+  w.U32(h.seq);
+  w.U32(h.ack);
+  w.U8(5 << 4);  // data offset 5 words, no options
+  w.U8(h.flags);
+  w.U16(h.window);
+  w.U16(0);  // checksum placeholder
+  w.U16(0);  // urgent pointer
+  std::size_t payload_size = 0;
+  for (const Buffer& p : payload_parts) {
+    payload_size += p.size();
+  }
+  ChecksumAccumulator acc(TcpPseudoHeaderSum(src, dst, kTcpHeaderSize + payload_size));
+  acc.Add(out.first(kTcpHeaderSize));
+  for (const Buffer& p : payload_parts) {
+    acc.Add(p.span());
+  }
+  const std::uint16_t csum = acc.Fold();
+  out[16] = std::byte{static_cast<std::uint8_t>(csum >> 8)};
+  out[17] = std::byte{static_cast<std::uint8_t>(csum & 0xFF)};
+}
+
 std::optional<TcpHeader> ParseTcpHeader(std::span<const std::byte> in) {
   if (in.size() < kTcpHeaderSize) {
     return std::nullopt;
@@ -216,6 +243,15 @@ Buffer BuildIpv4Frame(MacAddress src_mac, MacAddress dst_mac, const Ipv4Header& 
     }
   }
   return frame;
+}
+
+void WriteEthIpv4Headers(std::span<std::byte> hdr, MacAddress src_mac, MacAddress dst_mac,
+                         const Ipv4Header& ip, std::size_t l4_size) {
+  DEMI_CHECK(hdr.size() >= kEthHeaderSize + kIpv4HeaderSize);
+  WriteEthHeader(hdr, EthHeader{dst_mac, src_mac, kEtherTypeIpv4});
+  Ipv4Header ip_full = ip;
+  ip_full.total_length = static_cast<std::uint16_t>(kIpv4HeaderSize + l4_size);
+  WriteIpv4Header(hdr.subspan(kEthHeaderSize), ip_full);
 }
 
 Buffer BuildArpFrame(MacAddress src_mac, MacAddress dst_mac, const ArpPacket& arp) {

@@ -109,6 +109,10 @@ std::optional<UdpHeader> ParseUdpHeader(std::span<const std::byte> in);
 // TCP checksum needs the pseudo-header; Write computes it over header+payload.
 void WriteTcpHeader(std::span<std::byte> out, const TcpHeader& h, Ipv4Address src,
                     Ipv4Address dst, std::span<const std::byte> payload);
+// Scatter-gather form: the payload stays a Buffer chain; the checksum streams across
+// part boundaries (odd-length middle parts included) without flattening.
+void WriteTcpHeaderSg(std::span<std::byte> out, const TcpHeader& h, Ipv4Address src,
+                      Ipv4Address dst, std::span<const Buffer> payload_parts);
 std::optional<TcpHeader> ParseTcpHeader(std::span<const std::byte> in);
 // Verifies the TCP checksum of `segment` (header+payload) for the given address pair.
 bool VerifyTcpChecksum(std::span<const std::byte> segment, Ipv4Address src, Ipv4Address dst);
@@ -121,6 +125,13 @@ std::optional<ArpPacket> ParseArpPacket(std::span<const std::byte> in);
 // callers charge their own per-segment protocol-processing cost.
 Buffer BuildIpv4Frame(MacAddress src_mac, MacAddress dst_mac, const Ipv4Header& ip,
                       std::span<const Buffer> l4_parts);
+
+// Writes the Ethernet and IPv4 headers for a frame carrying `l4_size` bytes of L4
+// content into `hdr` (which must hold kEthHeaderSize + kIpv4HeaderSize bytes). The
+// zero-copy TX path writes headers into a pooled buffer and chains the payload
+// behind them instead of flattening the frame (BuildIpv4Frame's copying shape).
+void WriteEthIpv4Headers(std::span<std::byte> hdr, MacAddress src_mac, MacAddress dst_mac,
+                         const Ipv4Header& ip, std::size_t l4_size);
 
 // Builds an Ethernet ARP frame.
 Buffer BuildArpFrame(MacAddress src_mac, MacAddress dst_mac, const ArpPacket& arp);

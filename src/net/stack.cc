@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/memory/memory_manager.h"
 
 namespace demi {
 
@@ -31,6 +32,17 @@ TimeNs NetStack::tx_cost() const {
 
 TimeNs NetStack::rx_cost() const {
   return config_.stack_rx_ns >= 0 ? config_.stack_rx_ns : host_->cost().user_stack_rx_ns;
+}
+
+Buffer NetStack::AllocateHeader(std::size_t size) {
+  if (config_.memory != nullptr) {
+    return config_.memory->AllocateHeader(size);
+  }
+  // No memory manager (legacy kernel stack): plain heap header. Still counted so the
+  // alloc-rate difference between the paths is visible.
+  host_->Count(Counter::kBufferAllocs);
+  host_->Count(Counter::kHeaderPoolMisses);
+  return Buffer::Allocate(size);
 }
 
 bool NetStack::Poll() {
@@ -120,18 +132,19 @@ void NetStack::FlushArpPending(Ipv4Address ip, MacAddress mac) {
   if (it->second.timer != kInvalidTimer) {
     host_->sim().Cancel(it->second.timer);
   }
-  std::vector<Buffer> frames = std::move(it->second.frames);
+  std::vector<FrameChain> frames = std::move(it->second.frames);
   arp_pending_.erase(it);
-  for (Buffer& f : frames) {
-    WriteEthHeader(f.mutable_span(), EthHeader{mac, nic_->mac(), kEtherTypeIpv4});
+  for (FrameChain& f : frames) {
+    WriteEthHeader(f.front().mutable_span(), EthHeader{mac, nic_->mac(), kEtherTypeIpv4});
     ++frames_tx_;
     (void)nic_->Transmit(config_.nic_queue, std::move(f));
   }
 }
 
-void NetStack::ResolveAndTransmit(Ipv4Address next_hop, Buffer frame) {
+void NetStack::ResolveAndTransmit(Ipv4Address next_hop, FrameChain frame) {
   if (auto it = arp_cache_.find(next_hop); it != arp_cache_.end()) {
-    WriteEthHeader(frame.mutable_span(), EthHeader{it->second, nic_->mac(), kEtherTypeIpv4});
+    WriteEthHeader(frame.front().mutable_span(),
+                   EthHeader{it->second, nic_->mac(), kEtherTypeIpv4});
     ++frames_tx_;
     (void)nic_->Transmit(config_.nic_queue, std::move(frame));
     return;
@@ -201,20 +214,39 @@ void NetStack::UdpUnbind(std::uint16_t port) {
 }
 
 Status NetStack::UdpSend(std::uint16_t src_port, Endpoint dst, Buffer payload) {
-  if (payload.size() + kUdpHeaderSize + kIpv4HeaderSize > 1500) {
+  const Buffer parts[] = {payload};
+  return UdpSend(src_port, dst, parts);
+}
+
+Status NetStack::UdpSend(std::uint16_t src_port, Endpoint dst,
+                         std::span<const Buffer> payload_parts) {
+  std::size_t payload_size = 0;
+  for (const Buffer& p : payload_parts) {
+    payload_size += p.size();
+  }
+  if (payload_size + kUdpHeaderSize + kIpv4HeaderSize > 1500) {
     return InvalidArgument("UDP datagram exceeds MTU (no fragmentation support)");
   }
   host_->Work(tx_cost());
-  Buffer udp = Buffer::Allocate(kUdpHeaderSize);
-  WriteUdpHeader(udp.mutable_span(),
-                 UdpHeader{src_port, dst.port,
-                           static_cast<std::uint16_t>(kUdpHeaderSize + payload.size())});
+  // One pooled header buffer carries eth+ip+udp; the payload parts chain behind it by
+  // reference (zero-copy all the way to the wire).
+  constexpr std::size_t kHdr = kEthHeaderSize + kIpv4HeaderSize + kUdpHeaderSize;
+  Buffer hdr = AllocateHeader(kHdr);
   Ipv4Header ip;
   ip.protocol = kIpProtoUdp;
   ip.src = config_.ip;
   ip.dst = dst.ip;
-  const Buffer parts[] = {udp, payload};
-  Buffer frame = BuildIpv4Frame(nic_->mac(), MacAddress{}, ip, parts);
+  WriteEthIpv4Headers(hdr.mutable_span(), nic_->mac(), MacAddress{}, ip,
+                      kUdpHeaderSize + payload_size);
+  WriteUdpHeader(hdr.mutable_span().subspan(kEthHeaderSize + kIpv4HeaderSize),
+                 UdpHeader{src_port, dst.port,
+                           static_cast<std::uint16_t>(kUdpHeaderSize + payload_size)});
+  FrameChain frame(std::move(hdr));
+  for (const Buffer& p : payload_parts) {
+    if (!p.empty()) {
+      frame.Append(p);
+    }
+  }
   ResolveAndTransmit(dst.ip, std::move(frame));
   return OkStatus();
 }
@@ -288,9 +320,9 @@ void NetStack::SendRst(const Ipv4Header& ip, const TcpHeader& h, std::size_t pay
   rst.seq = (h.flags & kTcpAck) ? h.ack : 0;
   rst.ack = h.seq + static_cast<std::uint32_t>(payload_len) +
             ((h.flags & (kTcpSyn | kTcpFin)) ? 1 : 0);
-  Buffer seg = Buffer::Allocate(kTcpHeaderSize);
+  Buffer seg = AllocateHeader(kTcpHeaderSize);
   WriteTcpHeader(seg.mutable_span(), rst, config_.ip, ip.src, {});
-  SendSegment(ip.src, std::move(seg));
+  SendSegment(ip.src, FrameChain(std::move(seg)));
 }
 
 void NetStack::HandleTcp(const Ipv4Header& ip, Buffer l4) {
@@ -348,14 +380,18 @@ void NetStack::HandleTcp(const Ipv4Header& ip, Buffer l4) {
   }
 }
 
-void NetStack::SendSegment(Ipv4Address dst, Buffer segment) {
+void NetStack::SendSegment(Ipv4Address dst, FrameChain segment) {
   host_->Work(tx_cost());
   Ipv4Header ip;
   ip.protocol = kIpProtoTcp;
   ip.src = config_.ip;
   ip.dst = dst;
-  const Buffer parts[] = {segment};
-  Buffer frame = BuildIpv4Frame(nic_->mac(), MacAddress{}, ip, parts);
+  Buffer hdr = AllocateHeader(kEthHeaderSize + kIpv4HeaderSize);
+  WriteEthIpv4Headers(hdr.mutable_span(), nic_->mac(), MacAddress{}, ip, segment.size());
+  FrameChain frame(std::move(hdr));
+  for (const Buffer& part : segment.parts()) {
+    frame.Append(part);
+  }
   ResolveAndTransmit(dst, std::move(frame));
 }
 

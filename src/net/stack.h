@@ -28,6 +28,8 @@
 
 namespace demi {
 
+class MemoryManager;
+
 struct NetStackConfig {
   Ipv4Address ip;
   int nic_queue = 0;
@@ -38,6 +40,10 @@ struct NetStackConfig {
   std::size_t rx_batch = 32;
   TcpConfig tcp;
   std::uint64_t seed = 7;  // ISS / ephemeral port randomization
+  // When set, protocol headers come from the manager's pre-registered header pool
+  // (zero-copy libOS TX path); when null, headers fall back to heap buffers (the
+  // legacy kernel stack, which copies at the socket layer anyway).
+  MemoryManager* memory = nullptr;
 };
 
 class NetStack final : public Poller, public TcpIo {
@@ -58,6 +64,9 @@ class NetStack final : public Poller, public TcpIo {
   Status UdpBind(std::uint16_t port, UdpRecvFn on_recv);
   void UdpUnbind(std::uint16_t port);
   Status UdpSend(std::uint16_t src_port, Endpoint dst, Buffer payload);
+  // Scatter-gather form: each payload part rides to the NIC as a referenced slice; no
+  // flattening of multi-segment sgarrays.
+  Status UdpSend(std::uint16_t src_port, Endpoint dst, std::span<const Buffer> payload_parts);
 
   // --- TCP ---
   Result<TcpListener*> TcpListen(std::uint16_t port);
@@ -66,7 +75,8 @@ class NetStack final : public Poller, public TcpIo {
   void ReapClosed();
 
   // --- TcpIo ---
-  void SendSegment(Ipv4Address dst, Buffer segment) override;
+  void SendSegment(Ipv4Address dst, FrameChain segment) override;
+  Buffer AllocateHeader(std::size_t size) override;
   Simulation& sim() override { return host_->sim(); }
   HostCpu& host() override { return *host_; }
   const TcpConfig& tcp_config() const override { return config_.tcp; }
@@ -93,7 +103,7 @@ class NetStack final : public Poller, public TcpIo {
     }
   };
   struct ArpPending {
-    std::vector<Buffer> frames;  // complete frames awaiting a destination MAC patch
+    std::vector<FrameChain> frames;  // complete frames awaiting a destination MAC patch
     int retries_left = 3;
     TimerId timer = kInvalidTimer;
   };
@@ -106,7 +116,8 @@ class NetStack final : public Poller, public TcpIo {
   void HandleTcp(const Ipv4Header& ip, Buffer l4);
   void HandleUdp(const Ipv4Header& ip, Buffer l4);
   // Fills the destination MAC and transmits, or parks the frame on ARP resolution.
-  void ResolveAndTransmit(Ipv4Address next_hop, Buffer frame);
+  // The chain's first part is always the mutable eth+ip header buffer.
+  void ResolveAndTransmit(Ipv4Address next_hop, FrameChain frame);
   void SendArpRequest(Ipv4Address target);
   void ArpRetryTick(Ipv4Address next_hop);
   void FlushArpPending(Ipv4Address ip, MacAddress mac);

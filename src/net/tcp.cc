@@ -40,7 +40,7 @@ std::uint16_t TcpConnection::AdvertisedWindow() const {
   return static_cast<std::uint16_t>(std::min<std::size_t>(free_space, 65535));
 }
 
-void TcpConnection::EmitSegment(std::uint32_t seq, Buffer payload, std::uint8_t flags,
+void TcpConnection::EmitSegment(std::uint32_t seq, FrameChain payload, std::uint8_t flags,
                                 bool track) {
   TcpHeader h;
   h.src_port = local_.port;
@@ -53,33 +53,36 @@ void TcpConnection::EmitSegment(std::uint32_t seq, Buffer payload, std::uint8_t 
     advertised_zero_window_ = true;
   }
 
-  Buffer segment = Buffer::Allocate(kTcpHeaderSize + payload.size());
-  if (!payload.empty()) {
-    // GCC 12 misjudges the bounds of the refcounted buffer here (-Warray-bounds
-    // false positive on the guarded copy); the sizes match by construction.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Warray-bounds"
-#pragma GCC diagnostic ignored "-Wstringop-overflow"
-    std::memcpy(segment.mutable_data() + kTcpHeaderSize, payload.data(), payload.size());
-#pragma GCC diagnostic pop
+  // Zero-copy TX: the header comes from the stack's pooled header arena and the
+  // payload slices are chained behind it untouched — no flattening, no memcpy. The
+  // checksum streams over the parts.
+  Buffer header = io_->AllocateHeader(kTcpHeaderSize);
+  WriteTcpHeaderSg(header.mutable_span(), h, local_.ip, remote_.ip, payload.parts_span());
+
+  FrameChain segment(std::move(header));
+  for (const Buffer& part : payload.parts()) {
+    segment.Append(part);
   }
-  WriteTcpHeader(segment.mutable_span(), h, local_.ip, remote_.ip,
-                 segment.span().subspan(kTcpHeaderSize));
 
   if (track) {
-    inflight_.push_back(InflightSegment{seq, payload, flags, io_->sim().now(), false});
+    // Keeping the chain for retransmit costs refcount bumps on the payload slices
+    // (shared with `segment` above), never byte copies.
+    inflight_.push_back(
+        InflightSegment{seq, std::move(payload), flags, io_->sim().now(), false});
     ArmRetransmitTimer();
   }
   io_->SendSegment(remote_.ip, std::move(segment));
 }
 
-void TcpConnection::SendFlags(std::uint8_t flags) { EmitSegment(snd_nxt_, Buffer(), flags, false); }
+void TcpConnection::SendFlags(std::uint8_t flags) {
+  EmitSegment(snd_nxt_, FrameChain(), flags, false);
+}
 
 void TcpConnection::SendAck() { SendFlags(kTcpAck); }
 
 void TcpConnection::StartActiveOpen() {
   DEMI_CHECK(state_ == State::kSynSent);
-  EmitSegment(snd_nxt_, Buffer(), kTcpSyn, /*track=*/true);
+  EmitSegment(snd_nxt_, FrameChain(), kTcpSyn, /*track=*/true);
   snd_nxt_ += 1;
 }
 
@@ -146,30 +149,20 @@ void TcpConnection::TrySend() {
     }
     // Gather up to one MSS across queued buffers into a single segment (NICs do this
     // with scatter-gather descriptors, so it costs the host nothing): avoids sending
-    // small application writes — e.g. framing headers — as tinygram segments.
-    Buffer payload;
-    if (send_queue_.front().size() >= take) {
-      payload = send_queue_.front().Slice(0, take);  // common case: zero-copy slice
-      if (take == send_queue_.front().size()) {
+    // small application writes — e.g. framing headers — as tinygram segments. Each
+    // queued buffer contributes a zero-copy slice to the chain.
+    FrameChain payload;
+    std::size_t gathered = 0;
+    while (gathered < take) {
+      Buffer& front = send_queue_.front();
+      const std::size_t part = std::min(front.size(), take - gathered);
+      payload.Append(front.Slice(0, part));
+      gathered += part;
+      if (part == front.size()) {
         send_queue_.pop_front();
       } else {
-        send_queue_.front() = send_queue_.front().Slice(take);
+        front = front.Slice(part);
       }
-    } else {
-      std::vector<Buffer> parts;
-      std::size_t gathered = 0;
-      while (gathered < take) {
-        Buffer& front = send_queue_.front();
-        const std::size_t part = std::min(front.size(), take - gathered);
-        parts.push_back(front.Slice(0, part));
-        gathered += part;
-        if (part == front.size()) {
-          send_queue_.pop_front();
-        } else {
-          front = front.Slice(part);
-        }
-      }
-      payload = ConcatCopy(parts);
     }
     send_queue_bytes_ -= take;
     EmitSegment(snd_nxt_, std::move(payload), kTcpAck | kTcpPsh, /*track=*/true);
@@ -193,7 +186,7 @@ void TcpConnection::TrySend() {
         front2 = front2.Slice(1);
       }
       send_queue_bytes_ -= 1;
-      EmitSegment(snd_nxt_, std::move(probe), kTcpAck | kTcpPsh, /*track=*/true);
+      EmitSegment(snd_nxt_, FrameChain(std::move(probe)), kTcpAck | kTcpPsh, /*track=*/true);
       snd_nxt_ += 1;
     });
   }
@@ -207,7 +200,7 @@ void TcpConnection::MaybeSendFin() {
   }
   fin_sent_ = true;
   fin_seq_ = snd_nxt_;
-  EmitSegment(snd_nxt_, Buffer(), kTcpFin | kTcpAck, /*track=*/true);
+  EmitSegment(snd_nxt_, FrameChain(), kTcpFin | kTcpAck, /*track=*/true);
   snd_nxt_ += 1;
   if (state_ == State::kEstablished) {
     EnterState(State::kFinWait1);
@@ -363,7 +356,7 @@ void TcpConnection::OnSegment(const TcpHeader& h, Buffer payload) {
     rcv_nxt_ = h.seq + 1;
     snd_wnd_ = h.window;
     EnterState(State::kSynReceived);
-    EmitSegment(snd_nxt_, Buffer(), kTcpSyn | kTcpAck, /*track=*/true);
+    EmitSegment(snd_nxt_, FrameChain(), kTcpSyn | kTcpAck, /*track=*/true);
     snd_nxt_ += 1;
     return;
   }
@@ -402,7 +395,7 @@ void TcpConnection::OnSegment(const TcpHeader& h, Buffer payload) {
     // Retransmitted SYN while in kSynReceived: our tracked SYN-ACK timer covers it,
     // but answering immediately avoids a full RTO stall.
     if (state_ == State::kSynReceived && !inflight_.empty()) {
-      EmitSegment(inflight_.front().seq, Buffer(), kTcpSyn | kTcpAck, /*track=*/false);
+      EmitSegment(inflight_.front().seq, FrameChain(), kTcpSyn | kTcpAck, /*track=*/false);
     }
     return;
   }

@@ -57,9 +57,13 @@ struct TcpConfig {
 class TcpIo {
  public:
   virtual ~TcpIo() = default;
-  // Transmits a finished TCP segment (header+payload) to `dst`; the stack wraps it in
-  // IP/Ethernet, resolves ARP, and charges per-segment stack cost.
-  virtual void SendSegment(Ipv4Address dst, Buffer segment) = 0;
+  // Transmits a finished TCP segment (header buffer + payload slices, as a chain) to
+  // `dst`; the stack prepends IP/Ethernet headers, resolves ARP, and charges
+  // per-segment stack cost. The payload parts ride to the device by reference.
+  virtual void SendSegment(Ipv4Address dst, FrameChain segment) = 0;
+  // Allocates a protocol-header buffer; stacks with a memory manager serve this from
+  // the pre-registered header pool, others fall back to the heap.
+  virtual Buffer AllocateHeader(std::size_t size) = 0;
   virtual Simulation& sim() = 0;
   virtual HostCpu& host() = 0;
   virtual const TcpConfig& tcp_config() const = 0;
@@ -145,7 +149,7 @@ class TcpConnection {
 
   struct InflightSegment {
     std::uint32_t seq;
-    Buffer payload;      // empty for bare SYN/FIN
+    FrameChain payload;  // empty for bare SYN/FIN; parts are refcounted slices
     std::uint8_t flags;  // SYN/FIN consume sequence space
     TimeNs sent_at;
     bool retransmitted;
@@ -159,7 +163,7 @@ class TcpConnection {
 
   void EnterState(State s);
   void SendFlags(std::uint8_t flags);                       // pure control segment
-  void EmitSegment(std::uint32_t seq, Buffer payload, std::uint8_t flags, bool track);
+  void EmitSegment(std::uint32_t seq, FrameChain payload, std::uint8_t flags, bool track);
   void SendAck();
   void TrySend();       // move bytes from the send queue into flight (cwnd/rwnd gated)
   void MaybeSendFin();  // emit FIN once the queue drains after Close()

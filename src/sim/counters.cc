@@ -64,6 +64,12 @@ std::string_view CounterName(Counter c) {
       return "retry_giveups";
     case Counter::kBreakerTrips:
       return "breaker_trips";
+    case Counter::kBufferAllocs:
+      return "buffer_allocs";
+    case Counter::kHeaderPoolHits:
+      return "header_pool_hits";
+    case Counter::kHeaderPoolMisses:
+      return "header_pool_misses";
     case Counter::kNumCounters:
       break;
   }

@@ -42,6 +42,9 @@ enum class Counter : std::size_t {
   kRetriesAttempted,    // recovery (re)connect / I/O retry attempts started
   kRetryGiveups,        // recovery gave up (deadline or attempts exhausted)
   kBreakerTrips,        // per-queue circuit breakers tripped to failover
+  kBufferAllocs,        // Buffer allocations on the data path (pool or heap)
+  kHeaderPoolHits,      // protocol headers served from the pre-registered header pool
+  kHeaderPoolMisses,    // header requests that fell back to a general/heap allocation
   kNumCounters,
 };
 

@@ -11,15 +11,50 @@ TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
 }
 
 TimerId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
-  const TimerId id = next_id_++;
-  events_.push(Event{std::max(when, now_), id, std::move(fn)});
+  const TimerId id = AllocSlot(std::move(fn));
+  events_.push(Event{std::max(when, now_), next_seq_++, id});
   return id;
 }
 
-void Simulation::Cancel(TimerId id) {
-  if (id != kInvalidTimer) {
-    cancelled_.insert(id);
+TimerId Simulation::AllocSlot(std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_fn_slots_.empty()) {
+    slot = free_fn_slots_.back();
+    free_fn_slots_.pop_back();
+    event_fns_[slot].fn = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(event_fns_.size());
+    event_fns_.push_back(FnSlot{std::move(fn), 1});
   }
+  return static_cast<TimerId>(event_fns_[slot].gen) << 32 | slot;
+}
+
+std::function<void()> Simulation::TakeSlot(std::uint32_t slot) {
+  FnSlot& s = event_fns_[slot];
+  std::function<void()> fn = std::move(s.fn);
+  s.fn = nullptr;  // drop captures now, not at slot reuse
+  if (++s.gen == 0) {
+    s.gen = 1;  // gen 0 + slot 0 would collide with kInvalidTimer
+  }
+  free_fn_slots_.push_back(slot);
+  return fn;
+}
+
+void Simulation::Cancel(TimerId id) {
+  if (id == kInvalidTimer) {
+    return;
+  }
+  const auto slot = static_cast<std::uint32_t>(id);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= event_fns_.size()) {
+    return;
+  }
+  FnSlot& s = event_fns_[slot];
+  if (s.gen != gen || !s.fn) {
+    return;  // already fired, slot reused, or already cancelled
+  }
+  s.fn = nullptr;  // tombstone: the heap entry pops as a no-op at its due time
+  ++cancelled_count_;
 }
 
 void Simulation::AddPoller(Poller* poller) {
@@ -34,14 +69,17 @@ void Simulation::RemovePoller(Poller* poller) {
 bool Simulation::RunDue() {
   bool ran = false;
   while (!events_.empty() && events_.top().due <= now_) {
-    Event ev = events_.top();
+    const Event ev = events_.top();
     events_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    // Take the callback out of the pool before running it: it may reschedule
+    // (growing the pool), and a cancelled slot (null fn) must be released too.
+    std::function<void()> fn = TakeSlot(static_cast<std::uint32_t>(ev.id));
+    if (!fn) {
+      --cancelled_count_;
       continue;
     }
     ran = true;
-    ev.fn();
+    fn();
   }
   return ran;
 }
@@ -61,8 +99,10 @@ bool Simulation::StepOnce() {
   }
   // Nothing runnable now: jump to the next scheduled event, skipping cancelled ones.
   while (!events_.empty()) {
-    if (auto it = cancelled_.find(events_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+    const std::uint32_t slot = static_cast<std::uint32_t>(events_.top().id);
+    if (!event_fns_[slot].fn) {  // cancelled tombstone
+      TakeSlot(slot);
+      --cancelled_count_;
       events_.pop();
       continue;
     }

@@ -17,7 +17,6 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -77,26 +76,45 @@ class Simulation {
   void RunFor(TimeNs duration);
 
   bool idle() const { return events_.empty(); }
-  std::size_t pending_events() const { return events_.size() - cancelled_.size(); }
+  std::size_t pending_events() const { return events_.size() - cancelled_count_; }
 
  private:
+  // Heap entries are trivially copyable; the callback lives in a pooled side table.
+  // Keeping std::function out of the heap means sift-down moves are plain 24-byte
+  // copies (no move-manager indirect calls) and dispatching an event never copies a
+  // callback's captured state — with refcounted buffers in flight, a per-dispatch
+  // std::function copy would clone every captured Buffer reference.
   struct Event {
     TimeNs due;
-    TimerId id;
-    std::function<void()> fn;
+    std::uint64_t seq;  // tie-break: same-time events run in schedule order
+    TimerId id;         // (slot generation << 32) | slot index
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
-      return a.due != b.due ? a.due > b.due : a.id > b.id;
+      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
     }
   };
+  // Pooled callback slot. `gen` identifies the live incarnation: it is baked into
+  // the TimerId at alloc and bumped at release, so Cancel on a dead or reused id
+  // misses without any lookup structure. A cancelled slot keeps its (nulled) fn
+  // entry until its heap event pops — null fn is the tombstone.
+  struct FnSlot {
+    std::function<void()> fn;
+    std::uint32_t gen = 1;
+  };
+
+  TimerId AllocSlot(std::function<void()> fn);
+  // Removes and returns the callback, releasing the slot (and its captures).
+  std::function<void()> TakeSlot(std::uint32_t slot);
 
   CostModel cost_;
   Counters counters_;
   TimeNs now_ = 0;
-  TimerId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
-  std::unordered_set<TimerId> cancelled_;
+  std::vector<FnSlot> event_fns_;
+  std::vector<std::uint32_t> free_fn_slots_;
+  std::size_t cancelled_count_ = 0;
   std::vector<Poller*> pollers_;
   bool in_step_ = false;
 };

@@ -91,6 +91,46 @@ TEST(CatnipTest, DataPathIsZeroCopy) {
   EXPECT_EQ(h.sim().counters().Get(Counter::kSyscalls), syscalls_before);
 }
 
+TEST(CatnipTest, SteadyStateTxAllocatesOnlyPooledHeaders) {
+  TestHarness h;
+  auto& sh = h.AddHost("server", "10.0.0.1");
+  auto& ch = h.AddHost("client", "10.0.0.2");
+  auto& server = h.Catnip(sh);
+  auto& client = h.Catnip(ch);
+  auto [sqd, cqd] = ConnectPair(h, server, client, sh.ip);
+  // Warm up: grows the header pool and settles ARP/window state.
+  for (int i = 0; i < 4; ++i) {
+    (void)EchoOnce(server, sqd, client, cqd, "warmup");
+  }
+
+  const std::uint64_t copied_before = h.sim().counters().Get(Counter::kBytesCopied);
+  const std::uint64_t allocs_before = h.sim().counters().Get(Counter::kBufferAllocs);
+  const std::uint64_t hits_before = h.sim().counters().Get(Counter::kHeaderPoolHits);
+  const std::uint64_t misses_before = h.sim().counters().Get(Counter::kHeaderPoolMisses);
+
+  SgArray payload = client.SgaAlloc(1024);
+  std::memset(payload.segment(0).mutable_data(), 'p', 1024);
+  auto pop_tok = server.Pop(sqd);
+  ASSERT_TRUE(pop_tok.ok());
+  ASSERT_TRUE(client.BlockingPush(cqd, payload).ok());
+  auto got = server.Wait(*pop_tok, 10 * kSecond);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->sga.total_bytes(), 1024u);
+
+  // Zero payload bytes copied on the TX path: the payload buffer rides to the NIC by
+  // reference, and the only allocations the transmit performed are protocol headers —
+  // every one served from the pre-registered header pool (steady state: no misses).
+  EXPECT_EQ(h.sim().counters().Get(Counter::kBytesCopied), copied_before);
+  const std::uint64_t allocs = h.sim().counters().Get(Counter::kBufferAllocs) - allocs_before;
+  const std::uint64_t hits = h.sim().counters().Get(Counter::kHeaderPoolHits) - hits_before;
+  EXPECT_EQ(h.sim().counters().Get(Counter::kHeaderPoolMisses), misses_before);
+  EXPECT_GE(hits, 1u);  // the data segment's eth+ip and tcp headers came from the pool
+  // Each kBufferAllocs on TX is a pooled header; RX-side pop buffers account for the
+  // rest. No per-byte payload allocation slipped in: alloc count is far below payload
+  // size and independent of it.
+  EXPECT_LE(allocs, 16u);
+}
+
 TEST(CatnipTest, ElementBoundariesSurviveSegmentation) {
   TestHarness h;
   auto& sh = h.AddHost("server", "10.0.0.1");

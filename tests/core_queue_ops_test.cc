@@ -134,6 +134,76 @@ TEST(WaitTest, WaitAnyConsumesExactlyOneCompletion) {
   EXPECT_NE(first->second.sga.ToString(), second->sga.ToString());
 }
 
+TEST(WaitTest, WaitOnCompletedTokenRedeemsWithoutStepping) {
+  PureRig rig;
+  const QDesc qd = *rig.libos.QueueCreate();
+  (void)rig.libos.Push(qd, Sga("x"));
+  const QToken pop = *rig.libos.Pop(qd);
+  while (!rig.libos.OpDone(pop)) {
+    ASSERT_TRUE(rig.sim.StepOnce());
+  }
+  // The result is parked in the token's slot; Wait must hand it over immediately
+  // without driving the simulation. Only the syscall charge itself (tens of ns) may
+  // advance the clock — no polling rounds, no event dispatch.
+  const TimeNs before = rig.sim.now();
+  auto r = rig.libos.Wait(pop, kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sga.ToString(), "x");
+  EXPECT_LT(rig.sim.now() - before, kMicrosecond);
+}
+
+TEST(WaitTest, WaitAnyIsFifoAcrossAlreadyCompletedTokens) {
+  PureRig rig;
+  const QDesc q1 = *rig.libos.QueueCreate();
+  const QDesc q2 = *rig.libos.QueueCreate();
+  const QToken pop1 = *rig.libos.Pop(q1);
+  const QToken pop2 = *rig.libos.Pop(q2);
+  // q2's data arrives first, then q1's — so pop2 completes strictly before pop1.
+  (void)rig.libos.Push(q2, Sga("completed first"));
+  while (!rig.libos.OpDone(pop2)) {
+    ASSERT_TRUE(rig.sim.StepOnce());
+  }
+  (void)rig.libos.Push(q1, Sga("completed second"));
+  while (!rig.libos.OpDone(pop1)) {
+    ASSERT_TRUE(rig.sim.StepOnce());
+  }
+  // Both are redeemable; wait_any must return the EARLIER completion even though the
+  // later one is listed first (FIFO fairness: no starvation by list position).
+  const QToken tokens[] = {pop1, pop2};
+  auto r = rig.libos.WaitAny(tokens, kSecond);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, 1u);
+  EXPECT_EQ(r->second.sga.ToString(), "completed first");
+}
+
+TEST(WaitTest, WaitAllBadTokenMidListConsumesNothing) {
+  PureRig rig;
+  const QDesc qd = *rig.libos.QueueCreate();
+  const QToken t1 = *rig.libos.Push(qd, Sga("a"));
+  const QToken t2 = *rig.libos.Push(qd, Sga("b"));
+  const QToken tokens[] = {t1, QToken{0xDEAD0000DEADu}, t2};
+  auto r = rig.libos.WaitAll(tokens, kSecond);
+  EXPECT_EQ(r.code(), ErrorCode::kBadDescriptor);
+  // The failed call must not have consumed the good tokens' results: both still
+  // redeem, and nothing is left pending (no leaked slots).
+  EXPECT_TRUE(rig.libos.Wait(t1, kSecond).ok());
+  EXPECT_TRUE(rig.libos.Wait(t2, kSecond).ok());
+  EXPECT_EQ(rig.libos.pending_ops(), 0u);
+}
+
+TEST(QTokenTest, RedeemedTokenStaysStaleAfterSlotReuse) {
+  PureRig rig;
+  const QDesc qd = *rig.libos.QueueCreate();
+  (void)rig.libos.Push(qd, Sga("x"));
+  const QToken pop = *rig.libos.Pop(qd);
+  ASSERT_TRUE(rig.libos.Wait(pop, kSecond).ok());
+  // New operations may recycle the redeemed token's slot; the generation tag must
+  // keep the old handle invalid rather than aliasing the new op.
+  const QToken fresh = *rig.libos.Push(qd, Sga("y"));
+  EXPECT_NE(fresh, pop);
+  EXPECT_EQ(rig.libos.TakeResult(pop).code(), ErrorCode::kBadDescriptor);
+}
+
 TEST(WaitTest, WaitAllCollectsEverything) {
   PureRig rig;
   const QDesc qd = *rig.libos.QueueCreate();
