@@ -22,15 +22,18 @@ int Run() {
   constexpr std::size_t kMsg = 64;
 
   struct Line {
+    const char* key;  // metrics-export key (RunEcho kind)
     const char* name;
     const char* substrate;
     bench::EchoRun run;
   };
   Line lines[] = {
-      {"posix (baseline)", "kernel TCP + epoll", bench::RunEcho("posix", kMsg, kRequests, cost)},
-      {"catnap", "kernel sockets", bench::RunEcho("catnap", kMsg, kRequests, cost)},
-      {"catnip", "DPDK-style NIC + user TCP", bench::RunEcho("catnip", kMsg, kRequests, cost)},
-      {"catmint", "RDMA verbs", bench::RunEcho("catmint", kMsg, kRequests, cost)},
+      {"posix", "posix (baseline)", "kernel TCP + epoll",
+       bench::RunEcho("posix", kMsg, kRequests, cost)},
+      {"catnap", "catnap", "kernel sockets", bench::RunEcho("catnap", kMsg, kRequests, cost)},
+      {"catnip", "catnip", "DPDK-style NIC + user TCP",
+       bench::RunEcho("catnip", kMsg, kRequests, cost)},
+      {"catmint", "catmint", "RDMA verbs", bench::RunEcho("catmint", kMsg, kRequests, cost)},
   };
 
   bench::Row("%-18s %-26s %10s %10s %10s %9s %10s\n", "libOS", "substrate", "p50 ns",
@@ -45,6 +48,21 @@ int Run() {
                static_cast<double>(line.run.server_counters.Get(Counter::kSyscalls)) / n,
                static_cast<double>(line.run.server_counters.Get(Counter::kBytesCopied)) / n);
   }
+
+  // One metrics snapshot per run (each RunEcho owns a private simulation), keyed by
+  // the libOS kind, so the bench harness can fold per-op latency quantiles into
+  // BENCH_datapath.json.
+  std::string metrics = "{";
+  bool first = true;
+  for (const Line& line : lines) {
+    metrics += first ? "\"" : ",\"";
+    first = false;
+    metrics += line.key;
+    metrics += "\":";
+    metrics += line.run.metrics.ToJson();
+  }
+  metrics += "}";
+  bench::WriteMetricsFile("bench_e1_echo", metrics);
 
   const auto p50 = [&](int i) { return lines[i].run.latency.P50(); };
   const bool all_ok =

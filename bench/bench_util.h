@@ -9,12 +9,32 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "src/sim/cost_model.h"
 
 namespace demi::bench {
+
+// Writes a bench's metrics JSON to $BENCH_METRICS_DIR/<bench>.metrics.json when the
+// harness (bench/run_benches.sh) asks for it; a no-op otherwise, so standalone bench
+// runs stay side-effect free.
+inline void WriteMetricsFile(const char* bench, const std::string& json) {
+  const char* dir = std::getenv("BENCH_METRICS_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + bench + ".metrics.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
 
 inline void Header(const char* id, const char* title, const char* claim) {
   std::printf("================================================================================\n");

@@ -18,6 +18,9 @@ struct EchoRun {
   Counters server_counters;
   std::uint64_t server_cpu_ns = 0;
   TimeNs elapsed = 0;
+  // End-of-run observability snapshot (per-op latency quantiles, sim internals,
+  // recovery trace) of this run's private simulation.
+  MetricsSnapshot metrics;
   bool ok = false;
 };
 
@@ -99,6 +102,7 @@ inline EchoRun RunEcho(const std::string& kind, std::size_t msg_bytes,
   }
   out.server_counters = sh.cpu->counters();
   out.server_cpu_ns = sh.cpu->busy_ns();
+  out.metrics = env.sim().metrics().Snapshot(env.sim().counters(), env.sim().now());
   return out;
 }
 

@@ -32,7 +32,7 @@ LABEL="${1:-after}"
 SMOKE="${BENCH_SMOKE:-0}"
 BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 
-BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c3_wakeups)
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c3_wakeups bench_e3_storage)
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -70,8 +70,11 @@ for b in "${BENCHES[@]}"; do
     for li in "${!LABELS[@]}"; do
       label="${LABELS[$li]}"
       exe="${DIRS[$li]}/bench/$b"
+      # Benches that support it drop a <bench>.metrics.json observability snapshot
+      # (per-op latency quantiles, sim internals, recovery trace) in this directory.
+      mkdir -p "$TMP/metrics-$label"
       t0=$(date +%s%N)
-      "$exe" > "$TMP/$label-$b.txt"
+      BENCH_METRICS_DIR="$TMP/metrics-$label" "$exe" > "$TMP/$label-$b.txt"
       t1=$(date +%s%N)
       ms=$(( (t1 - t0) / 1000000 ))
       key="$label/$b"
@@ -125,6 +128,18 @@ emit_section() {  # label -> json on stdout
   c3_wakeups=$(awk -F'|' '$1 ~ /^16 /{split($3, a, " "); print a[1]}' \
     "$TMP/$label-bench_c3_wakeups.txt")
 
+  # e3: catfish vs kernel log appends at the 4096-byte row (us/op columns).
+  local e3_kernel_us e3_catfish_us
+  read -r e3_kernel_us e3_catfish_us < <(
+    awk -F'|' '$1 ~ /^4096/{split($2, k, " "); split($3, c, " "); print k[1], c[1]}' \
+      "$TMP/$label-bench_e3_storage.txt")
+
+  # Observability snapshots (per-op latency p50/p99, sim internals, recovery trace)
+  # emitted by the benches themselves; {} when a bench wrote none.
+  local m_e1 m_e3
+  m_e1=$(cat "$TMP/metrics-$label/bench_e1_echo.metrics.json" 2>/dev/null || echo '{}')
+  m_e3=$(cat "$TMP/metrics-$label/bench_e3_storage.metrics.json" 2>/dev/null || echo '{}')
+
   cat <<EOF
 {
   "f1_datapath": {
@@ -153,6 +168,15 @@ emit_section() {  # label -> json on stdout
     "wall_ms": ${WALL_MS[$label/bench_c3_wakeups]},
     "wait_any_wakeups_at_16_waiters": $c3_wakeups,
     "verdict": "SHAPE-OK"
+  },
+  "e3_storage": {
+    "wall_ms": ${WALL_MS[$label/bench_e3_storage]},
+    "us_per_append_4k": {"kernel": $e3_kernel_us, "catfish": $e3_catfish_us},
+    "verdict": "SHAPE-OK"
+  },
+  "metrics": {
+    "e1_echo": $m_e1,
+    "e3_storage": $m_e3
   }
 }
 EOF

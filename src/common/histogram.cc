@@ -73,6 +73,33 @@ void Histogram::Merge(const Histogram& other) {
   max_ = std::max(max_, other.max_);
 }
 
+Histogram Histogram::DiffSince(const Histogram& earlier) const {
+  DEMI_CHECK(buckets_.size() == earlier.buckets_.size());
+  DEMI_CHECK(count_ >= earlier.count_);
+  Histogram out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    DEMI_CHECK(buckets_[i] >= earlier.buckets_[i]);
+    const std::uint64_t n = buckets_[i] - earlier.buckets_[i];
+    out.buckets_[i] = n;
+    if (n == 0) {
+      continue;
+    }
+    out.count_ += n;
+    // Bucket lower bound: 0 for the first linear bucket, else previous upper + 1.
+    const std::uint64_t lo = i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
+    out.min_ = std::min(out.min_, lo);
+    out.max_ = std::max(out.max_, BucketUpperBound(i));
+  }
+  out.sum_ = sum_ - earlier.sum_;
+  // The lifetime extrema bound the window extrema from both sides; use them to
+  // tighten the bucket-derived estimates.
+  if (out.count_ > 0) {
+    out.max_ = std::min(out.max_, max_);
+    out.min_ = std::max(out.min_, min());
+  }
+  return out;
+}
+
 void Histogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

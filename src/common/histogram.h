@@ -34,6 +34,11 @@ class Histogram {
   std::uint64_t P999() const { return Quantile(0.999); }
 
   void Merge(const Histogram& other);
+  // Bucket-exact window difference: *this minus `earlier`, where `earlier` is a
+  // previous copy of this histogram (recording is append-only, so every bucket of
+  // `earlier` is <= the same bucket here). count and sum subtract exactly; min/max
+  // are reconstructed from the differing buckets to the bucket's relative precision.
+  Histogram DiffSince(const Histogram& earlier) const;
   void Reset();
 
   // "n=... mean=... p50=... p99=... p99.9=... max=..." with values in the given unit.

@@ -40,11 +40,14 @@ std::uint64_t CatfishLibOS::SubmitIo(bool is_write, std::uint64_t lba, Buffer bu
       if (next >= policy.max_attempts ||
           host_->sim().now() > started_at + policy.deadline_ns) {
         host_->Count(Counter::kRetryGiveups);
+        host_->sim().metrics().Trace(TraceKind::kRetryGiveup, host_->now(), lba);
         inner(RetryExhausted(std::string("device retries exhausted: ") +
                              std::string(status.message())));
         return;
       }
       host_->Count(Counter::kRetriesAttempted);
+      host_->sim().metrics().Trace(TraceKind::kRetryAttempt, host_->now(), lba,
+                                   static_cast<std::uint64_t>(next));
       const TimeNs delay = policy.BackoffBeforeAttempt(next, retry_rng_);
       host_->sim().Schedule(delay, [this, alive, is_write, lba, buf, inner, next,
                                     started_at] {

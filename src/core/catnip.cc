@@ -503,6 +503,8 @@ void CatnipTcpQueue::BeginAttempt() {
   }
   if (in_outage_ || attempt_ > 0) {
     libos_->host().Count(Counter::kRetriesAttempted);
+    libos_->sim().metrics().Trace(TraceKind::kRetryAttempt, now(), session_id_,
+                                  attempt_);
   }
   bool dialing = false;
   if (target_ == Target::kFast) {
@@ -550,6 +552,7 @@ void CatnipTcpQueue::OnAttemptFailed() {
     if (target_ == Target::kFast) {
       if (breaker_.RecordExhaustion()) {
         libos_->host().Count(Counter::kBreakerTrips);
+        libos_->sim().metrics().Trace(TraceKind::kBreakerTrip, now(), session_id_);
       }
       // Fast path exhausted this outage: fail over to the legacy kernel path.
       target_ = Target::kLegacy;
@@ -583,10 +586,12 @@ void CatnipTcpQueue::OnHandshakeComplete() {
     if (!failed_over_) {
       failed_over_ = true;
       libos_->host().Count(Counter::kFailovers);
+      libos_->sim().metrics().Trace(TraceKind::kFailover, now(), session_id_);
     }
   } else if (failed_over_) {
     failed_over_ = false;
     libos_->host().Count(Counter::kFastPathRepromotions);
+    libos_->sim().metrics().Trace(TraceKind::kRepromotion, now(), session_id_);
   }
 }
 
@@ -626,6 +631,7 @@ void CatnipTcpQueue::GiveUp(Status cause) {
   phase_ = Phase::kFailed;
   if (cause.code() == ErrorCode::kRetryExhausted) {
     libos_->host().Count(Counter::kRetryGiveups);
+    libos_->sim().metrics().Trace(TraceKind::kRetryGiveup, now(), session_id_);
   }
   if (session_id_ != 0 && libos_->FindSession(session_id_) == this) {
     libos_->UnregisterSession(session_id_);

@@ -86,6 +86,7 @@ bool DemiEventLoop::Poll() {
   // Swap into scratch: handlers may watch/unwatch (growing ready_) from callbacks.
   scratch_.clear();
   std::swap(ready_, scratch_);
+  libos_->sim().metrics().RecordStat(SimStat::kEventLoopBatch, scratch_.size());
   for (const QDesc qd : scratch_) {
     auto it = watches_.find(qd);
     if (it == watches_.end()) {

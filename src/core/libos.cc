@@ -36,6 +36,7 @@ QToken LibOS::NewToken(QDesc qd, OpType type) {
   slot.qd = qd;
   slot.type = type;
   slot.state = OpState::kPending;
+  slot.start_ns = host_->now();
   ++pending_count_;
   return static_cast<QToken>(ops_.generation(index)) << 32 | index;
 }
@@ -53,6 +54,7 @@ void LibOS::ReleaseFailedToken(QToken token) {
 
 void LibOS::PushReady(QToken token) {
   if (ready_ring_.Push(token)) {
+    sim().metrics().RecordStat(SimStat::kReadyRingDepth, ready_ring_.size());
     return;
   }
   // Ring full. Most entries are usually stale (their results were already claimed
@@ -74,6 +76,7 @@ void LibOS::PushReady(QToken token) {
     const bool pushed = ready_ring_.Push(t);
     DEMI_CHECK(pushed);
   }
+  sim().metrics().RecordStat(SimStat::kReadyRingDepth, ready_ring_.size());
 }
 
 void LibOS::CompleteOp(QToken token, QResult result) {
@@ -96,6 +99,14 @@ void LibOS::CompleteOp(QToken token, QResult result) {
   slot->state = OpState::kCompleted;
   slot->done_seq = ++done_seq_counter_;
   slot->result = std::move(result);
+  MetricsRegistry& metrics = sim().metrics();
+  if (metrics.enabled()) {
+    if (op_hists_ == nullptr) {
+      op_hists_ = metrics.OpLatencyHandle(name());
+    }
+    metrics.RecordOpLatency(op_hists_, static_cast<OpKind>(slot->type),
+                            host_->now() - slot->start_ns);
+  }
   if (slot->watcher != nullptr) {
     CompletionWatcher* watcher = slot->watcher;
     slot->watcher = nullptr;

@@ -186,6 +186,7 @@ class LibOS : public Poller, public CompletionSink {
     OpType type = OpType::kPush;
     OpState state = OpState::kPending;
     bool control = false;  // accept/connect polled by PollControlOps
+    TimeNs start_ns = 0;   // sim time at submission, for completion-latency tracing
     std::uint64_t done_seq = 0;  // completion order, for wait_any FIFO fairness
     QResult result;
     CompletionWatcher* watcher = nullptr;
@@ -232,6 +233,9 @@ class LibOS : public Poller, public CompletionSink {
 
   std::unordered_map<QDesc, std::unique_ptr<IoQueue>> qtable_;
   QDesc next_qd_ = 1;
+  // Cached metrics handle for this libOS's per-op latency histograms. Lazily bound
+  // (name() is virtual, so it cannot be resolved in the base constructor).
+  std::array<Histogram, kNumOpKinds>* op_hists_ = nullptr;
   SlotPool<OpSlot> ops_;           // every issued token, pending or parked-completed
   std::size_t pending_count_ = 0;  // ops started and not yet completed/cancelled
   std::uint64_t done_seq_counter_ = 0;

@@ -51,6 +51,9 @@ bool FrameDecoder::ConsumeInto(std::span<std::byte> out) {
 }
 
 Result<std::optional<SgArray>> FrameDecoder::Next() {
+  if (poisoned_) {
+    return ProtocolError("frame length exceeds limit");
+  }
   if (!have_len_) {
     std::byte len_bytes[4];
     if (!ConsumeInto(len_bytes)) {
@@ -59,6 +62,7 @@ Result<std::optional<SgArray>> FrameDecoder::Next() {
     ByteReader r(len_bytes);
     body_len_ = r.U32();
     if (body_len_ > kMaxFrameBody) {
+      poisoned_ = true;
       return ProtocolError("frame length exceeds limit");
     }
     have_len_ = true;

@@ -37,10 +37,14 @@ class FrameDecoder {
   void Feed(Buffer chunk);
 
   // Returns the next complete message, nullopt if more bytes are needed, or
-  // kProtocolError if the stream is corrupt (oversized length).
+  // kProtocolError if the stream is corrupt (oversized length). A corrupt stream
+  // poisons the decoder: every later Next() repeats the error instead of
+  // misparsing body bytes as a length prefix (the bad length was already pulled
+  // off the stream, so there is no frame boundary to resynchronize on).
   Result<std::optional<SgArray>> Next();
 
   std::size_t buffered_bytes() const { return avail_; }
+  bool poisoned() const { return poisoned_; }
 
  private:
   bool ConsumeInto(std::span<std::byte> out);
@@ -48,6 +52,7 @@ class FrameDecoder {
   std::deque<Buffer> pending_;
   std::size_t avail_ = 0;
   bool have_len_ = false;
+  bool poisoned_ = false;
   std::uint32_t body_len_ = 0;
 };
 

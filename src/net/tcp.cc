@@ -533,9 +533,20 @@ void TcpConnection::ProcessPayload(const TcpHeader& h, Buffer payload) {
       DeliverInOrder();
     } else if (SeqGt(seq, rcv_nxt_)) {
       // Out of order: stash for later, bounded by the receive buffer.
-      if (ooo_bytes_ + payload.size() <= cap && !ooo_.contains(seq)) {
-        ooo_bytes_ += payload.size();
-        ooo_.emplace(seq, std::move(payload));
+      auto it = ooo_.find(seq);
+      if (it == ooo_.end()) {
+        if (ooo_bytes_ + payload.size() <= cap) {
+          ooo_bytes_ += payload.size();
+          ooo_.emplace(seq, std::move(payload));
+        }
+      } else if (payload.size() > it->second.size() &&
+                 ooo_bytes_ - it->second.size() + payload.size() <= cap) {
+        // A retransmission can carry MORE data at the same seq (the sender
+        // coalesced segments). Keeping the shorter cached copy would leave the
+        // extra bytes permanently missing, since later duplicates all get
+        // trimmed against rcv_nxt_ first and dropped here. Keep the longer one.
+        ooo_bytes_ += payload.size() - it->second.size();
+        it->second = std::move(payload);
       }
     }
   }

@@ -98,12 +98,15 @@ void FaultInjector::Fire(FaultEvent event) {
   event.at = sim_->now();
   ++faults_fired_;
   sim_->counters().Add(Counter::kFaultsInjected);
+  sim_->metrics().Trace(TraceKind::kFaultInjected, event.at, event.device,
+                        static_cast<std::uint64_t>(event.kind));
   if (event.device != kInvalidFaultDevice) {
     Device& d = Dev(event.device);
     switch (event.kind) {
       case FaultKind::kLinkDown:
         if (d.link_up) {
           sim_->counters().Add(Counter::kLinkFlaps);
+          sim_->metrics().Trace(TraceKind::kLinkFlap, event.at, event.device);
         }
         d.link_up = false;
         break;

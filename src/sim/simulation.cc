@@ -67,7 +67,7 @@ void Simulation::RemovePoller(Poller* poller) {
 }
 
 bool Simulation::RunDue() {
-  bool ran = false;
+  std::uint64_t ran = 0;
   while (!events_.empty() && events_.top().due <= now_) {
     const Event ev = events_.top();
     events_.pop();
@@ -78,21 +78,31 @@ bool Simulation::RunDue() {
       --cancelled_count_;
       continue;
     }
-    ran = true;
+    ++ran;
     fn();
   }
-  return ran;
+  if (ran > 0) {
+    metrics_.RecordStat(SimStat::kDispatchBatch, ran);
+  }
+  return ran > 0;
 }
 
 bool Simulation::StepOnce() {
   DEMI_CHECK(!in_step_ && "blocking waits may not nest inside Poller::Poll");
   in_step_ = true;
+  metrics_.RecordStat(SimStat::kSchedHeapDepth, pending_events());
+  const TimeNs poll_start = now_;
   bool progress = false;
   // Iterate by index: pollers may be added during polling (e.g. accept spawns actors).
   for (std::size_t i = 0; i < pollers_.size(); ++i) {
     progress |= pollers_[i]->Poll();
   }
+  const TimeNs dispatch_start = now_;
+  metrics_.RecordStat(SimStat::kStepPollNs,
+                      static_cast<std::uint64_t>(dispatch_start - poll_start));
   progress |= RunDue();
+  metrics_.RecordStat(SimStat::kStepDispatchNs,
+                      static_cast<std::uint64_t>(now_ - dispatch_start));
   in_step_ = false;
   if (progress) {
     return true;
@@ -105,6 +115,10 @@ bool Simulation::StepOnce() {
       --cancelled_count_;
       events_.pop();
       continue;
+    }
+    if (events_.top().due > now_) {
+      metrics_.RecordStat(SimStat::kIdleJumpNs,
+                          static_cast<std::uint64_t>(events_.top().due - now_));
     }
     now_ = std::max(now_, events_.top().due);
     return RunDue();

@@ -22,6 +22,7 @@
 #include "src/common/logging.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/counters.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace demi {
@@ -46,6 +47,8 @@ class Simulation {
   const CostModel& cost() const { return cost_; }
   CostModel& mutable_cost() { return cost_; }
   Counters& counters() { return counters_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // Schedules `fn` to run at now()+delay (clamped to >= now). Returns a cancellable id.
   TimerId Schedule(TimeNs delay, std::function<void()> fn);
@@ -109,6 +112,7 @@ class Simulation {
 
   CostModel cost_;
   Counters counters_;
+  MetricsRegistry metrics_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;

@@ -234,6 +234,34 @@ TEST(ChecksumTest, ChecksumOfDataPlusChecksumIsZero) {
   EXPECT_EQ(InternetChecksum(with.span()), 0);
 }
 
+TEST(ChecksumTest, AccumulatorMatchesFlatChecksumForEverySplit) {
+  // The scatter-gather TX path (WriteTcpHeaderSg over a FrameChain) checksums the
+  // payload part by part via ChecksumAccumulator. RFC 1071 is positional — bytes
+  // alternate high/low in the 16-bit words — so an odd-length part shifts the parity
+  // of everything after it. Every 2-part and 3-part split of a buffer, odd or even,
+  // must fold to exactly the flat single-span checksum.
+  std::uint8_t raw[31];
+  for (std::size_t i = 0; i < sizeof(raw); ++i) {
+    raw[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const auto data = std::as_bytes(std::span(raw));
+  const std::uint16_t flat = InternetChecksum(data);
+
+  for (std::size_t a = 0; a <= data.size(); ++a) {
+    ChecksumAccumulator acc2;
+    acc2.Add(data.subspan(0, a));
+    acc2.Add(data.subspan(a));
+    EXPECT_EQ(acc2.Fold(), flat) << "2-part split at " << a;
+    for (std::size_t b = a; b <= data.size(); ++b) {
+      ChecksumAccumulator acc3;
+      acc3.Add(data.subspan(0, a));
+      acc3.Add(data.subspan(a, b - a));
+      acc3.Add(data.subspan(b));
+      ASSERT_EQ(acc3.Fold(), flat) << "3-part split at " << a << "," << b;
+    }
+  }
+}
+
 TEST(ChecksumTest, Crc32cKnownVector) {
   // "123456789" -> 0xE3069283 (iSCSI test vector).
   Buffer b = Buffer::CopyOf("123456789");

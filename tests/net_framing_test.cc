@@ -105,6 +105,29 @@ TEST(FramingTest, OversizedLengthIsProtocolError) {
   EXPECT_EQ(r.code(), ErrorCode::kProtocolError);
 }
 
+TEST(FramingTest, OversizedLengthPoisonsTheDecoder) {
+  // The corrupt length has already been pulled off the stream when the error
+  // surfaces, so there is no frame boundary left to resynchronize on. A caller that
+  // keeps calling Next() must keep getting the error — NOT a misparse of whatever
+  // bytes follow (which here form a perfectly valid frame, the worst case: a naive
+  // decoder would silently deliver it as if nothing happened).
+  Buffer evil = Buffer::Allocate(4);
+  for (int i = 0; i < 4; ++i) {
+    evil.mutable_data()[i] = std::byte{0xFF};
+  }
+  FrameDecoder dec;
+  dec.Feed(evil);
+  for (const Buffer& p : EncodeFrame(SgArray::FromString("valid frame"))) {
+    dec.Feed(p);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto r = dec.Next();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::kProtocolError);
+  }
+  EXPECT_TRUE(dec.poisoned());
+}
+
 TEST(FramingTest, MultiSegmentSgaPreservesBytes) {
   SgArray in;
   in.Append(Buffer::CopyOf("seg1-"));

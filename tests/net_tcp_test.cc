@@ -329,6 +329,74 @@ INSTANTIATE_TEST_SUITE_P(
                       FaultCase{0.0, 0.0, 0.2, 5}, FaultCase{0.03, 0.1, 0.05, 6},
                       FaultCase{0.05, 0.2, 0.1, 7}, FaultCase{0.01, 0.0, 0.0, 8}));
 
+// Drives one TcpConnection directly with hand-crafted segments — full control over
+// sequence numbers and segment boundaries, no fabric or peer stack in between.
+class FakeTcpIo : public TcpIo {
+ public:
+  void SendSegment(Ipv4Address, FrameChain) override { ++segments_sent_; }
+  Buffer AllocateHeader(std::size_t size) override { return Buffer::Allocate(size); }
+  Simulation& sim() override { return sim_; }
+  HostCpu& host() override { return cpu_; }
+  const TcpConfig& tcp_config() const override { return cfg_; }
+  void OnTcpClosed(TcpConnection*) override {}
+
+ private:
+  Simulation sim_;
+  HostCpu cpu_{&sim_, "fake"};
+  TcpConfig cfg_;
+  int segments_sent_ = 0;
+};
+
+TEST(TcpOooTest, LongerRetransmitReplacesShorterCachedSegment) {
+  FakeTcpIo io;
+  TcpConnection conn(&io, Endpoint{Ipv4Address{}, 1}, Endpoint{Ipv4Address{}, 2},
+                     /*active_open=*/true, /*iss=*/1000);
+  conn.StartActiveOpen();
+  TcpHeader synack;
+  synack.seq = 5000;
+  synack.ack = 1001;
+  synack.flags = kTcpSyn | kTcpAck;
+  synack.window = 65535;
+  conn.OnSegment(synack, Buffer());
+  ASSERT_TRUE(conn.established());  // rcv_nxt_ == 5001
+
+  auto deliver = [&](std::uint32_t seq, const std::string& payload) {
+    TcpHeader h;
+    h.seq = seq;
+    h.ack = 1001;
+    h.flags = kTcpAck;
+    h.window = 65535;
+    conn.OnSegment(h, Buffer::CopyOf(payload));
+  };
+  auto drain = [&] {
+    std::string got;
+    while (true) {
+      Buffer b = conn.Recv(65536);
+      if (b.empty()) {
+        break;
+      }
+      got.append(b.AsStringView());
+    }
+    return got;
+  };
+
+  // A short segment lands out of order (the 10 bytes before it are still missing).
+  deliver(5011, "AAAAA");
+  // The sender retransmits at the same seq, but coalesced with the following segment:
+  // 20 bytes now. The cache must keep the longer copy, or bytes 5016..5030 are lost
+  // forever — every later duplicate gets trimmed against rcv_nxt_ and dropped here.
+  deliver(5011, std::string(20, 'B'));
+  // The hole fills; delivery drains the fill plus the cached retransmission.
+  deliver(5001, "0123456789");
+  EXPECT_EQ(drain(), "0123456789" + std::string(20, 'B'));
+
+  // Symmetric case: a SHORTER duplicate at a cached seq must not shrink the cache.
+  deliver(5041, std::string(8, 'C'));  // rcv_nxt_ is now 5031; 10-byte hole first
+  deliver(5041, "DD");
+  deliver(5031, std::string(10, 'E'));
+  EXPECT_EQ(drain(), std::string(10, 'E') + std::string(8, 'C'));
+}
+
 TEST(TcpCongestionTest, CwndGrowsFromSlowStart) {
   TwoStackRig rig;
   auto [client, server] = Establish(rig);

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command sanitizer run: configures a dedicated ASAN+UBSAN build tree, builds
+# everything, and runs the full tier-1 ctest suite under the sanitizers.
+#
+# Usage:
+#   tools/sanitize.sh            # ASAN + UBSAN (the -DASAN=ON combo)
+#   tools/sanitize.sh ubsan      # UBSAN only (cheaper; no shadow memory)
+#
+# Environment:
+#   SAN_BUILD_DIR   build directory (default: <repo>/build-san or build-ubsan)
+#   CTEST_ARGS      extra args for ctest, e.g. CTEST_ARGS="-L metrics"
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:-asan}"
+
+case "$MODE" in
+  asan)  FLAGS="-DASAN=ON";  DEFAULT_BUILD="$REPO/build-san" ;;
+  ubsan) FLAGS="-DUBSAN=ON"; DEFAULT_BUILD="$REPO/build-ubsan" ;;
+  *) echo "usage: $0 [asan|ubsan]" >&2; exit 2 ;;
+esac
+BUILD="${SAN_BUILD_DIR:-$DEFAULT_BUILD}"
+
+cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo $FLAGS
+cmake --build "$BUILD" -j "$(nproc)"
+
+# halt_on_error keeps a UBSAN finding from scrolling past as a warning.
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+cd "$BUILD"
+# shellcheck disable=SC2086
+ctest --output-on-failure -j "$(nproc)" ${CTEST_ARGS:-}
