@@ -32,7 +32,7 @@ LABEL="${1:-after}"
 SMOKE="${BENCH_SMOKE:-0}"
 BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 
-BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c3_wakeups bench_e3_storage)
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage)
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -111,12 +111,21 @@ emit_section() {  # label -> json on stdout
   read -r f1_p50_posix f1_p50_bypass < <(
     awk '/client-observed RTT p50/{print $(NF-1), $NF}' "$TMP/$label-bench_f1_datapath.txt")
 
-  # e1: 4 libOSes x 2000 requests; columns from the end: p50 p99 mean sys copyB
+  # e1: 4 libOSes x 2000 requests; columns from the end:
+  # p50 p99 mean sys copyB dbell pkts
   local e1_ops=8000 e1_catnip_p50 e1_catnip_p99 e1_posix_p50 e1_posix_p99
-  read -r e1_catnip_p50 e1_catnip_p99 < <(
-    awk '$1=="catnip"{print $(NF-4), $(NF-3)}' "$TMP/$label-bench_e1_echo.txt")
+  local e1_catnip_dbell e1_catnip_pkts
+  read -r e1_catnip_p50 e1_catnip_p99 e1_catnip_dbell e1_catnip_pkts < <(
+    awk '$1=="catnip"{print $(NF-6), $(NF-5), $(NF-1), $NF}' "$TMP/$label-bench_e1_echo.txt")
   read -r e1_posix_p50 e1_posix_p99 < <(
-    awk '$1=="posix"{print $(NF-4), $(NF-3)}' "$TMP/$label-bench_e1_echo.txt")
+    awk '$1=="posix"{print $(NF-6), $(NF-5)}' "$TMP/$label-bench_e1_echo.txt")
+
+  # c2: demi server device cost per op at the fragments=1 (bulk SETs) row; the third
+  # pipe-separated group is "dbell/op pkts/op".
+  local c2_dbell c2_pkts
+  read -r c2_dbell c2_pkts < <(
+    awk -F'|' '$1 ~ /^1 / {split($4, a, " "); print a[1], a[2]}' \
+      "$TMP/$label-bench_c2_streams.txt")
 
   # c1: 5 value sizes x 2 systems x 1500 requests; catnip copy count at the 4KB row.
   local c1_ops=15000 c1_copies_4k
@@ -153,8 +162,14 @@ emit_section() {  # label -> json on stdout
     "wall_ms": ${WALL_MS[$label/bench_e1_echo]},
     "ops": $e1_ops,
     "ops_per_sec": $(ops_per_sec "$e1_ops" "${WALL_MS[$label/bench_e1_echo]}"),
-    "catnip": {"p50_ns": $e1_catnip_p50, "p99_ns": $e1_catnip_p99},
+    "catnip": {"p50_ns": $e1_catnip_p50, "p99_ns": $e1_catnip_p99,
+               "doorbells_per_op": $e1_catnip_dbell, "packets_per_op": $e1_catnip_pkts},
     "posix": {"p50_ns": $e1_posix_p50, "p99_ns": $e1_posix_p99},
+    "verdict": "SHAPE-OK"
+  },
+  "c2_streams": {
+    "wall_ms": ${WALL_MS[$label/bench_c2_streams]},
+    "catnip_bulk": {"doorbells_per_op": $c2_dbell, "packets_per_op": $c2_pkts},
     "verdict": "SHAPE-OK"
   },
   "c1_zerocopy": {

@@ -227,7 +227,12 @@ Status CatfishFileQueue::StartPush(QToken token, const SgArray& sga) {
     return ResourceExhausted("file extent full");
   }
 
-  // Serialize the record into the cached tail blocks.
+  // Serialize the record into the cached tail blocks. The common single-segment push
+  // flattens for free (shared storage; only read below); multi-segment records pay —
+  // and account — one gather copy.
+  if (sga.segment_count() > 1) {
+    libos_->host().CopyBytes(sga.total_bytes());
+  }
   Buffer payload = sga.Flatten();
   std::byte header[kRecordHeader];
   ByteWriter w(header);

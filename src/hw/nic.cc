@@ -29,40 +29,8 @@ DeviceCaps SimNic::caps() const {
 }
 
 Status SimNic::Transmit(int queue, Buffer frame) {
-  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
   DEMI_CHECK(frame.size() >= kEthHeaderSize);
-  if (failed_) {
-    return DeviceFailed("nic is dead");
-  }
-  Queue& q = queues_[queue];
-  if (q.tx_in_flight >= config_.ring_size) {
-    host_->Count(Counter::kPacketsDropped);
-    return ResourceExhausted("tx ring full");
-  }
-  ++q.tx_in_flight;
-
-  // Driver side: ring the doorbell (posted MMIO write).
-  host_->Work(host_->cost().pcie_doorbell_ns);
-  host_->Count(Counter::kDoorbells);
-
-  // Device side: DMA the descriptor+payload, process, then hit the wire. The Buffer is
-  // captured by value — the device holds a reference until transmission completes,
-  // which is what makes the memory manager's free-protection (§4.5) meaningful.
-  const TimeNs device_delay = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
-  host_->sim().Schedule(device_delay, [this, queue, frame = std::move(frame)]() mutable {
-    Queue& dq = queues_[queue];
-    --dq.tx_in_flight;
-    // Link state is sampled at wire time: frames posted before a link-down (or device
-    // death) are lost exactly as they would be on real hardware.
-    if (failed_ || !link_up()) {
-      host_->Count(Counter::kPacketsDropped);
-      return;
-    }
-    host_->Count(Counter::kDmaOps);
-    host_->Count(Counter::kPacketsTx);
-    fabric_->Transmit(port_, std::move(frame));
-  });
-  return OkStatus();
+  return Transmit(queue, FrameChain(std::move(frame)));
 }
 
 Status SimNic::Transmit(int queue, FrameChain chain) {
@@ -71,35 +39,61 @@ Status SimNic::Transmit(int queue, FrameChain chain) {
   if (failed_) {
     return DeviceFailed("nic is dead");
   }
-  Queue& q = queues_[queue];
-  if (q.tx_in_flight >= config_.ring_size) {
+  FrameChain burst[] = {std::move(chain)};
+  if (TransmitBurst(queue, burst) == 0) {
     host_->Count(Counter::kPacketsDropped);
     return ResourceExhausted("tx ring full");
   }
-  ++q.tx_in_flight;
+  return OkStatus();
+}
 
-  // Driver side: one doorbell regardless of how many scatter-gather descriptors the
-  // chain spans (the descriptors were written with the same posted MMIO batch).
+std::size_t SimNic::TransmitBurst(int queue, std::span<FrameChain> frames) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  if (failed_ || frames.empty()) {
+    return 0;
+  }
+  Queue& q = queues_[queue];
+  const std::size_t space = config_.ring_size - q.tx_in_flight;
+  const std::size_t n = std::min(space, frames.size());
+  if (n == 0) {
+    return 0;
+  }
+
+  // Driver side: all n descriptors are written back to back, then ONE posted MMIO
+  // write rings the doorbell for the whole burst — tx_burst's amortization of the
+  // fixed per-I/O PCIe cost.
   host_->Work(host_->cost().pcie_doorbell_ns);
   host_->Count(Counter::kDoorbells);
+  host_->Count(Counter::kTxBursts);
+  host_->Count(Counter::kFramesPerDoorbell, n);
+  host_->sim().metrics().RecordStat(SimStat::kTxBurstFrames, n);
 
-  // Device side: the chain is captured by value, so every part's refcount pins its
+  // Device side: each chain is captured by value, so every part's refcount pins its
   // slot until wire time — the application can "free" payload buffers immediately and
-  // free-protection (§4.5) keeps them alive. The gather happens on the NIC's DMA
-  // engine, so it charges no host CPU and no kBytesCopied.
-  const TimeNs device_delay = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
-  host_->sim().Schedule(device_delay, [this, queue, chain = std::move(chain)]() mutable {
-    Queue& dq = queues_[queue];
-    --dq.tx_in_flight;
-    if (failed_ || !link_up()) {
-      host_->Count(Counter::kPacketsDropped);
-      return;
-    }
-    host_->Count(Counter::kDmaOps);
-    host_->Count(Counter::kPacketsTx);
-    fabric_->Transmit(port_, chain.Gather());
-  });
-  return OkStatus();
+  // free-protection (§4.5) keeps them alive. Gathers run on the NIC's DMA engine, so
+  // they charge no host CPU and no kBytesCopied. Descriptor i's fetch pipelines
+  // behind descriptor 0's full PCIe round trip; link state is still sampled per frame
+  // at its own wire time, so a link-down (or device death) mid-burst loses exactly
+  // the frames that had not yet hit the wire.
+  const TimeNs base_delay = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
+  for (std::size_t i = 0; i < n; ++i) {
+    DEMI_CHECK(frames[i].size() >= kEthHeaderSize);
+    ++q.tx_in_flight;
+    const TimeNs device_delay =
+        base_delay + static_cast<TimeNs>(i) * host_->cost().pcie_dma_batch_descriptor_ns;
+    host_->sim().Schedule(device_delay, [this, queue, chain = std::move(frames[i])]() mutable {
+      Queue& dq = queues_[queue];
+      --dq.tx_in_flight;
+      if (failed_ || !link_up()) {
+        host_->Count(Counter::kPacketsDropped);
+        return;
+      }
+      host_->Count(Counter::kDmaOps);
+      host_->Count(Counter::kPacketsTx);
+      fabric_->Transmit(port_, chain.Gather());
+    });
+  }
+  return n;
 }
 
 bool SimNic::link_up() const {
@@ -133,6 +127,24 @@ void SimNic::OnFault(const FaultEvent& event) {
 std::optional<Buffer> SimNic::PollRx(int queue) {
   DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
   return queues_[queue].rx.Pop();
+}
+
+std::size_t SimNic::PollRxBurst(int queue, std::vector<Buffer>& out, std::size_t max) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  Queue& q = queues_[queue];
+  std::size_t n = 0;
+  while (n < max) {
+    auto frame = q.rx.Pop();
+    if (!frame) {
+      break;
+    }
+    out.push_back(std::move(*frame));
+    ++n;
+  }
+  if (n > 0) {
+    host_->sim().metrics().RecordStat(SimStat::kRxBurstFrames, n);
+  }
+  return n;
 }
 
 std::size_t SimNic::RxPending(int queue) const {

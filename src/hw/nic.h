@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_map>
 #include <optional>
 #include <vector>
@@ -73,9 +74,23 @@ class SimNic {
   // TX contract (§4.5 free-protection plus NIC scatter-gather).
   Status Transmit(int queue, FrameChain chain);
 
+  // Burst transmit (DPDK tx_burst semantics): posts as many of `frames` as the TX ring
+  // accepts under a SINGLE doorbell, consuming the accepted chains, and returns the
+  // accepted count. The first descriptor pays the full DMA round trip; each subsequent
+  // one pipelines behind it at pcie_dma_batch_descriptor_ns — this is the amortization
+  // that makes per-I/O software cost, not the device, the bottleneck (§3.2). Frames
+  // beyond ring space are left in `frames` untouched (callers back off, as with a real
+  // PMD). Returns 0 without ringing the doorbell when the NIC is dead or `frames` is
+  // empty.
+  std::size_t TransmitBurst(int queue, std::span<FrameChain> frames);
+
   // Drains one received frame from `queue`'s RX ring, if any. Free of charge: the
   // caller (kernel driver or libOS) charges its own per-packet processing cost.
   std::optional<Buffer> PollRx(int queue);
+
+  // Burst receive (rx_burst semantics): appends up to `max` frames from `queue`'s RX
+  // ring to `out` and returns how many were drained. Like PollRx, free of charge.
+  std::size_t PollRxBurst(int queue, std::vector<Buffer>& out, std::size_t max);
 
   std::size_t RxPending(int queue) const;
   std::size_t TxSpace(int queue) const;

@@ -53,8 +53,15 @@ class SgArray {
     return out;
   }
 
-  // Copies all segments into one contiguous Buffer.
-  Buffer Flatten() const { return ConcatCopy(segments_); }
+  // One contiguous Buffer spanning all segments. The common single-segment case
+  // returns the segment itself — shared storage, zero copy — so callers must treat
+  // the result as read-only. Multi-segment arrays copy once.
+  Buffer Flatten() const {
+    if (segments_.size() == 1) {
+      return segments_[0];
+    }
+    return ConcatCopy(segments_);
+  }
 
   void Clear() {
     segments_.clear();

@@ -50,25 +50,58 @@ bool NetStack::Poll() {
     device_failed_ = true;
     // The NIC is gone for good: no retransmission can ever be acknowledged. Abort every
     // connection now so pending operations complete with errors and the stack's
-    // send-queue/in-flight buffer references are dropped.
+    // send-queue/in-flight buffer references are dropped. Staged frames can never be
+    // posted either; dropping them releases their payload references (§4.5).
     for (auto& c : conns_) {
       if (!c->closed()) {
         c->Abort();
       }
     }
+    if (!tx_staged_.empty()) {
+      host_->Count(Counter::kPacketsDropped, tx_staged_.size());
+      tx_staged_.clear();
+    }
     return true;
   }
   bool progress = false;
-  for (std::size_t i = 0; i < config_.rx_batch; ++i) {
-    auto frame = nic_->PollRx(config_.nic_queue);
-    if (!frame) {
-      break;
-    }
+  rx_scratch_.clear();
+  nic_->PollRxBurst(config_.nic_queue, rx_scratch_, config_.rx_batch);
+  for (Buffer& frame : rx_scratch_) {
     progress = true;
     ++frames_rx_;
-    HandleFrame(std::move(*frame));
+    HandleFrame(std::move(frame));
+  }
+  rx_scratch_.clear();
+  // End-of-step burst flush: everything the burst above produced (ACKs, echoes,
+  // retransmit-free data) leaves under a single doorbell.
+  if (!tx_staged_.empty()) {
+    Flush();
+    progress = true;
   }
   return progress;
+}
+
+void NetStack::StageFrame(FrameChain frame) {
+  ++frames_tx_;
+  tx_staged_.push_back(std::move(frame));
+}
+
+void NetStack::Flush() {
+  if (tx_staged_.empty()) {
+    return;
+  }
+  std::span<FrameChain> rest(tx_staged_);
+  while (!rest.empty()) {
+    const std::size_t sent = nic_->TransmitBurst(config_.nic_queue, rest);
+    if (sent == 0) {
+      // Dead NIC or full TX ring: the remainder is lost, exactly as per-frame
+      // Transmit calls would have dropped them. Transport retransmission recovers.
+      host_->Count(Counter::kPacketsDropped, rest.size());
+      break;
+    }
+    rest = rest.subspan(sent);
+  }
+  tx_staged_.clear();
 }
 
 void NetStack::HandleFrame(Buffer frame) {
@@ -98,8 +131,7 @@ void NetStack::SendArpRequest(Ipv4Address target) {
   req.target_mac = MacAddress{};
   req.target_ip = target;
   Buffer frame = BuildArpFrame(nic_->mac(), MacAddress::Broadcast(), req);
-  ++frames_tx_;
-  (void)nic_->Transmit(config_.nic_queue, std::move(frame));
+  StageFrame(FrameChain(std::move(frame)));
 }
 
 void NetStack::HandleArp(Buffer frame) {
@@ -119,8 +151,7 @@ void NetStack::HandleArp(Buffer frame) {
     reply.target_mac = arp->sender_mac;
     reply.target_ip = arp->sender_ip;
     Buffer out = BuildArpFrame(nic_->mac(), arp->sender_mac, reply);
-    ++frames_tx_;
-    (void)nic_->Transmit(config_.nic_queue, std::move(out));
+    StageFrame(FrameChain(std::move(out)));
   }
 }
 
@@ -136,8 +167,7 @@ void NetStack::FlushArpPending(Ipv4Address ip, MacAddress mac) {
   arp_pending_.erase(it);
   for (FrameChain& f : frames) {
     WriteEthHeader(f.front().mutable_span(), EthHeader{mac, nic_->mac(), kEtherTypeIpv4});
-    ++frames_tx_;
-    (void)nic_->Transmit(config_.nic_queue, std::move(f));
+    StageFrame(std::move(f));
   }
 }
 
@@ -145,8 +175,7 @@ void NetStack::ResolveAndTransmit(Ipv4Address next_hop, FrameChain frame) {
   if (auto it = arp_cache_.find(next_hop); it != arp_cache_.end()) {
     WriteEthHeader(frame.front().mutable_span(),
                    EthHeader{it->second, nic_->mac(), kEtherTypeIpv4});
-    ++frames_tx_;
-    (void)nic_->Transmit(config_.nic_queue, std::move(frame));
+    StageFrame(std::move(frame));
     return;
   }
   ArpPending& pending = arp_pending_[next_hop];

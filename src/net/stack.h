@@ -55,9 +55,16 @@ class NetStack final : public Poller, public TcpIo {
 
   Ipv4Address ip() const { return config_.ip; }
 
-  // Drains the NIC RX ring and feeds the protocol machinery. Registered with the
-  // Simulation automatically; returns true if any frame was processed.
+  // Drains an RX burst from the NIC and feeds the protocol machinery, then flushes
+  // all frames staged during the step as one TX burst (a single doorbell). Registered
+  // with the Simulation automatically; returns true if any frame was processed.
   bool Poll() override;
+
+  // Posts every staged outbound frame to the NIC as one TransmitBurst (chunked only
+  // by ring space). Called automatically at the end of Poll(); latency-sensitive
+  // paths (TCP control segments, blocking pushes) call it directly via TcpIo::FlushTx
+  // so batching never delays them.
+  void Flush();
 
   // --- UDP ---
   using UdpRecvFn = std::function<void(Endpoint from, Buffer payload)>;
@@ -77,6 +84,7 @@ class NetStack final : public Poller, public TcpIo {
   // --- TcpIo ---
   void SendSegment(Ipv4Address dst, FrameChain segment) override;
   Buffer AllocateHeader(std::size_t size) override;
+  void FlushTx() override { Flush(); }
   Simulation& sim() override { return host_->sim(); }
   HostCpu& host() override { return *host_; }
   const TcpConfig& tcp_config() const override { return config_.tcp; }
@@ -110,6 +118,10 @@ class NetStack final : public Poller, public TcpIo {
 
   TimeNs tx_cost() const;
   TimeNs rx_cost() const;
+  // Appends a wire-ready frame to the staging ring; Flush() posts the ring as one
+  // burst. All TX paths (ARP, UDP, TCP, RST) funnel through here so frames produced
+  // while processing one RX burst share a doorbell.
+  void StageFrame(FrameChain frame);
   void HandleFrame(Buffer frame);
   void HandleArp(Buffer frame);
   void HandleIpv4(Buffer frame);
@@ -138,6 +150,8 @@ class NetStack final : public Poller, public TcpIo {
   std::vector<std::unique_ptr<TcpConnection>> conns_;      // owns live connections
   std::vector<std::unique_ptr<TcpConnection>> graveyard_;  // closed, kept until reaped
   std::uint16_t next_ephemeral_ = 49152;
+  std::vector<FrameChain> tx_staged_;  // outbound frames awaiting the next burst flush
+  std::vector<Buffer> rx_scratch_;     // reused RX burst landing area (no per-poll alloc)
   std::uint64_t frames_rx_ = 0;
   std::uint64_t frames_tx_ = 0;
   bool device_failed_ = false;

@@ -23,6 +23,7 @@ TcpConnection::TcpConnection(TcpIo* io, Endpoint local, Endpoint remote, bool ac
 
 TcpConnection::~TcpConnection() {
   CancelRetransmitTimer();
+  CancelDelayedAck();
   if (persist_timer_ != kInvalidTimer) {
     io_->sim().Cancel(persist_timer_);
   }
@@ -42,6 +43,16 @@ std::uint16_t TcpConnection::AdvertisedWindow() const {
 
 void TcpConnection::EmitSegment(std::uint32_t seq, FrameChain payload, std::uint8_t flags,
                                 bool track) {
+  // Any ACK-bearing segment carries the current rcv_nxt_, so a deferred pure ACK
+  // riding out on data (or a control segment) costs nothing extra: the piggyback of
+  // RFC 1122. AckNow() clears this state before emitting, so the explicit ACK it
+  // sends is never miscounted as a coalesced one.
+  if ((flags & kTcpAck) && ack_pending_) {
+    io_->host().Count(Counter::kAcksCoalesced,
+                      static_cast<std::uint64_t>(std::max(unacked_segments_, 1)));
+    CancelDelayedAck();
+    unacked_segments_ = 0;
+  }
   TcpHeader h;
   h.src_port = local_.port;
   h.dst_port = remote_.port;
@@ -67,9 +78,14 @@ void TcpConnection::EmitSegment(std::uint32_t seq, FrameChain payload, std::uint
   if (track) {
     // Keeping the chain for retransmit costs refcount bumps on the payload slices
     // (shared with `segment` above), never byte copies.
+    const bool was_empty = inflight_.empty();
     inflight_.push_back(
         InflightSegment{seq, std::move(payload), flags, io_->sim().now(), false});
-    ArmRetransmitTimer();
+    if (was_empty) {
+      RestartRetransmitTimer();
+    } else {
+      EnsureRetransmitTimer();
+    }
   }
   io_->SendSegment(remote_.ip, std::move(segment));
 }
@@ -80,10 +96,59 @@ void TcpConnection::SendFlags(std::uint8_t flags) {
 
 void TcpConnection::SendAck() { SendFlags(kTcpAck); }
 
+void TcpConnection::AckNow() {
+  CancelDelayedAck();
+  unacked_segments_ = 0;
+  SendAck();
+}
+
+void TcpConnection::DeferAck() {
+  const auto& cfg = io_->tcp_config();
+  ++unacked_segments_;
+  if (unacked_segments_ >= cfg.ack_every_segments) {
+    // One cumulative ACK covers the whole run of deferred segments.
+    io_->host().Count(Counter::kAcksCoalesced,
+                      static_cast<std::uint64_t>(unacked_segments_ - 1));
+    AckNow();
+    return;
+  }
+  ack_pending_ = true;
+  if (delack_timer_ == kInvalidTimer) {
+    delack_timer_ = io_->sim().Schedule(cfg.delayed_ack_timeout_ns, [this] {
+      delack_timer_ = kInvalidTimer;
+      OnDelayedAckTimer();
+    });
+  }
+}
+
+void TcpConnection::CancelDelayedAck() {
+  ack_pending_ = false;
+  if (delack_timer_ != kInvalidTimer) {
+    io_->sim().Cancel(delack_timer_);
+    delack_timer_ = kInvalidTimer;
+  }
+}
+
+void TcpConnection::OnDelayedAckTimer() {
+  if (!ack_pending_ || state_ == State::kClosed) {
+    return;
+  }
+  ack_pending_ = false;
+  unacked_segments_ = 0;
+  io_->host().Count(Counter::kDelayedAcks);
+  SendAck();
+  // Timer context: no poll step is processing this connection, so push the ACK to
+  // the device now instead of waiting for the stack's next burst flush.
+  io_->FlushTx();
+}
+
 void TcpConnection::StartActiveOpen() {
   DEMI_CHECK(state_ == State::kSynSent);
   EmitSegment(snd_nxt_, FrameChain(), kTcpSyn, /*track=*/true);
   snd_nxt_ += 1;
+  // Connect latency matters more than batching: push the SYN (or its ARP request)
+  // out now rather than at the stack's next poll.
+  io_->FlushTx();
 }
 
 // --- application send path ---
@@ -188,6 +253,7 @@ void TcpConnection::TrySend() {
       send_queue_bytes_ -= 1;
       EmitSegment(snd_nxt_, FrameChain(std::move(probe)), kTcpAck | kTcpPsh, /*track=*/true);
       snd_nxt_ += 1;
+      io_->FlushTx();  // timer context: probe leaves now, not at the next poll
     });
   }
 
@@ -224,6 +290,8 @@ void TcpConnection::Close() {
         // FIN will flow once established; nothing else to do now.
         MaybeSendFin();
       }
+      // Application context: teardown progress should not wait for the next poll.
+      io_->FlushTx();
       return;
     default:
       return;  // already closing or closed
@@ -233,6 +301,7 @@ void TcpConnection::Close() {
 void TcpConnection::Abort() {
   if (state_ != State::kClosed) {
     SendFlags(kTcpRst | kTcpAck);
+    io_->FlushTx();
   }
   reset_ = true;
   send_queue_.clear();
@@ -243,12 +312,18 @@ void TcpConnection::Abort() {
 
 // --- timers ---
 
-void TcpConnection::ArmRetransmitTimer() {
-  CancelRetransmitTimer();
-  rtx_timer_ = io_->sim().Schedule(rto_, [this] {
-    rtx_timer_ = kInvalidTimer;
-    OnRetransmitTimeout();
-  });
+void TcpConnection::EnsureRetransmitTimer() {
+  if (rtx_timer_ == kInvalidTimer) {
+    rtx_timer_ = io_->sim().Schedule(rto_, [this] {
+      rtx_timer_ = kInvalidTimer;
+      OnRetransmitTimeout();
+    });
+  }
+}
+
+void TcpConnection::RestartRetransmitTimer() {
+  rtx_restart_base_ = io_->sim().now();
+  EnsureRetransmitTimer();
 }
 
 void TcpConnection::CancelRetransmitTimer() {
@@ -260,6 +335,18 @@ void TcpConnection::CancelRetransmitTimer() {
 
 void TcpConnection::OnRetransmitTimeout() {
   if (inflight_.empty() || state_ == State::kClosed) {
+    return;
+  }
+  // Lazy re-arm: ACK progress since the timer was scheduled only advanced
+  // rtx_restart_base_ (a plain store, no Cancel/Schedule churn). If the live
+  // deadline moved past us, this firing is not a timeout — sleep the remainder.
+  const TimeNs deadline = rtx_restart_base_ + rto_;
+  const TimeNs now = io_->sim().now();
+  if (now < deadline) {
+    rtx_timer_ = io_->sim().Schedule(deadline - now, [this] {
+      rtx_timer_ = kInvalidTimer;
+      OnRetransmitTimeout();
+    });
     return;
   }
   const auto& cfg = io_->tcp_config();
@@ -283,7 +370,9 @@ void TcpConnection::OnRetransmitTimeout() {
   EmitSegment(seg.seq, seg.payload, seg.flags, /*track=*/false);
 
   rto_ = std::min<TimeNs>(rto_ * 2, cfg.max_rto_ns);
-  ArmRetransmitTimer();
+  RestartRetransmitTimer();
+  // Timer context: the retransmitted segment must not sit staged until the next poll.
+  io_->FlushTx();
 }
 
 void TcpConnection::FastRetransmit() {
@@ -326,6 +415,7 @@ void TcpConnection::StartTimeWait() {
 
 void TcpConnection::BecomeClosed() {
   CancelRetransmitTimer();
+  CancelDelayedAck();
   if (persist_timer_ != kInvalidTimer) {
     io_->sim().Cancel(persist_timer_);
     persist_timer_ = kInvalidTimer;
@@ -459,7 +549,8 @@ void TcpConnection::ProcessAck(const TcpHeader& h, std::size_t payload_len) {
     if (inflight_.empty()) {
       CancelRetransmitTimer();
     } else {
-      ArmRetransmitTimer();
+      // RFC 6298 5.3: restart on new-data ACK. Lazily — just move the base.
+      rtx_restart_base_ = io_->sim().now();
     }
 
     // State machinery tied to our FIN being acknowledged.
@@ -506,6 +597,7 @@ void TcpConnection::ProcessPayload(const TcpHeader& h, Buffer payload) {
     pending_fin_seq_ = h.seq + static_cast<std::uint32_t>(payload.size());
   }
 
+  const std::size_t original_size = payload.size();
   std::uint32_t seq = h.seq;
   // Trim anything already received.
   if (SeqLt(seq, rcv_nxt_)) {
@@ -519,20 +611,35 @@ void TcpConnection::ProcessPayload(const TcpHeader& h, Buffer payload) {
     }
   }
 
+  // RFC 1122/5681 ACK policy: only clean in-order data may defer its ACK. Duplicates
+  // and out-of-order arrivals must ACK immediately (the dup ACKs are what fuels the
+  // peer's fast retransmit), and a segment that fills a reassembly gap must ACK
+  // immediately so the retransmitting peer learns of the repair at once.
+  bool force_immediate = !io_->tcp_config().delayed_ack || state_ != State::kEstablished;
+  if (payload.empty() && original_size > 0) {
+    force_immediate = true;  // entirely duplicate data
+  }
+
+  bool in_order_data = false;
   if (!payload.empty()) {
     const std::size_t cap = io_->tcp_config().recv_buf_bytes;
     if (seq == rcv_nxt_) {
       if (recv_ready_bytes_ + ooo_bytes_ + payload.size() > cap + 65535) {
         // Receiver truly out of space (sender ignored the window); drop.
-        SendAck();
+        AckNow();
         return;
       }
+      if (!ooo_.empty()) {
+        force_immediate = true;  // this arrival may repair (part of) a gap
+      }
+      in_order_data = true;
       rcv_nxt_ += static_cast<std::uint32_t>(payload.size());
       recv_ready_bytes_ += payload.size();
       recv_ready_.push_back(std::move(payload));
       DeliverInOrder();
     } else if (SeqGt(seq, rcv_nxt_)) {
-      // Out of order: stash for later, bounded by the receive buffer.
+      force_immediate = true;  // out of order
+      // Stash for later, bounded by the receive buffer.
       auto it = ooo_.find(seq);
       if (it == ooo_.end()) {
         if (ooo_bytes_ + payload.size() <= cap) {
@@ -552,7 +659,16 @@ void TcpConnection::ProcessPayload(const TcpHeader& h, Buffer payload) {
   }
 
   MaybeConsumeFin();
-  SendAck();
+  // FINs (seen or still pending behind a gap) always ACK immediately: teardown and
+  // the peer's FIN retransmit timer should never wait on a delack timer.
+  if (has_fin || fin_received_ || pending_fin_) {
+    force_immediate = true;
+  }
+  if (force_immediate || !in_order_data) {
+    AckNow();
+  } else {
+    DeferAck();
+  }
 }
 
 void TcpConnection::MaybeConsumeFin() {
@@ -626,7 +742,8 @@ Buffer TcpConnection::Recv(std::size_t max_bytes) {
   recv_ready_bytes_ -= out.size();
   if ((was_zero || advertised_zero_window_) && AdvertisedWindow() > 0) {
     advertised_zero_window_ = false;
-    SendAck();  // window update so the sender's persist probe isn't needed
+    AckNow();  // window update so the sender's persist probe isn't needed
+    io_->FlushTx();  // application context: unblock the stalled sender now
   }
   return out;
 }

@@ -8,9 +8,16 @@
 // at kernel cost. Both run over lossy simulated fabric, so correctness here is tested
 // with packet loss/reorder/duplication property tests (tests/net_tcp_test.cc).
 //
+// ACK generation follows RFC 1122 delayed ACKs: in-order data is acknowledged every
+// `ack_every_segments` segments or after a short delayed-ack timer (well under the
+// minimum RTO, so coalescing can never stall a sender into a timeout), and any
+// outgoing data segment piggybacks the pending ACK. Out-of-order or duplicate
+// segments, gap fills, FINs, and window reopenings still ACK immediately — those
+// ACKs drive fast retransmit and teardown and must not wait.
+//
 // Simplifications relative to a production stack (documented non-goals): no TCP
-// options (MSS comes from config), no SACK, no delayed ACK, no Nagle, no window
-// scaling (64 KB default windows are plenty at simulated RTTs), no urgent data.
+// options (MSS comes from config), no SACK, no Nagle, no window scaling (64 KB
+// default windows are plenty at simulated RTTs), no urgent data.
 
 #ifndef SRC_NET_TCP_H_
 #define SRC_NET_TCP_H_
@@ -51,6 +58,12 @@ struct TcpConfig {
   TimeNs time_wait_ns = 5 * kMillisecond;  // shortened 2MSL for simulation
   TimeNs persist_interval_ns = 1 * kMillisecond;
   std::size_t listen_backlog = 64;
+  // RFC 1122 delayed ACKs: defer pure ACKs for in-order data until
+  // `ack_every_segments` segments accumulate or the delack timer fires. The timeout
+  // must stay well below min_rto_ns or coalescing would push senders into RTO.
+  bool delayed_ack = true;
+  TimeNs delayed_ack_timeout_ns = 100 * kMicrosecond;
+  int ack_every_segments = 2;
 };
 
 // Back-channel from a connection to its owning stack.
@@ -64,6 +77,12 @@ class TcpIo {
   // Allocates a protocol-header buffer; stacks with a memory manager serve this from
   // the pre-registered header pool, others fall back to the heap.
   virtual Buffer AllocateHeader(std::size_t size) = 0;
+  // Pushes any segments staged by SendSegment to the device immediately instead of
+  // waiting for the stack's end-of-poll burst flush. Connections call this on
+  // latency-critical transitions (SYN/FIN, retransmits, delayed-ack fire, window
+  // updates) so batching never adds a timer's worth of latency to them. Default:
+  // no-op, for stacks that transmit synchronously.
+  virtual void FlushTx() {}
   virtual Simulation& sim() = 0;
   virtual HostCpu& host() = 0;
   virtual const TcpConfig& tcp_config() const = 0;
@@ -165,13 +184,21 @@ class TcpConnection {
   void SendFlags(std::uint8_t flags);                       // pure control segment
   void EmitSegment(std::uint32_t seq, FrameChain payload, std::uint8_t flags, bool track);
   void SendAck();
+  void AckNow();            // immediate ACK, clearing any deferred-ack obligation
+  void DeferAck();          // delayed-ack bookkeeping for in-order data
+  void CancelDelayedAck();
+  void OnDelayedAckTimer();
   void TrySend();       // move bytes from the send queue into flight (cwnd/rwnd gated)
   void MaybeSendFin();  // emit FIN once the queue drains after Close()
   void ProcessAck(const TcpHeader& h, std::size_t payload_len);
   void ProcessPayload(const TcpHeader& h, Buffer payload);
   void MaybeConsumeFin();
   void DeliverInOrder();
-  void ArmRetransmitTimer();
+  // RFC 6298 timer management, re-armed lazily: ACK progress only moves
+  // rtx_restart_base_; the scheduled event checks the live deadline when it fires and
+  // sleeps the remainder, so steady ACK streams cost zero Schedule/Cancel churn.
+  void EnsureRetransmitTimer();   // arm if not armed (new data sent, timer idle)
+  void RestartRetransmitTimer();  // move the deadline base to now, arming if needed
   void CancelRetransmitTimer();
   void OnRetransmitTimeout();
   void FastRetransmit();
@@ -212,6 +239,7 @@ class TcpConnection {
   TimeNs rto_;
   int retries_ = 0;
   TimerId rtx_timer_ = kInvalidTimer;
+  TimeNs rtx_restart_base_ = 0;  // deadline is base + rto_; ACKs move only the base
   TimerId persist_timer_ = kInvalidTimer;
   TimerId time_wait_timer_ = kInvalidTimer;
 
@@ -225,6 +253,11 @@ class TcpConnection {
   std::size_t recv_ready_bytes_ = 0;
   std::size_t ooo_bytes_ = 0;
   bool advertised_zero_window_ = false;
+
+  // Delayed-ACK state (RFC 1122).
+  bool ack_pending_ = false;     // an ACK is owed but deferred
+  int unacked_segments_ = 0;     // in-order segments since the last ACK we sent
+  TimerId delack_timer_ = kInvalidTimer;
 
   std::uint64_t retransmits_ = 0;
 };

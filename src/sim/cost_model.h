@@ -51,6 +51,10 @@ struct CostModel {
   TimeNs pcie_doorbell_ns = 150;    // posted MMIO write to ring a doorbell.
   TimeNs pcie_dma_ns = 450;         // device DMA fetch/deposit of one descriptor+payload
                                     // (one PCIe round trip).
+  TimeNs pcie_dma_batch_descriptor_ns = 100;  // each additional descriptor in a burst:
+                                              // the fetches pipeline behind the first
+                                              // full round trip, so descriptor N
+                                              // completes at dma + N*this.
   TimeNs nic_process_ns = 120;      // on-NIC per-packet work: parse, RSS hash, queue.
 
   // --- Network fabric ---

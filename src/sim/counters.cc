@@ -32,6 +32,14 @@ std::string_view CounterName(Counter c) {
       return "retransmissions";
     case Counter::kDoorbells:
       return "doorbells";
+    case Counter::kTxBursts:
+      return "tx_bursts";
+    case Counter::kFramesPerDoorbell:
+      return "frames_per_doorbell";
+    case Counter::kDelayedAcks:
+      return "delayed_acks";
+    case Counter::kAcksCoalesced:
+      return "acks_coalesced";
     case Counter::kDmaOps:
       return "dma_ops";
     case Counter::kMemRegistrations:

@@ -26,6 +26,10 @@ enum class Counter : std::size_t {
   kPacketsDropped,      // fabric loss + ring overflows
   kRetransmissions,     // TCP segments retransmitted
   kDoorbells,           // PCIe doorbell rings
+  kTxBursts,            // TransmitBurst calls that posted at least one frame
+  kFramesPerDoorbell,   // frames posted across all bursts (divide by kTxBursts)
+  kDelayedAcks,         // pure ACKs emitted by the delayed-ack timer
+  kAcksCoalesced,       // ACKs avoided: absorbed by a cumulative ACK or piggybacked
   kDmaOps,              // device DMA transactions
   kMemRegistrations,    // memory regions registered with a device
   kBytesPinned,         // bytes pinned by registrations (running total)

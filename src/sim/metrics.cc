@@ -40,6 +40,10 @@ std::string_view SimStatName(SimStat s) {
       return "ready_ring_depth";
     case SimStat::kEventLoopBatch:
       return "event_loop_batch";
+    case SimStat::kTxBurstFrames:
+      return "tx_burst_frames";
+    case SimStat::kRxBurstFrames:
+      return "rx_burst_frames";
     case SimStat::kNumSimStats:
       break;
   }

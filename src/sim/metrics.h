@@ -50,6 +50,8 @@ enum class SimStat : std::size_t {
   kSchedHeapDepth,    // scheduler heap size sampled at each step
   kReadyRingDepth,    // libOS completion ready-ring depth after each push
   kEventLoopBatch,    // completions dispatched per non-empty DemiEventLoop round
+  kTxBurstFrames,     // frames posted per NIC TransmitBurst doorbell
+  kRxBurstFrames,     // frames drained per non-empty NIC PollRxBurst
   kNumSimStats,
 };
 constexpr std::size_t kNumSimStats = static_cast<std::size_t>(SimStat::kNumSimStats);

@@ -11,6 +11,7 @@ TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
 }
 
 TimerId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  ++schedule_calls_;
   const TimerId id = AllocSlot(std::move(fn));
   events_.push(Event{std::max(when, now_), next_seq_++, id});
   return id;

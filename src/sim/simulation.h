@@ -80,6 +80,9 @@ class Simulation {
 
   bool idle() const { return events_.empty(); }
   std::size_t pending_events() const { return events_.size() - cancelled_count_; }
+  // Lifetime total of Schedule/ScheduleAt calls; lets tests assert that hot paths
+  // (e.g. the TCP retransmit timer) are not rescheduling per event.
+  std::uint64_t schedule_calls() const { return schedule_calls_; }
 
  private:
   // Heap entries are trivially copyable; the callback lives in a pooled side table.
@@ -115,6 +118,7 @@ class Simulation {
   MetricsRegistry metrics_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 1;
+  std::uint64_t schedule_calls_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   std::vector<FnSlot> event_fns_;
   std::vector<std::uint32_t> free_fn_slots_;

@@ -77,6 +77,31 @@ TEST(CatfishTest, PushIsDurableWhenCompleted) {
   EXPECT_GT(rig.host->cpu->counters().Get(Counter::kNvmeOps), nvme_before);
 }
 
+TEST(CatfishTest, SingleSegmentPushCopiesNoBytes) {
+  // kBytesCopied regression guard for the write path: a one-segment push flattens
+  // by reference, so the whole journey to the device is copy-free.
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/zerocopy");
+  const std::uint64_t before = rig.host->cpu->counters().Get(Counter::kBytesCopied);
+  ASSERT_TRUE(
+      rig.libos->BlockingPush(qd, Sga("one segment, zero copies"))->status.ok());
+  EXPECT_EQ(rig.host->cpu->counters().Get(Counter::kBytesCopied), before);
+}
+
+TEST(CatfishTest, MultiSegmentPushChargesExactlyOneFlattenCopy) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/scattered");
+  SgArray sga;
+  sga.Append(Buffer::CopyOf(std::string(300, 'a')));
+  sga.Append(Buffer::CopyOf(std::string(212, 'b')));
+  const std::uint64_t before = rig.host->cpu->counters().Get(Counter::kBytesCopied);
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, sga)->status.ok());
+  // Gathering the segments is the only copy on the path.
+  EXPECT_EQ(rig.host->cpu->counters().Get(Counter::kBytesCopied), before + 512);
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(),
+            std::string(300, 'a') + std::string(212, 'b'));
+}
+
 TEST(CatfishTest, LargeRecordsSpanBlocks) {
   CatfishRig rig;
   const QDesc qd = *rig.libos->Creat("/log/big");

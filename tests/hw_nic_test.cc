@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "src/hw/device.h"
+#include "src/sim/fault_injector.h"
 #include "tests/net_test_util.h"
 
 namespace demi {
@@ -210,6 +214,123 @@ TEST(SimNicTest, RssSpreadsFlowsAcrossQueues) {
     }
   }
   EXPECT_GE(nonzero_queues, 2);  // flows actually spread
+}
+
+// --- Burst TX/RX (DPDK tx_burst / rx_burst semantics) ---------------------------
+
+std::vector<FrameChain> MakeBurst(TwoHostRig& rig, int n) {
+  std::vector<FrameChain> frames;
+  for (int i = 0; i < n; ++i) {
+    frames.emplace_back(
+        MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "burst" + std::to_string(i)));
+  }
+  return frames;
+}
+
+TEST(SimNicBurstTest, OneDoorbellCoversWholeBurst) {
+  TwoHostRig rig;
+  auto& c = rig.sim.counters();
+  auto frames = MakeBurst(rig, 8);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 8u);
+  EXPECT_EQ(c.Get(Counter::kDoorbells), 1u);
+  EXPECT_EQ(c.Get(Counter::kTxBursts), 1u);
+  EXPECT_EQ(c.Get(Counter::kFramesPerDoorbell), 8u);
+  rig.sim.RunFor(kMillisecond);
+  std::vector<Buffer> out;
+  EXPECT_EQ(rig.nic_b.PollRxBurst(0, out, 64), 8u);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out[0].Slice(kEthHeaderSize).AsStringView(), "burst0");
+  EXPECT_EQ(out[7].Slice(kEthHeaderSize).AsStringView(), "burst7");
+}
+
+TEST(SimNicBurstTest, BurstChargesOneDoorbellOfHostWork) {
+  TwoHostRig rig;
+  const std::uint64_t busy = rig.host_a.busy_ns();
+  auto frames = MakeBurst(rig, 16);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 16u);
+  // The whole point of batching: host CPU pays the MMIO once, not 16 times.
+  EXPECT_EQ(rig.host_a.busy_ns() - busy,
+            static_cast<std::uint64_t>(rig.sim.cost().pcie_doorbell_ns));
+}
+
+TEST(SimNicBurstTest, AcceptsOnlyRingSpace) {
+  NicConfig nic_cfg;
+  nic_cfg.ring_size = 4;
+  TwoHostRig rig(FabricConfig{}, nic_cfg);
+  auto frames = MakeBurst(rig, 6);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 4u);
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.nic_b.RxPending(0), 4u);
+}
+
+TEST(SimNicBurstTest, DescriptorsPipelineBehindFirstDma) {
+  TwoHostRig rig;
+  const CostModel& cost = rig.sim.cost();
+  const TimeNs start = rig.sim.now();
+  auto frames = MakeBurst(rig, 8);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 8u);
+  ASSERT_TRUE(rig.sim.RunUntil([&] { return rig.nic_b.RxPending(0) == 8; }, kSecond));
+  // The last descriptor pays one full round trip plus 7 pipelined fetch slots —
+  // not 8 full round trips, which is what 8 singleton doorbells would cost.
+  const TimeNs pipelined_floor = cost.pcie_doorbell_ns + cost.pcie_dma_ns +
+                                 7 * cost.pcie_dma_batch_descriptor_ns +
+                                 cost.nic_process_ns + cost.wire_latency_ns;
+  const TimeNs serial_cost = 8 * (cost.pcie_doorbell_ns + cost.pcie_dma_ns);
+  EXPECT_GE(rig.sim.now() - start, pipelined_floor);
+  EXPECT_LT(rig.sim.now() - start, serial_cost + cost.wire_latency_ns + 10 * kMicrosecond);
+}
+
+TEST(SimNicBurstTest, MidBurstLinkDownDropsOnlyTail) {
+  TwoHostRig rig;
+  FaultInjector faults(&rig.sim, 1);
+  rig.nic_a.AttachFaultInjector(&faults);
+  rig.nic_b.AttachFaultInjector(&faults);
+  const CostModel& cost = rig.sim.cost();
+  // Cut the link between descriptor 3's and descriptor 4's wire time. Link state is
+  // sampled per frame when its DMA completes, so the burst's head must survive.
+  const TimeNs cut = cost.pcie_doorbell_ns + cost.pcie_dma_ns + cost.nic_process_ns +
+                     3 * cost.pcie_dma_batch_descriptor_ns + 1;
+  faults.ScheduleLinkDown(rig.nic_a.fault_device(), rig.sim.now() + cut);
+  auto& c = rig.sim.counters();
+  const std::uint64_t dropped = c.Get(Counter::kPacketsDropped);
+  auto frames = MakeBurst(rig, 8);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 8u);
+  rig.sim.RunFor(kMillisecond);
+  EXPECT_EQ(rig.nic_b.RxPending(0), 4u);  // descriptors 0..3 made the wire
+  EXPECT_EQ(c.Get(Counter::kPacketsDropped) - dropped, 4u);  // 4..7 died in the device
+}
+
+TEST(SimNicBurstTest, DeadNicRefusesBurstWithoutDoorbell) {
+  TwoHostRig rig;
+  FaultInjector faults(&rig.sim, 1);
+  rig.nic_a.AttachFaultInjector(&faults);
+  faults.ScheduleDeviceFailure(rig.nic_a.fault_device(), kMicrosecond);
+  rig.sim.RunFor(10 * kMicrosecond);
+  auto frames = MakeBurst(rig, 4);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 0u);
+  EXPECT_EQ(rig.sim.counters().Get(Counter::kDoorbells), 0u);
+}
+
+TEST(SimNicBurstTest, PollRxBurstHonorsMax) {
+  TwoHostRig rig;
+  auto frames = MakeBurst(rig, 8);
+  EXPECT_EQ(rig.nic_a.TransmitBurst(0, frames), 8u);
+  rig.sim.RunFor(kMillisecond);
+  std::vector<Buffer> out;
+  EXPECT_EQ(rig.nic_b.PollRxBurst(0, out, 3), 3u);
+  EXPECT_EQ(rig.nic_b.PollRxBurst(0, out, 64), 5u);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(rig.nic_b.PollRxBurst(0, out, 64), 0u);  // drained
+}
+
+TEST(SimNicBurstTest, SingleFrameTransmitIsBurstOfOne) {
+  TwoHostRig rig;
+  auto& c = rig.sim.counters();
+  ASSERT_TRUE(
+      rig.nic_a.Transmit(0, MakeTestFrame(rig.nic_b.mac(), rig.nic_a.mac(), "one")).ok());
+  EXPECT_EQ(c.Get(Counter::kDoorbells), 1u);
+  EXPECT_EQ(c.Get(Counter::kTxBursts), 1u);
+  EXPECT_EQ(c.Get(Counter::kFramesPerDoorbell), 1u);
 }
 
 }  // namespace

@@ -44,6 +44,15 @@ TEST(SgArrayTest, FlattenCopiesIntoOneBuffer) {
   EXPECT_NE(flat.storage(), sga.segment(0).storage());
 }
 
+TEST(SgArrayTest, FlattenSingleSegmentSharesStorage) {
+  // The overwhelmingly common case — one segment — must not copy: Flatten returns a
+  // view onto the caller's buffer (read-only by contract).
+  SgArray sga(Buffer::CopyOf("solo segment"));
+  Buffer flat = sga.Flatten();
+  EXPECT_EQ(flat.AsStringView(), "solo segment");
+  EXPECT_EQ(flat.storage(), sga.segment(0).storage());
+}
+
 TEST(SgArrayTest, CopyIsCheapSharedStorage) {
   SgArray a = SgArray::FromString("shared");
   SgArray b = a;

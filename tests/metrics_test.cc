@@ -224,9 +224,11 @@ struct WorkloadOutcome {
   TimeNs elapsed = 0;
   std::uint64_t bytes_copied = 0;
   std::uint64_t wakeups = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t packets_tx = 0;
 };
 
-WorkloadOutcome RunObservedEcho(bool metrics_enabled) {
+WorkloadOutcome RunObservedEcho(bool metrics_enabled, std::size_t msg_bytes = 64) {
   TestHarness env;
   env.sim().metrics().set_enabled(metrics_enabled);
   auto& sh = env.AddHost("server", "10.0.0.1", HostOptions{});
@@ -234,15 +236,21 @@ WorkloadOutcome RunObservedEcho(bool metrics_enabled) {
   copts.charges_clock = false;
   auto& ch = env.AddHost("client", "10.0.0.2", copts);
   DemiEchoServer server(&env.Catnip(sh), kEchoPort);
-  DemiEchoClient client(&env.Catnip(ch), Endpoint{sh.ip, kEchoPort}, 64, 100);
+  DemiEchoClient client(&env.Catnip(ch), Endpoint{sh.ip, kEchoPort}, msg_bytes, 100);
   EXPECT_TRUE(env.RunUntil([&] { return client.done(); }, 60 * kSecond));
   WorkloadOutcome out;
   out.elapsed = env.sim().now();
   out.bytes_copied = env.sim().counters().Get(Counter::kBytesCopied);
   out.wakeups = env.sim().counters().Get(Counter::kWakeups);
+  out.doorbells = env.sim().counters().Get(Counter::kDoorbells);
+  out.packets_tx = env.sim().counters().Get(Counter::kPacketsTx);
   if (metrics_enabled) {
     EXPECT_GT(env.sim().metrics().sim_stat(SimStat::kReadyRingDepth).count(), 0u);
+    // Burst-size distributions record on every doorbell / rx drain.
+    EXPECT_GT(env.sim().metrics().sim_stat(SimStat::kTxBurstFrames).count(), 0u);
+    EXPECT_GT(env.sim().metrics().sim_stat(SimStat::kRxBurstFrames).count(), 0u);
   } else {
+    EXPECT_EQ(env.sim().metrics().sim_stat(SimStat::kTxBurstFrames).count(), 0u);
     EXPECT_EQ(env.sim().metrics().sim_stat(SimStat::kReadyRingDepth).count(), 0u);
     EXPECT_EQ(env.sim().metrics().op_latency("catnip", OpKind::kPop), nullptr);
   }
@@ -258,6 +266,21 @@ TEST(MetricsZeroCostTest, EnabledAndDisabledRunsAreBitIdentical) {
   EXPECT_EQ(on.elapsed, off.elapsed);
   EXPECT_EQ(on.bytes_copied, off.bytes_copied);
   EXPECT_EQ(on.wakeups, off.wakeups);
+  EXPECT_EQ(on.doorbells, off.doorbells);
+  EXPECT_EQ(on.packets_tx, off.packets_tx);
+}
+
+TEST(MetricsZeroCostTest, BurstWorkloadRunsAreBitIdentical) {
+  // Same contract under the batched data path: 8 KiB messages segment into
+  // multi-frame TX bursts and coalesced ACKs, and the burst-size histograms record
+  // on every doorbell — none of which may perturb the virtual timeline.
+  const WorkloadOutcome on = RunObservedEcho(/*metrics_enabled=*/true, 8192);
+  const WorkloadOutcome off = RunObservedEcho(/*metrics_enabled=*/false, 8192);
+  EXPECT_EQ(on.elapsed, off.elapsed);
+  EXPECT_EQ(on.bytes_copied, off.bytes_copied);
+  EXPECT_EQ(on.wakeups, off.wakeups);
+  EXPECT_EQ(on.doorbells, off.doorbells);
+  EXPECT_EQ(on.packets_tx, off.packets_tx);
 }
 
 // --- recovery visibility --------------------------------------------------------
