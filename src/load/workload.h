@@ -1,0 +1,78 @@
+// Request/response workload models for the open-loop harness.
+//
+// Both workloads share one wire protocol so the server stays a lean byte-stream
+// machine with no per-workload parsing: every request is exactly `request_bytes`
+// long and its first 4 bytes carry the expected response length (little-endian).
+// The server consumes fixed-size requests off the TCP stream and answers each with
+// that many bytes sliced from one shared pre-built blob — zero per-request
+// allocation on either side.
+//
+//   - Echo: response length == request length. The SLO baseline.
+//   - KV: the client samples a key from a Zipfian popularity distribution (hot keys
+//     dominate, as in production caches) and the response length is the key's value
+//     size — a deterministic hash of the key into a small set of size classes. Skew
+//     therefore shows up on the wire as a skewed response-size mix.
+//
+// Request payloads are pre-built per distinct response length (one for echo, one
+// per size class for KV) and shared by reference: issuing a request is a refcount
+// bump, never an allocation or copy.
+
+#ifndef SRC_LOAD_WORKLOAD_H_
+#define SRC_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/random.h"
+
+namespace demi {
+
+enum class WorkloadKind { kEcho, kKv };
+
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kEcho;
+  std::size_t request_bytes = 64;  // fixed request size; must be >= kHeaderBytes
+  // KV knobs.
+  std::uint64_t kv_keys = 1 << 16;
+  double zipf_theta = 0.99;  // YCSB default skew
+};
+
+class WorkloadModel {
+ public:
+  static constexpr std::size_t kHeaderBytes = 4;
+  // Largest value size class; also the size of the server's shared response blob.
+  static constexpr std::uint32_t kMaxResponseBytes = 4096;
+
+  explicit WorkloadModel(WorkloadConfig cfg);
+
+  std::size_t request_bytes() const { return cfg_.request_bytes; }
+  const WorkloadConfig& config() const { return cfg_; }
+
+  // One request: a shared pre-built payload and the response size it asks for.
+  struct Request {
+    Buffer payload;
+    std::uint32_t response_bytes = 0;
+  };
+  Request Sample(Rng& rng);
+
+  // KV internals, exposed for distribution tests.
+  std::uint64_t SampleKey(Rng& rng) { return zipf_.Next(rng); }
+  static std::uint32_t ValueBytes(std::uint64_t key);
+
+  // Server side: response length from a request's first 4 bytes, clamped to the
+  // blob size so a corrupted header cannot ask for unbounded data.
+  static std::uint32_t DecodeResponseBytes(const std::uint8_t header[kHeaderBytes]);
+
+ private:
+  Buffer BuildRequest(std::uint32_t response_bytes) const;
+
+  WorkloadConfig cfg_;
+  ZipfGenerator zipf_;
+  Buffer echo_request_;
+  std::vector<Buffer> kv_requests_;  // one per value size class
+};
+
+}  // namespace demi
+
+#endif  // SRC_LOAD_WORKLOAD_H_

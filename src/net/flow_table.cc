@@ -1,0 +1,115 @@
+#include "src/net/flow_table.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 16;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(std::size_t min_slots) {
+  slots_.resize(RoundUpPow2(min_slots));
+  mask_ = slots_.size() - 1;
+}
+
+void FlowTable::Insert(std::uint16_t local_port, const Endpoint& remote,
+                       TcpConnection* conn) {
+  const std::uint64_t key = PackKey(local_port, remote);
+  DEMI_CHECK(key != 0 && "flow key 0 is the empty sentinel");
+  DEMI_CHECK(conn != nullptr);
+  // Grow at 3/4 full: linear probing degrades sharply past that, and the doubling
+  // keeps mean probe length O(1) regardless of flow count.
+  if ((size_ + 1) * 4 > slots_.size() * 3) {
+    Grow();
+  }
+  std::size_t i = HashKey(key) & mask_;
+  while (slots_[i].key != 0) {
+    if (slots_[i].key == key) {
+      slots_[i].conn = conn;
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+  slots_[i] = Slot{key, conn};
+  ++size_;
+}
+
+TcpConnection* FlowTable::Find(std::uint16_t local_port, const Endpoint& remote) const {
+  const std::uint64_t key = PackKey(local_port, remote);
+  ++stats_.lookups;
+  std::uint64_t probes = 0;
+  std::size_t i = HashKey(key) & mask_;
+  while (true) {
+    ++probes;
+    if (slots_[i].key == key) {
+      stats_.lookup_probes += probes;
+      stats_.max_probe = std::max(stats_.max_probe, probes);
+      return slots_[i].conn;
+    }
+    if (slots_[i].key == 0) {
+      stats_.lookup_probes += probes;
+      stats_.max_probe = std::max(stats_.max_probe, probes);
+      return nullptr;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+bool FlowTable::Erase(std::uint16_t local_port, const Endpoint& remote) {
+  const std::uint64_t key = PackKey(local_port, remote);
+  std::size_t i = HashKey(key) & mask_;
+  while (slots_[i].key != key) {
+    if (slots_[i].key == 0) {
+      return false;
+    }
+    i = (i + 1) & mask_;
+  }
+  // Backward-shift compaction: walk the cluster after the hole and move back any
+  // entry whose home position does not lie strictly inside (hole, entry].
+  std::size_t hole = i;
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask_;
+    if (slots_[j].key == 0) {
+      break;
+    }
+    const std::size_t home = HashKey(slots_[j].key) & mask_;
+    if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+  slots_[hole] = Slot{};
+  --size_;
+  return true;
+}
+
+void FlowTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  ++stats_.grows;
+  for (const Slot& s : old) {
+    if (s.key == 0) {
+      continue;
+    }
+    std::size_t i = HashKey(s.key) & mask_;
+    while (slots_[i].key != 0) {
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = s;
+  }
+}
+
+}  // namespace demi

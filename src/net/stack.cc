@@ -18,7 +18,10 @@ NetStack::NetStack(HostCpu* host, SimNic* nic, NetStackConfig config)
 
 NetStack::~NetStack() {
   // Connections hold timers referencing themselves; kill them before destruction.
+  // Ready callbacks are dropped first: the applications they point into may be
+  // tearing down alongside the stack, and teardown aborts are not events.
   for (auto& c : conns_) {
+    c->set_on_ready(nullptr);
     if (!c->closed()) {
       c->Abort();
     }
@@ -305,20 +308,15 @@ Result<TcpListener*> NetStack::TcpListen(std::uint16_t port) {
   return out;
 }
 
-std::uint16_t NetStack::AllocateEphemeralPort() {
-  for (int tries = 0; tries < 16384; ++tries) {
-    const std::uint16_t base = static_cast<std::uint16_t>(49152 + config_.nic_queue * 2048);
-    const std::uint16_t limit = static_cast<std::uint16_t>(base + 2047);
+std::uint16_t NetStack::AllocateEphemeralPort(const Endpoint& remote) {
+  const auto base = static_cast<std::uint16_t>(49152 + config_.nic_queue * 2048);
+  const auto limit = static_cast<std::uint16_t>(base + 2047);
+  // A port is reusable when this exact 4-tuple is free: one pass over the partition
+  // suffices, and each candidate costs one O(1) flow-table lookup.
+  for (int tries = 0; tries < 2048; ++tries) {
     const std::uint16_t port = next_ephemeral_;
     next_ephemeral_ = next_ephemeral_ >= limit ? base : next_ephemeral_ + 1;
-    bool used = false;
-    for (const auto& [key, conn] : conn_map_) {
-      if (key.local_port == port) {
-        used = true;
-        break;
-      }
-    }
-    if (!used && !listeners_.contains(port)) {
+    if (!flow_table_.Contains(port, remote) && !listeners_.contains(port)) {
       return port;
     }
   }
@@ -326,7 +324,7 @@ std::uint16_t NetStack::AllocateEphemeralPort() {
 }
 
 Result<TcpConnection*> NetStack::TcpConnect(Endpoint remote) {
-  const std::uint16_t port = AllocateEphemeralPort();
+  const std::uint16_t port = AllocateEphemeralPort(remote);
   if (port == 0) {
     return ResourceExhausted("no ephemeral ports");
   }
@@ -335,7 +333,7 @@ Result<TcpConnection*> NetStack::TcpConnect(Endpoint remote) {
                                               /*active_open=*/true, iss);
   TcpConnection* out = conn.get();
   nic_->AddSteeringRule(kIpProtoTcp, port, config_.nic_queue);
-  conn_map_[ConnKey{port, remote}] = out;
+  flow_table_.Insert(port, remote, out);
   conns_.push_back(std::move(conn));
   out->StartActiveOpen();
   return out;
@@ -364,9 +362,8 @@ void NetStack::HandleTcp(const Ipv4Header& ip, Buffer l4) {
   }
   Buffer payload = l4.Slice(kTcpHeaderSize);
 
-  const ConnKey key{h->dst_port, Endpoint{ip.src, h->src_port}};
-  if (auto it = conn_map_.find(key); it != conn_map_.end()) {
-    TcpConnection* conn = it->second;
+  const Endpoint peer{ip.src, h->src_port};
+  if (TcpConnection* conn = flow_table_.Find(h->dst_port, peer); conn != nullptr) {
     conn->OnSegment(*h, std::move(payload));
     // Embryo promotion: passive connections reach the accept queue once established.
     if (auto eit = embryos_.find(conn); eit != embryos_.end()) {
@@ -392,10 +389,9 @@ void NetStack::HandleTcp(const Ipv4Header& ip, Buffer l4) {
       }
       const auto iss = static_cast<std::uint32_t>(rng_.NextU64());
       auto conn = std::make_unique<TcpConnection>(this, Endpoint{config_.ip, h->dst_port},
-                                                  Endpoint{ip.src, h->src_port},
-                                                  /*active_open=*/false, iss);
+                                                  peer, /*active_open=*/false, iss);
       TcpConnection* raw = conn.get();
-      conn_map_[key] = raw;
+      flow_table_.Insert(h->dst_port, peer, raw);
       conns_.push_back(std::move(conn));
       embryos_[raw] = listener;
       ++listener->embryos_;
@@ -425,7 +421,8 @@ void NetStack::SendSegment(Ipv4Address dst, FrameChain segment) {
 }
 
 void NetStack::OnTcpClosed(TcpConnection* conn) {
-  conn_map_.erase(ConnKey{conn->local().port, conn->remote()});
+  flow_table_.Erase(conn->local().port, conn->remote());
+  ++closed_unreaped_;
   if (auto eit = embryos_.find(conn); eit != embryos_.end()) {
     --eit->second->embryos_;
     embryos_.erase(eit);
@@ -433,14 +430,22 @@ void NetStack::OnTcpClosed(TcpConnection* conn) {
 }
 
 void NetStack::ReapClosed() {
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if ((*it)->closed()) {
-      graveyard_.push_back(std::move(*it));
-      it = conns_.erase(it);
+  // The previous batch has survived one full sweep interval; any pointers the
+  // application held at close time are stale by now. Destroy it before collecting
+  // the next batch so graveyard memory stays bounded under sustained churn.
+  graveyard_.clear();
+  // Swap-and-pop keeps the sweep O(live) instead of O(live * closed); the live
+  // vector's order is not part of the stack's contract.
+  for (std::size_t i = 0; i < conns_.size();) {
+    if (conns_[i]->closed()) {
+      graveyard_.push_back(std::move(conns_[i]));
+      conns_[i] = std::move(conns_.back());
+      conns_.pop_back();
     } else {
-      ++it;
+      ++i;
     }
   }
+  closed_unreaped_ = 0;
 }
 
 }  // namespace demi

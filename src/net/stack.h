@@ -22,6 +22,7 @@
 #include "src/common/random.h"
 #include "src/common/result.h"
 #include "src/hw/nic.h"
+#include "src/net/flow_table.h"
 #include "src/net/packet.h"
 #include "src/net/tcp.h"
 #include "src/sim/simulation.h"
@@ -78,8 +79,16 @@ class NetStack final : public Poller, public TcpIo {
   // --- TCP ---
   Result<TcpListener*> TcpListen(std::uint16_t port);
   Result<TcpConnection*> TcpConnect(Endpoint remote);
-  // Moves fully closed connections to the graveyard; call occasionally in long runs.
+  // Sweeps fully closed connections out of the live set; call occasionally in long
+  // runs (e.g. when closed_unreaped() crosses a threshold — each call is O(live
+  // connections), so amortize it). Swept connections move to a one-batch graveyard
+  // and are destroyed on the *next* call, so pointers an application still holds
+  // from the previous batch stay valid across the sweep that collects them.
   void ReapClosed();
+  // Connections that reached CLOSED since the last ReapClosed() sweep.
+  std::size_t closed_unreaped() const { return closed_unreaped_; }
+  std::size_t live_connections() const { return conns_.size(); }
+  const FlowTable& flow_table() const { return flow_table_; }
 
   // --- TcpIo ---
   void SendSegment(Ipv4Address dst, FrameChain segment) override;
@@ -100,16 +109,6 @@ class NetStack final : public Poller, public TcpIo {
   bool device_failed() const { return device_failed_; }
 
  private:
-  struct ConnKey {
-    std::uint16_t local_port;
-    Endpoint remote;
-    friend bool operator==(const ConnKey& a, const ConnKey& b) = default;
-  };
-  struct ConnKeyHash {
-    std::size_t operator()(const ConnKey& k) const {
-      return EndpointHash()(k.remote) * 31 + k.local_port;
-    }
-  };
   struct ArpPending {
     std::vector<FrameChain> frames;  // complete frames awaiting a destination MAC patch
     int retries_left = 3;
@@ -133,7 +132,12 @@ class NetStack final : public Poller, public TcpIo {
   void SendArpRequest(Ipv4Address target);
   void ArpRetryTick(Ipv4Address next_hop);
   void FlushArpPending(Ipv4Address ip, MacAddress mac);
-  std::uint16_t AllocateEphemeralPort();
+  // Picks a free local port for a connection to `remote`. Ports are free per
+  // 4-tuple (BSD-style reuse): the same local port can serve flows to distinct
+  // remotes, so the ~2048-port per-queue partition does not cap concurrent
+  // connections — only concurrent connections to one remote endpoint. O(1) per
+  // candidate via the flow table, against the old O(live flows) scan.
+  std::uint16_t AllocateEphemeralPort(const Endpoint& remote);
   void SendRst(const Ipv4Header& ip, const TcpHeader& h, std::size_t payload_len);
 
   HostCpu* host_;
@@ -145,10 +149,11 @@ class NetStack final : public Poller, public TcpIo {
   std::unordered_map<Ipv4Address, ArpPending, Ipv4Hash> arp_pending_;
   std::unordered_map<std::uint16_t, UdpRecvFn> udp_ports_;
   std::unordered_map<std::uint16_t, std::unique_ptr<TcpListener>> listeners_;
-  std::unordered_map<ConnKey, TcpConnection*, ConnKeyHash> conn_map_;
+  FlowTable flow_table_;  // demultiplexes RX segments; flat and O(1) at 10^6 flows
   std::unordered_map<TcpConnection*, TcpListener*> embryos_;
   std::vector<std::unique_ptr<TcpConnection>> conns_;      // owns live connections
-  std::vector<std::unique_ptr<TcpConnection>> graveyard_;  // closed, kept until reaped
+  std::vector<std::unique_ptr<TcpConnection>> graveyard_;  // closed, freed next sweep
+  std::size_t closed_unreaped_ = 0;
   std::uint16_t next_ephemeral_ = 49152;
   std::vector<FrameChain> tx_staged_;  // outbound frames awaiting the next burst flush
   std::vector<Buffer> rx_scratch_;     // reused RX burst landing area (no per-poll alloc)

@@ -427,12 +427,32 @@ void TcpConnection::BecomeClosed() {
   if (state_ != State::kClosed) {
     EnterState(State::kClosed);
     io_->OnTcpClosed(this);
+    // Death can arrive outside segment processing (RTO exhaustion, TIME_WAIT
+    // expiry, Abort): notify here so event-driven owners always learn of it.
+    if (on_ready_) {
+      on_ready_(this);
+    }
   }
 }
 
 // --- segment input ---
 
 void TcpConnection::OnSegment(const TcpHeader& h, Buffer payload) {
+  const bool was_established = established();
+  const std::uint32_t una_before = snd_una_;
+  OnSegmentImpl(h, std::move(payload));
+  // Edge notification after the whole segment is absorbed, so the callback sees the
+  // settled state (data delivered, ACKs processed, state transitions done). The
+  // snd_una edge covers "send-buffer space opened": a backlogged sender may get
+  // nothing but pure ACKs from its peer, and without it could stall forever. Death
+  // paths may additionally notify from BecomeClosed(); receivers dedup.
+  if (on_ready_ && (readable() || dead() || (established() && !was_established) ||
+                    snd_una_ != una_before)) {
+    on_ready_(this);
+  }
+}
+
+void TcpConnection::OnSegmentImpl(const TcpHeader& h, Buffer payload) {
   if (state_ == State::kClosed) {
     return;
   }

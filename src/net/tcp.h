@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <vector>
@@ -157,6 +158,16 @@ class TcpConnection {
   void OnSegment(const TcpHeader& h, Buffer payload);
   void StartActiveOpen();
 
+  // Optional edge notification for event-driven applications: fires after an event
+  // leaves the connection readable, newly established, or dead — the three
+  // transitions an open-loop harness with 10^6 connections cannot afford to poll
+  // for. The callback may fire more than once per logical transition (receivers
+  // dedup, e.g. with a per-connection "already queued" flag) and runs inside
+  // segment/timer processing, so it must not reenter the stack (mark state or
+  // enqueue; do the work at the next poll).
+  using ReadyFn = std::function<void(TcpConnection*)>;
+  void set_on_ready(ReadyFn fn) { on_ready_ = std::move(fn); }
+
   // Exposed for tests & stats.
   std::uint32_t cwnd() const { return cwnd_; }
   std::uint32_t ssthresh() const { return ssthresh_; }
@@ -180,6 +191,7 @@ class TcpConnection {
            ((s.flags & (kTcpSyn | kTcpFin)) ? 1 : 0);
   }
 
+  void OnSegmentImpl(const TcpHeader& h, Buffer payload);
   void EnterState(State s);
   void SendFlags(std::uint8_t flags);                       // pure control segment
   void EmitSegment(std::uint32_t seq, FrameChain payload, std::uint8_t flags, bool track);
@@ -260,6 +272,8 @@ class TcpConnection {
   TimerId delack_timer_ = kInvalidTimer;
 
   std::uint64_t retransmits_ = 0;
+
+  ReadyFn on_ready_;
 };
 
 // A passive listener. Owned by the stack.

@@ -201,6 +201,18 @@ std::string MetricsSnapshot::ToJson() const {
   }
   out += "}";
 
+  out += ",\"named\":{";
+  sep = "";
+  for (const auto& [name, h] : named) {
+    if (h.count() == 0) {
+      continue;
+    }
+    AppendF(out, "%s\"%s\":", sep, name.c_str());
+    AppendHistJson(out, h);
+    sep = ",";
+  }
+  out += "}";
+
   AppendF(out, ",\"trace\":{\"dropped\":%llu,\"events\":[",
           static_cast<unsigned long long>(trace_dropped));
   sep = "";
@@ -238,6 +250,19 @@ const Histogram* MetricsRegistry::op_latency(std::string_view libos, OpKind op) 
   return &it->second[static_cast<std::size_t>(op)];
 }
 
+Histogram* MetricsRegistry::NamedHistogram(std::string_view name) {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    it = named_.emplace(std::string(name), Histogram{}).first;
+  }
+  return &it->second;
+}
+
+const Histogram* MetricsRegistry::named(std::string_view name) const {
+  auto it = named_.find(name);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot(const Counters& counters, TimeNs now) const {
   MetricsSnapshot snap;
   snap.taken_at = now;
@@ -246,6 +271,9 @@ MetricsSnapshot MetricsRegistry::Snapshot(const Counters& counters, TimeNs now) 
   }
   for (const auto& [libos, by_op] : op_latency_) {
     snap.op_latency.emplace(libos, by_op);
+  }
+  for (const auto& [name, h] : named_) {
+    snap.named.emplace(name, h);
   }
   snap.sim_stats = sim_stats_;
   snap.trace = trace_.Events();
@@ -273,6 +301,10 @@ MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& later,
   for (std::size_t i = 0; i < kNumSimStats; ++i) {
     out.sim_stats[i] = later.sim_stats[i].DiffSince(earlier.sim_stats[i]);
   }
+  for (const auto& [name, h] : later.named) {
+    auto prev = earlier.named.find(name);
+    out.named.emplace(name, prev == earlier.named.end() ? h : h.DiffSince(prev->second));
+  }
   for (const TraceEvent& ev : later.trace) {
     if (ev.at > earlier.taken_at) {
       out.trace.push_back(ev);
@@ -287,6 +319,7 @@ void MetricsRegistry::Reset() {
   for (Histogram& h : sim_stats_) {
     h.Reset();
   }
+  named_.clear();
   trace_.Clear();
 }
 

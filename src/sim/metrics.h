@@ -120,12 +120,14 @@ struct MetricsSnapshot {
   // one operation appear.
   std::map<std::string, std::array<Histogram, kNumOpKinds>> op_latency;
   std::array<Histogram, kNumSimStats> sim_stats;
+  // Free-form histograms registered via MetricsRegistry::NamedHistogram.
+  std::map<std::string, Histogram> named;
   std::vector<TraceEvent> trace;
   std::uint64_t trace_dropped = 0;
 
   // JSON object: {"taken_at_ns", "counters", "op_latency_ns", "sim_stats",
-  // "trace"}. Histograms serialize as {n, min, max, mean, p50, p99, p999};
-  // zero-count histograms and zero counters are omitted.
+  // "named", "trace"}. Histograms serialize as {n, min, max, mean, p50, p99,
+  // p999}; zero-count histograms and zero counters are omitted.
   std::string ToJson() const;
 };
 
@@ -160,6 +162,20 @@ class MetricsRegistry {
     sim_stats_[static_cast<std::size_t>(stat)].Record(value);
   }
 
+  // Free-form named histogram for subsystems whose series are not known at compile
+  // time (the open-loop load harness registers one per sweep point, e.g.
+  // "openloop/50000rps/latency_ns"). Same handle discipline as OpLatencyHandle: one
+  // map lookup up front, stable pointer for the registry's lifetime, then recording
+  // is an inlined branch + bucket increment via RecordNamed.
+  Histogram* NamedHistogram(std::string_view name);
+
+  void RecordNamed(Histogram* h, std::uint64_t value) {
+    if (!enabled_ || h == nullptr) {
+      return;
+    }
+    h->Record(value);
+  }
+
   void Trace(TraceKind kind, TimeNs at, std::uint64_t a = 0, std::uint64_t b = 0) {
     if (!enabled_) {
       return;
@@ -172,6 +188,7 @@ class MetricsRegistry {
     return sim_stats_[static_cast<std::size_t>(stat)];
   }
   const Histogram* op_latency(std::string_view libos, OpKind op) const;
+  const Histogram* named(std::string_view name) const;
   const TraceRing& trace() const { return trace_; }
 
   // Captures everything, pairing the registry's histograms/trace with the
@@ -188,6 +205,7 @@ class MetricsRegistry {
   bool enabled_ = true;
   std::map<std::string, std::array<Histogram, kNumOpKinds>, std::less<>> op_latency_;
   std::array<Histogram, kNumSimStats> sim_stats_;
+  std::map<std::string, Histogram, std::less<>> named_;
   TraceRing trace_;
 };
 

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "src/sim/timer_wheel.h"
+
 namespace demi {
 
-Simulation::Simulation(CostModel cost) : cost_(cost) {}
+namespace {
+std::unique_ptr<EventQueue> MakeEventQueue(SchedulerKind kind) {
+  if (kind == SchedulerKind::kBinaryHeap) {
+    return std::make_unique<HeapEventQueue>();
+  }
+  return std::make_unique<TimerWheel>();
+}
+}  // namespace
+
+Simulation::Simulation(CostModel cost, SchedulerKind scheduler)
+    : cost_(cost), scheduler_kind_(scheduler), events_(MakeEventQueue(scheduler)) {}
 
 TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
   return ScheduleAt(now_ + std::max<TimeNs>(delay, 0), std::move(fn));
@@ -13,7 +25,7 @@ TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
 TimerId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
   ++schedule_calls_;
   const TimerId id = AllocSlot(std::move(fn));
-  events_.push(Event{std::max(when, now_), next_seq_++, id});
+  events_->Push(SchedEntry{std::max(when, now_), next_seq_++, id});
   return id;
 }
 
@@ -69,9 +81,12 @@ void Simulation::RemovePoller(Poller* poller) {
 
 bool Simulation::RunDue() {
   std::uint64_t ran = 0;
-  while (!events_.empty() && events_.top().due <= now_) {
-    const Event ev = events_.top();
-    events_.pop();
+  while (true) {
+    const SchedEntry* top = events_->Peek();
+    if (top == nullptr || top->due > now_) {
+      break;
+    }
+    const SchedEntry ev = events_->Pop();
     // Take the callback out of the pool before running it: it may reschedule
     // (growing the pool), and a cancelled slot (null fn) must be released too.
     std::function<void()> fn = TakeSlot(static_cast<std::uint32_t>(ev.id));
@@ -109,19 +124,19 @@ bool Simulation::StepOnce() {
     return true;
   }
   // Nothing runnable now: jump to the next scheduled event, skipping cancelled ones.
-  while (!events_.empty()) {
-    const std::uint32_t slot = static_cast<std::uint32_t>(events_.top().id);
+  while (const SchedEntry* top = events_->Peek()) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(top->id);
     if (!event_fns_[slot].fn) {  // cancelled tombstone
       TakeSlot(slot);
       --cancelled_count_;
-      events_.pop();
+      events_->Pop();
       continue;
     }
-    if (events_.top().due > now_) {
+    if (top->due > now_) {
       metrics_.RecordStat(SimStat::kIdleJumpNs,
-                          static_cast<std::uint64_t>(events_.top().due - now_));
+                          static_cast<std::uint64_t>(top->due - now_));
     }
-    now_ = std::max(now_, events_.top().due);
+    now_ = std::max(now_, top->due);
     return RunDue();
   }
   return false;  // completely idle

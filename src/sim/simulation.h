@@ -15,13 +15,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/sim/cost_model.h"
 #include "src/sim/counters.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
@@ -35,13 +36,21 @@ class Poller {
   virtual bool Poll() = 0;
 };
 
-// Opaque handle for cancelling a scheduled event.
-using TimerId = std::uint64_t;
-constexpr TimerId kInvalidTimer = 0;
+// Which event-queue implementation orders the scheduler (see event_queue.h). The
+// timer wheel is the production scheduler; the binary heap is kept as a
+// differential-testing oracle and can be restored as the default with
+// -DSIM_HEAP_SCHEDULER=ON.
+enum class SchedulerKind { kTimerWheel, kBinaryHeap };
+#ifdef DEMI_SIM_HEAP_SCHEDULER
+inline constexpr SchedulerKind kDefaultSchedulerKind = SchedulerKind::kBinaryHeap;
+#else
+inline constexpr SchedulerKind kDefaultSchedulerKind = SchedulerKind::kTimerWheel;
+#endif
 
 class Simulation {
  public:
-  explicit Simulation(CostModel cost = CostModel{});
+  explicit Simulation(CostModel cost = CostModel{},
+                      SchedulerKind scheduler = kDefaultSchedulerKind);
 
   TimeNs now() const { return now_; }
   const CostModel& cost() const { return cost_; }
@@ -78,28 +87,20 @@ class Simulation {
   // Steps until the clock has advanced by `duration` (or the simulation idles out).
   void RunFor(TimeNs duration);
 
-  bool idle() const { return events_.empty(); }
-  std::size_t pending_events() const { return events_.size() - cancelled_count_; }
+  bool idle() const { return events_->empty(); }
+  std::size_t pending_events() const { return events_->size() - cancelled_count_; }
   // Lifetime total of Schedule/ScheduleAt calls; lets tests assert that hot paths
   // (e.g. the TCP retransmit timer) are not rescheduling per event.
   std::uint64_t schedule_calls() const { return schedule_calls_; }
+  SchedulerKind scheduler_kind() const { return scheduler_kind_; }
 
  private:
-  // Heap entries are trivially copyable; the callback lives in a pooled side table.
-  // Keeping std::function out of the heap means sift-down moves are plain 24-byte
+  // Queue entries are trivially copyable; the callback lives in a pooled side table.
+  // Keeping std::function out of the scheduler means entry moves are plain 24-byte
   // copies (no move-manager indirect calls) and dispatching an event never copies a
   // callback's captured state — with refcounted buffers in flight, a per-dispatch
   // std::function copy would clone every captured Buffer reference.
-  struct Event {
-    TimeNs due;
-    std::uint64_t seq;  // tie-break: same-time events run in schedule order
-    TimerId id;         // (slot generation << 32) | slot index
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
-    }
-  };
+  //
   // Pooled callback slot. `gen` identifies the live incarnation: it is baked into
   // the TimerId at alloc and bumped at release, so Cancel on a dead or reused id
   // misses without any lookup structure. A cancelled slot keeps its (nulled) fn
@@ -119,7 +120,8 @@ class Simulation {
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t schedule_calls_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  SchedulerKind scheduler_kind_;
+  std::unique_ptr<EventQueue> events_;
   std::vector<FnSlot> event_fns_;
   std::vector<std::uint32_t> free_fn_slots_;
   std::size_t cancelled_count_ = 0;

@@ -1,0 +1,200 @@
+#include "src/sim/timer_wheel.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+TimerWheel::TimerWheel() {
+  for (auto& level : heads_) {
+    level.fill(kNil);
+  }
+}
+
+std::uint32_t TimerWheel::AllocNode(const SchedEntry& e) {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    pool_[idx].entry = e;
+    return idx;
+  }
+  pool_.push_back(Node{e, kNil});
+  return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void TimerWheel::FreeNode(std::uint32_t idx) {
+  pool_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+int TimerWheel::LevelFor(TimeNs due) const {
+  const Tick tick = TickOf(due);
+  if (tick <= wheel_tick_) {
+    return -1;
+  }
+  for (int level = 0; level < kLevels; ++level) {
+    if ((tick >> (kSlotBits * level)) - CursorAt(level) < kSlots) {
+      return level;
+    }
+  }
+  return kLevels - 1;  // beyond the horizon: clamped into the top level
+}
+
+void TimerWheel::PlaceInWheel(const SchedEntry& e) {
+  const Tick tick = TickOf(e.due);
+  int level = 0;
+  while (level < kLevels - 1 && (tick >> (kSlotBits * level)) - CursorAt(level) >= kSlots) {
+    ++level;
+  }
+  Tick slot_tick = tick >> (kSlotBits * level);
+  if (slot_tick - CursorAt(level) >= kSlots) {
+    // Beyond the wheel's horizon (> ~2^62 ns out): park in the farthest top-level
+    // slot; the entry re-cascades (and re-clamps if still too far) when reached.
+    slot_tick = CursorAt(level) + kSlots - 1;
+  }
+  const std::size_t slot = static_cast<std::size_t>(slot_tick & kSlotMask);
+  const std::uint32_t node = AllocNode(e);
+  pool_[node].next = heads_[level][slot];
+  heads_[level][slot] = node;
+  occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+}
+
+void TimerWheel::InsertReady(const SchedEntry& e) {
+  auto it = std::upper_bound(ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos_),
+                             ready_.end(), e, [](const SchedEntry& a, const SchedEntry& b) {
+                               return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+                             });
+  ready_.insert(it, e);
+}
+
+void TimerWheel::Push(const SchedEntry& e) {
+  ++size_;
+  if (TickOf(e.due) <= wheel_tick_) {
+    InsertReady(e);
+    return;
+  }
+  PlaceInWheel(e);
+  ++wheel_count_;
+}
+
+std::uint32_t TimerWheel::DetachSlot(int level, std::size_t slot) {
+  const std::uint32_t head = heads_[level][slot];
+  heads_[level][slot] = kNil;
+  occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  return head;
+}
+
+int TimerWheel::NearestOccupied(int level, int min_dist) const {
+  const std::size_t cursor = static_cast<std::size_t>(CursorAt(level) & kSlotMask);
+  for (int d = min_dist; d < static_cast<int>(kSlots); ++d) {
+    const std::size_t slot = (cursor + static_cast<std::size_t>(d)) & kSlotMask;
+    if (occupied_[level][slot >> 6] & (std::uint64_t{1} << (slot & 63))) {
+      return d;
+    }
+  }
+  return -1;
+}
+
+bool TimerWheel::RefillReady() {
+  ready_.clear();
+  ready_pos_ = 0;
+  while (wheel_count_ > 0) {
+    // Settle every cursor slot first. A cursor slot (any level whose slot index the
+    // advancing wheel_tick_ has come to share) can hold entries due at or just after
+    // wheel_tick_ itself — including entries at exactly wheel_tick_ on several
+    // levels at once — so all of them must drain down (or into ready_) before any
+    // staging decision is trustworthy.
+    for (int level = 0; level < kLevels;) {
+      if (NearestOccupied(level, 0) != 0) {
+        ++level;
+        continue;
+      }
+      ++cascades_;
+      std::uint32_t node =
+          DetachSlot(level, static_cast<std::size_t>(CursorAt(level) & kSlotMask));
+      while (node != kNil) {
+        const std::uint32_t next = pool_[node].next;
+        const SchedEntry e = pool_[node].entry;
+        FreeNode(node);
+        if (TickOf(e.due) <= wheel_tick_) {
+          InsertReady(e);  // due exactly at wheel_tick_ (level 0 cursor entries)
+          --wheel_count_;
+        } else {
+          PlaceInWheel(e);  // strictly lower level: same prefix at `level`
+        }
+        node = next;
+      }
+      level = 0;  // the cascade may have populated lower cursor slots; restart
+    }
+    if (ready_pos_ < ready_.size()) {
+      return true;  // settled entries at wheel_tick_; nothing in the wheel is earlier
+    }
+    if (wheel_count_ == 0) {
+      break;
+    }
+
+    // All occupied slots now sit strictly ahead of every cursor. The level-0
+    // candidate is an exact tick; higher-level candidates are slot base ticks
+    // (lower bounds on their contents). On a tie the higher-level slot wins: it may
+    // hold an entry at exactly that tick which must merge (via the settle pass
+    // above, after advancing) with the level-0 slot's entries before staging.
+    const int d0 = NearestOccupied(0, 1);
+    const Tick tick0 = d0 > 0 ? wheel_tick_ + static_cast<Tick>(d0) : 0;
+    int best_level = d0 > 0 ? 0 : -1;
+    Tick best_tick = tick0;
+    for (int level = 1; level < kLevels; ++level) {
+      const int d = NearestOccupied(level, 1);
+      if (d < 0) {
+        continue;
+      }
+      const Tick base = (CursorAt(level) + static_cast<Tick>(d)) << (kSlotBits * level);
+      if (best_level < 0 || base <= best_tick) {
+        best_level = level;
+        best_tick = base;
+      }
+    }
+    DEMI_CHECK(best_level >= 0 && "wheel_count_ > 0 but no occupied slot");
+    wheel_tick_ = best_tick;
+    if (best_level == 0) {
+      // A level-0 slot holds exactly one tick's entries (a second lap would have
+      // required inserting from a past wheel_tick_), and on this path no other slot
+      // can contain that tick (ties went to higher levels). Stage and order them.
+      std::uint32_t node = DetachSlot(0, static_cast<std::size_t>(best_tick & kSlotMask));
+      while (node != kNil) {
+        const std::uint32_t next = pool_[node].next;
+        ready_.push_back(pool_[node].entry);
+        FreeNode(node);
+        --wheel_count_;
+        node = next;
+      }
+      std::sort(ready_.begin(), ready_.end(), [](const SchedEntry& a, const SchedEntry& b) {
+        return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+      });
+      return true;
+    }
+    // Advancing to a higher-level slot base turns it into one or more cursor slots;
+    // the settle pass at the top of the loop drains them.
+  }
+  return ready_pos_ < ready_.size();
+}
+
+const SchedEntry* TimerWheel::Peek() {
+  if (ready_pos_ >= ready_.size()) {
+    if (!RefillReady()) {
+      return nullptr;
+    }
+  }
+  return &ready_[ready_pos_];
+}
+
+SchedEntry TimerWheel::Pop() {
+  const SchedEntry* top = Peek();
+  DEMI_CHECK(top != nullptr && "Pop from empty TimerWheel");
+  const SchedEntry e = *top;
+  ++ready_pos_;
+  --size_;
+  return e;
+}
+
+}  // namespace demi

@@ -10,11 +10,15 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <tuple>
+#include <vector>
 
 #include "src/apps/actors.h"
 #include "src/common/random.h"
 #include "src/core/harness.h"
+#include "src/load/open_loop_runner.h"
+#include "src/sim/fault_injector.h"
 
 namespace demi {
 namespace {
@@ -175,21 +179,24 @@ RecoveryOutcome ReadRecoveryOutcome(TestHarness& h, bool done, bool failed,
 // (the legacy path must survive bypass death) and point the client's fallback at
 // the server's kernel-stack listener; plain runs reproduce the PR 1 topology.
 struct NicDeathRig {
-  NicDeathRig(std::uint64_t seed, bool recovery, std::uint16_t port) {
+  NicDeathRig(std::uint64_t seed, bool recovery, std::uint16_t port,
+              std::size_t listen_backlog = 64,
+              TimeNs retry_timeout = 1 * kMillisecond, int retry_attempts = 4) {
     FabricConfig fabric;
     fabric.seed = seed;
     h = std::make_unique<TestHarness>(CostModel{}, fabric);
     HostOptions sopts;
     sopts.with_kernel_nic = recovery;
     sopts.tcp.max_retries = 4;  // detect a dead peer within virtual tens of ms
+    sopts.tcp.listen_backlog = listen_backlog;
     server = &h->AddHost("server", "10.0.0.1", sopts);
     HostOptions copts = sopts;
     copts.charges_clock = false;
     client = &h->AddHost("client", "10.0.0.2", copts);
     if (recovery) {
       RecoveryConfig cfg;
-      cfg.retry.attempt_timeout_ns = 1 * kMillisecond;
-      cfg.retry.max_attempts = 4;
+      cfg.retry.attempt_timeout_ns = retry_timeout;
+      cfg.retry.max_attempts = retry_attempts;
       server_libos = &h->Catnip(*server, cfg);
       cfg.fallback_remote = Endpoint{server->kernel_ip, port};
       cfg.has_fallback_remote = true;
@@ -357,6 +364,103 @@ TEST(ChaosTest, KvFailsUnderNicDeathWithoutRecovery) {
     const RecoveryOutcome first = RunKvNicDeath(seed, /*recovery=*/false);
     EXPECT_EQ(std::get<5>(first), 0u) << "seed " << seed << ": failover without recovery";
     EXPECT_EQ(first, RunKvNicDeath(seed, /*recovery=*/false)) << "seed " << seed;
+  }
+}
+
+// --- PR 6: the open-loop harness under chaos ------------------------------------
+
+// Kill one load-generator NIC mid-sweep at 10^5 connections. The 1/8 of the fleet
+// behind it must die exactly once each (abort -> dead callback, no double deaths),
+// the rest must keep completing, and request accounting must balance to the unit:
+// every issued request either completed or is explicitly tallied as lost in flight
+// with its connection — nothing silently dropped, nothing completed twice.
+TEST(ChaosTest, OpenLoopFleetDrainsCleanlyWhenClientNicDiesMidSweep) {
+  constexpr std::size_t kConnections = 100'000;
+  OpenLoopConfig cfg;
+  cfg.connections = kConnections;
+  cfg.client_stacks = 8;
+  cfg.server_ports = 64;
+  cfg.seed = 42;
+  OpenLoopRunner r(cfg);
+  FaultInjector faults(&r.sim(), 42);
+  const FaultDeviceId victim = r.client_nic(3).AttachFaultInjector(&faults);
+
+  ASSERT_TRUE(r.Ramp());
+  ASSERT_EQ(r.established_connections(), kConnections);
+
+  // Device death lands inside the measurement window (warmup 2ms + 5ms).
+  faults.ScheduleDeviceFailure(victim, r.sim().now() + 7 * kMillisecond);
+  const SweepPoint pt =
+      r.RunPoint(500'000, 2 * kMillisecond, 10 * kMillisecond);
+  r.StopLoad();
+  // Drain: everything issued on surviving connections completes; everything on
+  // the dead stack has been tallied as lost.
+  ASSERT_TRUE(r.sim().RunUntil(
+      [&] { return r.completed_total() + r.lost_in_flight() >= r.issued_total(); },
+      r.sim().now() + 5 * kSecond));
+
+  EXPECT_GT(pt.completed, 0u);
+  // Exactly the dead stack's share of the fleet died, exactly once each.
+  EXPECT_EQ(r.unexpected_deaths(), kConnections / 8);
+  EXPECT_EQ(r.established_connections(), kConnections - kConnections / 8);
+  // Conservation: issued == completed + lost, with no stray response bytes — the
+  // failover drain neither lost nor duplicated a completion.
+  EXPECT_EQ(r.completed_total() + r.lost_in_flight(), r.issued_total());
+  EXPECT_EQ(r.stray_response_bytes(), 0u);
+  EXPECT_GT(r.lost_in_flight(), 0u);  // the kill landed mid-flight
+}
+
+// A fleet of concurrent echo sessions on one recovery-enabled libOS, NIC death
+// mid-run: the PR 2 failover path must drain every session without losing or
+// duplicating a completion — each client finishes its exact target.
+RecoveryOutcome RunEchoFleetNicDeath(std::uint64_t seed) {
+  constexpr std::size_t kClients = 64;
+  constexpr std::uint64_t kPerClient = 12;
+  // A fleet shares one libOS: the failover storm stretches op latencies well past
+  // the single-session case, so the retry budget scales up with it.
+  NicDeathRig rig(seed, /*recovery=*/true, kEchoPort, /*listen_backlog=*/256,
+                  /*retry_timeout=*/5 * kMillisecond, /*retry_attempts=*/8);
+  DemiEchoServer server(rig.server_libos, kEchoPort);
+  std::vector<std::unique_ptr<DemiEchoClient>> fleet;
+  fleet.reserve(kClients);
+  for (std::size_t i = 0; i < kClients; ++i) {
+    fleet.push_back(std::make_unique<DemiEchoClient>(
+        rig.client_libos, Endpoint{rig.server->ip, kEchoPort}, 64, kPerClient));
+  }
+  ScheduleNicDeathChaos(*rig.h, *rig.server, *rig.client, seed ^ 0xf1ee7ULL);
+
+  auto all_terminated = [&] {
+    for (const auto& c : fleet) {
+      if (!c->done() && !c->failed()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool terminated = rig.h->RunUntil(all_terminated, 600 * kSecond);
+  EXPECT_TRUE(terminated) << "seed " << seed << ": fleet hung under NIC death";
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(fleet[i]->done()) << "seed " << seed << " client " << i;
+    EXPECT_FALSE(fleet[i]->failed()) << "seed " << seed << " client " << i;
+    // Exactly the target: a lost completion shows as < target (hang/failure), a
+    // duplicated one as > target.
+    EXPECT_EQ(fleet[i]->completed(), kPerClient) << "seed " << seed << " client " << i;
+    total += fleet[i]->completed();
+  }
+  EXPECT_EQ(total, kClients * kPerClient) << "seed " << seed;
+  // Post-drain sweep: no qtoken left pending anywhere in the fleet.
+  EXPECT_EQ(rig.client_libos->pending_ops(), 0u) << "seed " << seed;
+  return ReadRecoveryOutcome(*rig.h, terminated, false, total);
+}
+
+TEST(ChaosTest, EchoFleetSurvivesNicDeathWithRecovery) {
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+    const RecoveryOutcome first = RunEchoFleetNicDeath(seed);
+    EXPECT_GE(std::get<4>(first), 1u) << "seed " << seed << ": chaos never fired";
+    // Fleet-wide drain is bit-deterministic too.
+    EXPECT_EQ(first, RunEchoFleetNicDeath(seed)) << "seed " << seed;
   }
 }
 

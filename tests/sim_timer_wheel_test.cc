@@ -1,0 +1,211 @@
+// Unit tests for the hierarchical timer wheel (src/sim/timer_wheel.h): level
+// placement and cascading, cancel-after-reschedule, far-future clamping, zero-delay
+// events, and a seeded differential test that drives 100k random schedule/cancel
+// operations through a wheel-backed and a heap-backed Simulation side by side and
+// requires identical firing order and identical virtual timestamps.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/sim/simulation.h"
+#include "src/sim/timer_wheel.h"
+
+namespace demi {
+namespace {
+
+SchedEntry E(TimeNs due, std::uint64_t seq) { return SchedEntry{due, seq, seq}; }
+
+TEST(TimerWheelTest, PopsInDueThenSeqOrder) {
+  TimerWheel wheel;
+  wheel.Push(E(300, 1));
+  wheel.Push(E(100, 2));
+  wheel.Push(E(100, 3));
+  wheel.Push(E(200, 4));
+  std::vector<std::uint64_t> order;
+  while (!wheel.empty()) {
+    order.push_back(wheel.Pop().seq);
+  }
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 3, 4, 1}));
+}
+
+TEST(TimerWheelTest, EntriesLandOnTheExpectedLevel) {
+  TimerWheel wheel;
+  const TimeNs tick = TimeNs{1} << TimerWheel::kResBits;  // 64 ns
+  EXPECT_EQ(wheel.LevelFor(0), -1);                       // already due
+  EXPECT_EQ(wheel.LevelFor(tick), 0);
+  EXPECT_EQ(wheel.LevelFor(255 * tick), 0);
+  EXPECT_EQ(wheel.LevelFor(256 * tick), 1);               // beyond level 0's span
+  EXPECT_EQ(wheel.LevelFor(65535 * tick), 1);
+  EXPECT_EQ(wheel.LevelFor(65536 * tick), 2);
+  EXPECT_EQ(wheel.LevelFor(kSecond), 2);                  // ~15.6M ticks < 256^3
+}
+
+TEST(TimerWheelTest, CascadeAcrossLevelsPreservesExactDueTimes) {
+  // Entries spread over several levels; popping must yield exact due order even
+  // though the high-level slots only bucket them coarsely until cascade.
+  TimerWheel wheel;
+  std::vector<TimeNs> dues = {50,        1000,     64 * 300,  64 * 70000,
+                              kSecond,   3 * kSecond, 64 * 299, 64 * 65536 + 7};
+  std::uint64_t seq = 1;
+  for (TimeNs d : dues) {
+    wheel.Push(E(d, seq++));
+  }
+  std::vector<TimeNs> sorted = dues;
+  std::sort(sorted.begin(), sorted.end());
+  for (TimeNs expect : sorted) {
+    ASSERT_FALSE(wheel.empty());
+    EXPECT_EQ(wheel.Pop().due, expect);
+  }
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_GT(wheel.cascades(), 0u);  // the spread above must have exercised cascade
+}
+
+TEST(TimerWheelTest, LateInsertBehindHigherLevelSlotStillFiresFirst) {
+  // Regression shape for the jump hazard: after the wheel has advanced, a
+  // higher-level slot can cover lower ticks than a newly inserted level-0 entry.
+  TimerWheel wheel;
+  wheel.Push(E(64 * 1000, 1));  // level 1 from tick 0
+  wheel.Push(E(64 * 2, 2));     // level 0
+  EXPECT_EQ(wheel.Pop().seq, 2u);  // advances wheel near tick 2
+  wheel.Push(E(64 * 1100, 3));     // level 1, past the first entry
+  EXPECT_EQ(wheel.Pop().seq, 1u);
+  EXPECT_EQ(wheel.Pop().seq, 3u);
+}
+
+TEST(TimerWheelTest, FarFutureTimerBeyondHorizonStillFiresAtExactTime) {
+  Simulation sim;
+  // ~146 years of ns: past the wheel's 7-level horizon (2^56 ticks of 64 ns), so
+  // this exercises the clamp + re-cascade path.
+  const TimeNs far = TimeNs{1} << 62;
+  TimeNs fired_at = -1;
+  sim.Schedule(far, [&] { fired_at = sim.now(); });
+  bool early = false;
+  sim.Schedule(100, [&] { early = true; });
+  while (sim.StepOnce()) {
+  }
+  EXPECT_TRUE(early);
+  EXPECT_EQ(fired_at, far);
+}
+
+TEST(TimerWheelTest, ZeroDelayTimersRunThisStepInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(0, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(2); });  // zero-delay from inside dispatch
+  });
+  sim.Schedule(0, [&] { order.push_back(3); });
+  sim.RunDue();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(TimerWheelTest, CancelAfterReschedulePreservesOnlyTheLiveTimer) {
+  Simulation sim;
+  int fired = 0;
+  const TimerId a = sim.Schedule(100, [&] { fired += 1; });
+  sim.Cancel(a);
+  const TimerId b = sim.Schedule(100, [&] { fired += 10; });  // reuses a's slot
+  sim.Cancel(a);  // stale id: must not kill b (generation check)
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(fired, 10);
+  sim.Cancel(b);  // already fired: no-op, no crash
+}
+
+TEST(TimerWheelTest, CancelledEntriesDoNotPerturbIdleJumps) {
+  Simulation sim;
+  const TimerId a = sim.Schedule(100, [] {});
+  const TimerId b = sim.Schedule(200, [] {});
+  TimeNs fired_at = -1;
+  sim.Schedule(300, [&] { fired_at = sim.now(); });
+  sim.Cancel(a);
+  sim.Cancel(b);
+  while (sim.StepOnce()) {
+  }
+  EXPECT_EQ(fired_at, 300);
+  EXPECT_EQ(sim.now(), 300);
+}
+
+// The acceptance-criteria differential test: identical firing order and identical
+// sim timestamps across 100k randomized schedule/cancel operations, wheel vs heap.
+TEST(TimerWheelDifferentialTest, MatchesHeapOracleOver100kRandomOps) {
+  constexpr int kOps = 100000;
+  for (const std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    // Each simulation records (timestamp, label) per fired event.
+    auto run = [&](SchedulerKind kind) {
+      Simulation sim(CostModel{}, kind);
+      Rng rng(seed);
+      std::vector<std::pair<TimeNs, std::uint64_t>> fired;
+      std::vector<TimerId> live;
+      std::uint64_t label = 0;
+      for (int i = 0; i < kOps; ++i) {
+        const std::uint64_t roll = rng.NextBelow(100);
+        if (roll < 55 || live.empty()) {
+          // Schedule with a delay profile spanning every wheel level: mostly short
+          // RTO-like delays, a tail of far-future ones.
+          TimeNs delay;
+          switch (rng.NextBelow(5)) {
+            case 0: delay = static_cast<TimeNs>(rng.NextBelow(64)); break;       // sub-tick
+            case 1: delay = static_cast<TimeNs>(rng.NextBelow(10'000)); break;   // level 0
+            case 2: delay = static_cast<TimeNs>(rng.NextBelow(1'000'000)); break;
+            case 3: delay = static_cast<TimeNs>(rng.NextBelow(kSecond)); break;
+            default: delay = static_cast<TimeNs>(rng.NextBelow(600 * kSecond)); break;
+          }
+          const std::uint64_t tag = label++;
+          live.push_back(sim.Schedule(delay, [&fired, &sim, tag] {
+            fired.emplace_back(sim.now(), tag);
+          }));
+        } else if (roll < 80) {
+          // Cancel a random live timer (may already have fired: exercises stale ids).
+          const std::size_t pick = rng.NextBelow(live.size());
+          sim.Cancel(live[pick]);
+          live[pick] = live.back();
+          live.pop_back();
+        } else {
+          // Let the simulation advance a few events to interleave dispatch with
+          // scheduling (this is where wheel cascades happen mid-stream).
+          sim.RunDue();
+          sim.StepOnce();
+        }
+      }
+      while (sim.StepOnce()) {
+      }
+      fired.emplace_back(sim.now(), ~0ull);  // final clock must match too
+      return fired;
+    };
+
+    const auto wheel = run(SchedulerKind::kTimerWheel);
+    const auto heap = run(SchedulerKind::kBinaryHeap);
+    ASSERT_EQ(wheel.size(), heap.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < wheel.size(); ++i) {
+      ASSERT_EQ(wheel[i].first, heap[i].first) << "timestamp diverged at event " << i
+                                               << " (seed " << seed << ")";
+      ASSERT_EQ(wheel[i].second, heap[i].second) << "order diverged at event " << i
+                                                 << " (seed " << seed << ")";
+    }
+  }
+}
+
+// Determinism of the wheel against itself: two identical runs, bitwise-equal traces.
+TEST(TimerWheelDifferentialTest, WheelRunsAreBitDeterministic) {
+  auto run = [] {
+    Simulation sim(CostModel{}, SchedulerKind::kTimerWheel);
+    Rng rng(7);
+    std::vector<TimeNs> stamps;
+    for (int i = 0; i < 5000; ++i) {
+      sim.Schedule(static_cast<TimeNs>(rng.NextBelow(2 * kMillisecond)),
+                   [&] { stamps.push_back(sim.now()); });
+    }
+    while (sim.StepOnce()) {
+    }
+    return stamps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace demi
