@@ -32,7 +32,8 @@ LABEL="${1:-after}"
 SMOKE="${BENCH_SMOKE:-0}"
 BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 
-BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage)
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants)
+TENANTS_OUT="${BENCH_TENANTS_OUT:-$REPO/BENCH_tenants.json}"
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -219,3 +220,31 @@ else
   } > "$OUT"
 fi
 echo "wrote section(s) ${LABELS[*]} to $OUT"
+
+# Tenant fairness: per-label section is wall time plus the bench's own metrics
+# snapshot (per-tenant DWRR shares, on/off arms). Merged into BENCH_tenants.json
+# the same way as BENCH_datapath.json so before/after pairs diff in one file.
+emit_tenant_section() {  # label -> json on stdout
+  local label=$1 m
+  m=$(cat "$TMP/metrics-$label/bench_t2_tenants.metrics.json" 2>/dev/null || echo '{}')
+  printf '{"wall_ms": %s, "metrics": %s}' "${WALL_MS[$label/bench_t2_tenants]}" "$m"
+}
+
+if command -v jq >/dev/null && [[ -f "$TENANTS_OUT" ]]; then
+  for label in "${LABELS[@]}"; do
+    jq --argjson section "$(emit_tenant_section "$label")" \
+      ". + {\"$label\": \$section}" "$TENANTS_OUT" > "$TENANTS_OUT.tmp"
+    mv "$TENANTS_OUT.tmp" "$TENANTS_OUT"
+  done
+else
+  {
+    printf '{'
+    sep=''
+    for label in "${LABELS[@]}"; do
+      printf '%s\n  "%s": %s' "$sep" "$label" "$(emit_tenant_section "$label")"
+      sep=','
+    done
+    printf '\n}\n'
+  } > "$TENANTS_OUT"
+fi
+echo "wrote tenant section(s) ${LABELS[*]} to $TENANTS_OUT"

@@ -52,6 +52,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "retry_exhausted";
     case ErrorCode::kDegraded:
       return "degraded";
+    case ErrorCode::kCapabilityViolation:
+      return "capability_violation";
     case ErrorCode::kInternal:
       return "internal";
   }

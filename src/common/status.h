@@ -41,6 +41,7 @@ enum class ErrorCode : std::uint8_t {
   kMediaError,          // Block-device media error: data at this LBA is unreadable.
   kRetryExhausted,      // Recovery gave up: retries/failover exceeded the policy deadline.
   kDegraded,            // Device is in a degraded (but possibly recoverable) state.
+  kCapabilityViolation, // Descriptor references memory outside the tenant's capability set.
   kInternal,            // Invariant violation; always a bug.
 };
 
@@ -118,6 +119,9 @@ inline Status RetryExhausted(std::string msg) {
   return Status(ErrorCode::kRetryExhausted, std::move(msg));
 }
 inline Status Degraded(std::string msg) { return Status(ErrorCode::kDegraded, std::move(msg)); }
+inline Status CapabilityViolation(std::string msg) {
+  return Status(ErrorCode::kCapabilityViolation, std::move(msg));
+}
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 
 }  // namespace demi

@@ -17,11 +17,27 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
       session_rng_(config_.recovery.seed ^ 0x5e5510d15ull) {
   // Control path (Figure 2): ask the kernel for a dedicated NIC queue, once.
   if (control_kernel != nullptr) {
-    auto lease = control_kernel->AllocateNicQueue();
-    DEMI_CHECK(lease.ok() && "no NIC queue available for the libOS");
-    nic_queue_ = *lease;
-    // Map the libOS arenas for device DMA (IOMMU setup) — also control path.
-    (void)control_kernel->MapForDevice(2 * 1024 * 1024);
+    if (config_.tenant.has_value()) {
+      // Multi-tenant mode: mint a tenant, lease a queue bound to it, and grant
+      // every memory-manager arena (current and future) into the tenant's device
+      // capability set — transparent registration (§4.5) under isolation.
+      auto minted = control_kernel->CreateTenant(*config_.tenant);
+      DEMI_CHECK(minted.ok() && "kernel refused to mint a tenant");
+      tenant_ = *minted;
+      auto lease = control_kernel->AllocateNicQueue(tenant_);
+      DEMI_CHECK(lease.ok() && "no NIC queue available for the libOS");
+      nic_queue_ = *lease;
+      memory_.AttachDevice(
+          [kernel = control_kernel, tenant = tenant_](std::shared_ptr<BufferStorage> arena) {
+            (void)kernel->GrantTenantMemory(tenant, arena);
+          });
+    } else {
+      auto lease = control_kernel->AllocateNicQueue();
+      DEMI_CHECK(lease.ok() && "no NIC queue available for the libOS");
+      nic_queue_ = *lease;
+      // Map the libOS arenas for device DMA (IOMMU setup) — also control path.
+      (void)control_kernel->MapForDevice(2 * 1024 * 1024);
+    }
   }
   NetStackConfig net_cfg;
   net_cfg.ip = config_.ip;

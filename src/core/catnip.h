@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -49,6 +50,11 @@ struct CatnipConfig {
   TcpConfig tcp;
   std::uint64_t seed = 11;
   RecoveryConfig recovery;  // disabled by default; the plain path is untouched
+  // When set (and a control kernel exists), the libOS runs as this tenant on a
+  // shared bypass device: the kernel mints a TenantId, leases a tenant-bound queue,
+  // and grants every memory-manager arena into the tenant's capability set. Absent,
+  // the libOS gets the trusted single-owner path, byte-identical to before.
+  std::optional<TenantQosConfig> tenant;
 };
 
 class CatnipLibOS final : public LibOS {
@@ -65,6 +71,7 @@ class CatnipLibOS final : public LibOS {
   SimNic& nic() { return *nic_; }
   int nic_queue() const { return nic_queue_; }
   SimKernel* kernel() { return kernel_; }
+  TenantId tenant() const { return tenant_; }  // kNoTenant unless config.tenant set
   const RecoveryConfig& recovery() const { return config_.recovery; }
 
   Result<QDesc> SocketUdp() override;
@@ -86,6 +93,7 @@ class CatnipLibOS final : public LibOS {
   SimKernel* kernel_ = nullptr;
   CatnipConfig config_;
   int nic_queue_ = 0;
+  TenantId tenant_ = kNoTenant;
   std::unique_ptr<NetStack> stack_;
   Rng session_rng_;
   std::unordered_map<std::uint64_t, CatnipTcpQueue*> sessions_;

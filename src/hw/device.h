@@ -21,6 +21,7 @@ struct DeviceCaps {
   bool transport_offload = false;   // device implements a reliable transport
   bool needs_explicit_mem_reg = false;  // app/libOS must register memory first
   bool program_offload = false;  // device can run application functions (filter/map)
+  bool tenant_isolation = false; // device enforces per-tenant capabilities + QoS
 };
 
 }  // namespace demi

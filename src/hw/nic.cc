@@ -10,6 +10,7 @@ SimNic::SimNic(HostCpu* host, Fabric* fabric, MacAddress mac, NicConfig config)
   for (int i = 0; i < config_.num_queues; ++i) {
     queues_.emplace_back(config_.ring_size);
   }
+  queue_tenant_.assign(static_cast<std::size_t>(config_.num_queues), kNoTenant);
   port_ = fabric_->AttachPort(mac_, [this](Buffer frame) { DeliverFromWire(std::move(frame)); });
 }
 
@@ -25,7 +26,20 @@ DeviceCaps SimNic::caps() const {
       .transport_offload = false,
       .needs_explicit_mem_reg = false,
       .program_offload = config_.supports_offload,
+      .tenant_isolation = tenants_ != nullptr,
   };
+}
+
+void SimNic::BindQueueTenant(int queue, TenantId tenant) {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  DEMI_CHECK(tenants_ != nullptr);
+  DEMI_CHECK(tenant == kNoTenant || tenants_->Has(tenant));
+  queue_tenant_[queue] = tenant;
+}
+
+TenantId SimNic::queue_tenant(int queue) const {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  return queue_tenant_[queue];
 }
 
 Status SimNic::Transmit(int queue, Buffer frame) {
@@ -39,10 +53,19 @@ Status SimNic::Transmit(int queue, FrameChain chain) {
   if (failed_) {
     return DeviceFailed("nic is dead");
   }
+  // Single-frame posts surface capability violations as a typed status instead of
+  // silently consuming the frame: the caller learns exactly why the device refused.
+  const TenantId tenant = queue_tenant_[queue];
+  if (tenants_ != nullptr && tenant != kNoTenant && tenants_->isolation_enabled() &&
+      !tenants_->ValidateFrame(tenant, chain)) {
+    ++tenants_->mutable_stats(tenant).capability_violations;
+    host_->Count(Counter::kCapabilityViolations);
+    return CapabilityViolation("frame references memory outside the tenant's capability set");
+  }
   FrameChain burst[] = {std::move(chain)};
   if (TransmitBurst(queue, burst) == 0) {
     host_->Count(Counter::kPacketsDropped);
-    return ResourceExhausted("tx ring full");
+    return ResourceExhausted("tx ring full or tenant throttled");
   }
   return OkStatus();
 }
@@ -51,6 +74,9 @@ std::size_t SimNic::TransmitBurst(int queue, std::span<FrameChain> frames) {
   DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
   if (failed_ || frames.empty()) {
     return 0;
+  }
+  if (const TenantId tenant = queue_tenant_[queue]; tenants_ != nullptr && tenant != kNoTenant) {
+    return TransmitBurstTenant(queue, tenant, frames);
   }
   Queue& q = queues_[queue];
   const std::size_t space = config_.ring_size - q.tx_in_flight;
@@ -94,6 +120,177 @@ std::size_t SimNic::TransmitBurst(int queue, std::span<FrameChain> frames) {
     });
   }
   return n;
+}
+
+// Tenant-bound queues share serialized TX/RX DMA engines instead of the private
+// per-queue pipeline above: the device is one piece of silicon, and how it arbitrates
+// between nontrusting tenants is exactly what isolation on/off changes. With
+// enforcement on, every doorbell and descriptor passes the tenant's token buckets,
+// every frame part is checked against the tenant's capability set, and service order
+// is deficit-weighted round robin. With enforcement off the same engine is an
+// unchecked FIFO — a flooding tenant heads-of-line-blocks everyone (the chaos suite's
+// vulnerable baseline).
+std::size_t SimNic::TransmitBurstTenant(int queue, TenantId tenant, std::span<FrameChain> frames) {
+  Queue& q = queues_[queue];
+  const bool enforce = tenants_->isolation_enabled();
+
+  // The MMIO doorbell write is charged whether or not the device honors it; a
+  // throttled doorbell costs the tenant its own CPU time and nothing else.
+  host_->Work(host_->cost().pcie_doorbell_ns);
+  if (enforce && !tenants_->TakeDoorbell(tenant)) {
+    host_->Count(Counter::kDoorbellsThrottled);
+    return 0;
+  }
+  host_->Count(Counter::kDoorbells);
+  host_->Count(Counter::kTxBursts);
+
+  const std::size_t space = config_.ring_size - q.tx_in_flight;
+  std::size_t n = std::min(space, frames.size());
+  if (enforce && n > 0) {
+    const std::size_t granted = tenants_->TakeDescriptors(tenant, n);
+    if (granted < n) {
+      host_->Count(Counter::kDescriptorsThrottled, n - granted);
+    }
+    n = granted;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  host_->Count(Counter::kFramesPerDoorbell, n);
+  host_->sim().metrics().RecordStat(SimStat::kTxBurstFrames, n);
+
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DEMI_CHECK(frames[i].size() >= kEthHeaderSize);
+    FrameChain chain = std::move(frames[i]);
+    ++accepted;  // consumed either way: a refused descriptor still burns a burst slot
+    if (enforce && !tenants_->ValidateFrame(tenant, chain)) {
+      // The device read a descriptor pointing outside the tenant's capability set;
+      // it refuses the DMA and drops the frame. The victim tenant's memory is never
+      // touched.
+      ++tenants_->mutable_stats(tenant).capability_violations;
+      host_->Count(Counter::kCapabilityViolations);
+      host_->Count(Counter::kPacketsDropped);
+      continue;
+    }
+    ++q.tx_in_flight;
+    EngineItem item;
+    item.queue = queue;
+    item.tenant = tenant;
+    item.enqueued_at = host_->sim().now();
+    item.bytes = chain.size();
+    item.chain = std::move(chain);
+    EnqueueEngine(tx_engine_, std::move(item), /*is_tx=*/true);
+  }
+  return accepted;
+}
+
+void SimNic::EnqueueEngine(Engine& engine, EngineItem item, bool is_tx) {
+  if (tenants_->isolation_enabled()) {
+    Engine::TenantQueue& tq = engine.per_tenant[item.tenant];
+    if (!tq.active) {
+      tq.active = true;
+      tq.deficit = 0;
+      engine.rr.push_back(item.tenant);
+    }
+    tq.items.push_back(std::move(item));
+  } else {
+    engine.fifo.push_back(std::move(item));
+  }
+  ++engine.depth;
+  if (!engine.busy) {
+    // First descriptor after idle pays the full fetch round trip; while the engine
+    // stays busy, successors pipeline at the batch-descriptor rate (ServeTxEngine /
+    // ServeRxEngine reschedule themselves).
+    engine.busy = true;
+    const TimeNs first = host_->cost().pcie_dma_ns + host_->cost().nic_process_ns;
+    if (is_tx) {
+      host_->sim().Schedule(first, [this] { ServeTxEngine(); });
+    } else {
+      host_->sim().Schedule(first, [this] { ServeRxEngine(); });
+    }
+  }
+}
+
+bool SimNic::PopEngine(Engine& engine, EngineItem& out) {
+  if (engine.depth == 0) {
+    return false;
+  }
+  --engine.depth;
+  // Items enqueued while isolation was off sit in the FIFO; drain them first so a
+  // mid-run policy flip never strands descriptors.
+  if (!engine.fifo.empty()) {
+    out = std::move(engine.fifo.front());
+    engine.fifo.pop_front();
+    return true;
+  }
+  // DWRR, one descriptor per call with persistent deficits: the tenant at the head
+  // of the round-robin list is served while its deficit covers the head frame; when
+  // it cannot, the tenant rotates to the back and banks one weight-scaled quantum
+  // for its next visit. Every full rotation therefore hands each backlogged tenant
+  // bytes proportional to its weight.
+  while (true) {
+    DEMI_CHECK(!engine.rr.empty());
+    const TenantId t = engine.rr.front();
+    Engine::TenantQueue& tq = engine.per_tenant[t];
+    DEMI_CHECK(!tq.items.empty());
+    const std::uint64_t bytes = tq.items.front().bytes;
+    if (tq.deficit >= bytes) {
+      tq.deficit -= bytes;
+      out = std::move(tq.items.front());
+      tq.items.pop_front();
+      if (tq.items.empty()) {
+        // Classic DWRR zeroes an emptied queue so idle tenants cannot bank credit.
+        tq.active = false;
+        tq.deficit = 0;
+        engine.rr.pop_front();
+      }
+      return true;
+    }
+    engine.rr.pop_front();
+    engine.rr.push_back(t);
+    tq.deficit += tenants_->quantum_bytes(t);
+  }
+}
+
+void SimNic::ServeTxEngine() {
+  EngineItem item;
+  if (!PopEngine(tx_engine_, item)) {
+    tx_engine_.busy = false;
+    return;
+  }
+  --queues_[item.queue].tx_in_flight;
+  if (failed_ || !link_up()) {
+    host_->Count(Counter::kPacketsDropped);
+  } else {
+    host_->Count(Counter::kDmaOps);
+    host_->Count(Counter::kPacketsTx);
+    TenantStats& stats = tenants_->mutable_stats(item.tenant);
+    ++stats.tx_frames;
+    stats.tx_bytes += item.bytes;
+    host_->sim().metrics().RecordNamed(tenants_->tx_delay_histogram(item.tenant),
+                                       host_->sim().now() - item.enqueued_at);
+    fabric_->Transmit(port_, item.chain.Gather());
+  }
+  if (tx_engine_.depth > 0) {
+    host_->sim().Schedule(host_->cost().pcie_dma_batch_descriptor_ns, [this] { ServeTxEngine(); });
+  } else {
+    tx_engine_.busy = false;
+  }
+}
+
+void SimNic::ServeRxEngine() {
+  EngineItem item;
+  if (!PopEngine(rx_engine_, item)) {
+    rx_engine_.busy = false;
+    return;
+  }
+  FinishRxDeposit(item.queue, item.tenant, item.chain.Gather());
+  if (rx_engine_.depth > 0) {
+    host_->sim().Schedule(host_->cost().pcie_dma_batch_descriptor_ns, [this] { ServeRxEngine(); });
+  } else {
+    rx_engine_.busy = false;
+  }
 }
 
 bool SimNic::link_up() const {
@@ -259,25 +456,55 @@ void SimNic::DepositToQueue(int queue, Buffer frame) {
     }
   }
 
+  // Tenant-bound queues share the serialized RX DMA engine (see TransmitBurstTenant):
+  // host DMA of received frames contends across tenants exactly like TX descriptors,
+  // and the engine's service delay replaces the private-path DMA delay below.
+  if (const TenantId tenant = queue_tenant_[queue]; tenants_ != nullptr && tenant != kNoTenant) {
+    EngineItem item;
+    item.queue = queue;
+    item.tenant = tenant;
+    item.enqueued_at = host_->sim().now();
+    item.bytes = frame.size();
+    item.chain = FrameChain(std::move(frame));
+    EnqueueEngine(rx_engine_, std::move(item), /*is_tx=*/false);
+    return;
+  }
+
   const TimeNs delay = program_delay + host_->cost().nic_process_ns + host_->cost().pcie_dma_ns;
   host_->sim().Schedule(delay, [this, queue, frame = std::move(frame)]() mutable {
-    if (failed_) {
-      host_->Count(Counter::kPacketsDropped);
-      return;  // died between wire arrival and host DMA
-    }
-    Queue& dq = queues_[queue];
-    const bool was_empty = dq.rx.empty();
-    host_->Count(Counter::kDmaOps);
-    if (!dq.rx.Push(std::move(frame))) {
-      ++rx_ring_drops_;
-      host_->Count(Counter::kPacketsDropped);
-      return;
-    }
-    host_->Count(Counter::kPacketsRx);
-    if (rx_notify_ && was_empty) {
-      rx_notify_(queue);
-    }
+    FinishRxDeposit(queue, kNoTenant, std::move(frame));
   });
+}
+
+void SimNic::FinishRxDeposit(int queue, TenantId tenant, Buffer frame) {
+  if (failed_) {
+    host_->Count(Counter::kPacketsDropped);
+    return;  // died between wire arrival and host DMA
+  }
+  Queue& dq = queues_[queue];
+  const bool was_empty = dq.rx.empty();
+  host_->Count(Counter::kDmaOps);
+  const std::size_t bytes = frame.size();
+  if (tenants_ != nullptr && tenant != kNoTenant && frame.storage() != nullptr) {
+    // The device just DMA'd these bytes into the tenant's RX ring: the tenant may
+    // legally reference this memory in later TX descriptors (echo servers forward
+    // the very storage the frame arrived in).
+    tenants_->GrantRxRegion(tenant, frame.storage()->registration_root());
+  }
+  if (!dq.rx.Push(std::move(frame))) {
+    ++rx_ring_drops_;
+    host_->Count(Counter::kPacketsDropped);
+    return;
+  }
+  host_->Count(Counter::kPacketsRx);
+  if (tenants_ != nullptr && tenant != kNoTenant) {
+    TenantStats& stats = tenants_->mutable_stats(tenant);
+    ++stats.rx_frames;
+    stats.rx_bytes += bytes;
+  }
+  if (rx_notify_ && was_empty) {
+    rx_notify_(queue);
+  }
 }
 
 }  // namespace demi

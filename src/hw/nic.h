@@ -15,6 +15,7 @@
 #define SRC_HW_NIC_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <span>
 #include <unordered_map>
@@ -27,6 +28,7 @@
 #include "src/hw/device.h"
 #include "src/hw/fabric.h"
 #include "src/hw/mac.h"
+#include "src/hw/tenant.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
@@ -126,11 +128,58 @@ class SimNic {
 
   std::uint64_t rx_ring_drops() const { return rx_ring_drops_; }
 
+  // --- Multi-tenant sharing (DESIGN.md "Tenant isolation model") ---
+  //
+  // With a registry attached, queues bound to a tenant route their descriptors
+  // through shared, serialized TX/RX DMA engines: every posted frame is validated
+  // against the tenant's capability set (violations are consumed, dropped, and
+  // counted — single-frame Transmit returns the typed kCapabilityViolation status),
+  // doorbells and descriptors pass per-tenant token buckets, and the engines
+  // schedule tenants by deficit-weighted round robin. When the registry's isolation
+  // switch is off, the engines degrade to unchecked FIFO — the vulnerable shared
+  // device the chaos suite contrasts against. Queues left unbound (and NICs with no
+  // registry) keep the original single-owner direct path, bit-for-bit.
+  void AttachTenantRegistry(TenantRegistry* registry) { tenants_ = registry; }
+  TenantRegistry* tenant_registry() { return tenants_; }
+  void BindQueueTenant(int queue, TenantId tenant);
+  TenantId queue_tenant(int queue) const;
+  std::size_t tx_engine_depth() const { return tx_engine_.depth; }
+  std::size_t rx_engine_depth() const { return rx_engine_.depth; }
+
  private:
+  // One descriptor queued in a shared tenant DMA engine.
+  struct EngineItem {
+    FrameChain chain;
+    int queue = 0;
+    TenantId tenant = kNoTenant;
+    TimeNs enqueued_at = 0;
+    std::size_t bytes = 0;
+  };
+  // A serialized DMA engine shared by all tenant-bound queues of one direction.
+  struct Engine {
+    bool busy = false;
+    std::deque<EngineItem> fifo;  // isolation off
+    struct TenantQueue {
+      std::deque<EngineItem> items;
+      std::uint64_t deficit = 0;
+      bool active = false;
+    };
+    std::unordered_map<TenantId, TenantQueue> per_tenant;
+    std::deque<TenantId> rr;  // active tenants, round-robin order
+    std::size_t depth = 0;
+  };
+
   void DeliverFromWire(Buffer frame);
   void DepositToQueue(int queue, Buffer frame);
   int RssQueue(const Buffer& frame) const;
   void OnFault(const FaultEvent& event);
+
+  std::size_t TransmitBurstTenant(int queue, TenantId tenant, std::span<FrameChain> frames);
+  void EnqueueEngine(Engine& engine, EngineItem item, bool is_tx);
+  bool PopEngine(Engine& engine, EngineItem& out);
+  void ServeTxEngine();
+  void ServeRxEngine();
+  void FinishRxDeposit(int queue, TenantId tenant, Buffer frame);
 
   HostCpu* host_;
   Fabric* fabric_;
@@ -151,6 +200,11 @@ class SimNic {
   std::function<void(int queue)> rx_notify_;
   std::unordered_map<std::uint32_t, int> steering_;  // (proto<<16 | port) -> queue
   std::uint64_t rx_ring_drops_ = 0;
+
+  TenantRegistry* tenants_ = nullptr;
+  std::vector<TenantId> queue_tenant_;  // per-queue binding; kNoTenant = unbound
+  Engine tx_engine_;
+  Engine rx_engine_;
 };
 
 }  // namespace demi

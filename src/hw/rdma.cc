@@ -31,9 +31,14 @@ void RdmaQp::Fail(Status cause) {
   }
   state_ = State::kError;
   error_status_ = cause;
+  if (tenant_ != kNoTenant && nic_->tenants_ != nullptr) {
+    nic_->tenants_->ReleaseQp(tenant_);  // a dead QP frees its device-table slot
+  }
   while (!recv_queue_.empty()) {
     auto [recv_id, recv_buf] = std::move(recv_queue_.front());
     recv_queue_.pop_front();
+    nic_->UnpinDma(recv_buf.storage() != nullptr ? recv_buf.storage()->registration_root()
+                                                 : nullptr);
     CompleteLocal({recv_id, WorkCompletion::Op::kRecv, cause, 0, {}});
   }
   for (const std::uint64_t wr_id : inflight_sends_) {
@@ -53,6 +58,9 @@ Status RdmaQp::PostRecv(std::uint64_t wr_id, Buffer buffer) {
   if (recv_queue_.size() >= nic_->config_.max_recv_wr) {
     return ResourceExhausted("recv queue full");
   }
+  // The device holds a DMA descriptor on this buffer until a message lands in it (or
+  // the QP fails); its region cannot be deregistered while posted.
+  nic_->PinDma(buffer.storage()->registration_root());
   recv_queue_.emplace_back(wr_id, std::move(buffer));
   return OkStatus();
 }
@@ -73,10 +81,28 @@ Status RdmaQp::PostSend(std::uint64_t wr_id, std::vector<Buffer> segments) {
   if (!peer) {
     return ConnectionReset("peer gone");
   }
+  HostCpu& host = *nic_->host_;
+  if (TenantRegistry* tenants = nic_->tenants_;
+      tenants != nullptr && tenant_ != kNoTenant && tenants->isolation_enabled()) {
+    // Tenant QPs face the same device-side enforcement as SimNic queues: segments
+    // must fall inside the tenant's capability set and the doorbell passes its bucket.
+    for (const Buffer& seg : segments) {
+      if (seg.storage() == nullptr ||
+          !tenants->MayAccess(tenant_, seg.storage()->registration_root())) {
+        ++tenants->mutable_stats(tenant_).capability_violations;
+        host.Count(Counter::kCapabilityViolations);
+        return CapabilityViolation("send segment outside the tenant's capability set");
+      }
+    }
+    if (!tenants->TakeDoorbell(tenant_)) {
+      host.Work(host.cost().pcie_doorbell_ns);  // MMIO write spent either way
+      host.Count(Counter::kDoorbellsThrottled);
+      return ResourceExhausted("tenant doorbell rate exceeded");
+    }
+  }
   ++outstanding_sends_;
   inflight_sends_.insert(wr_id);
 
-  HostCpu& host = *nic_->host_;
   host.Work(host.cost().pcie_doorbell_ns);
   host.Count(Counter::kDoorbells);
 
@@ -136,6 +162,8 @@ void RdmaQp::DeliverMessage(std::shared_ptr<RdmaQp> self, SendWr wr,
 
   auto [recv_id, recv_buf] = std::move(recv_queue_.front());
   recv_queue_.pop_front();
+  nic_->UnpinDma(recv_buf.storage() != nullptr ? recv_buf.storage()->registration_root()
+                                               : nullptr);
 
   if (recv_buf.size() < wr.message.size()) {
     // Local length error: posted buffer too small for the incoming message (§2).
@@ -178,8 +206,12 @@ Status RdmaQp::PostRead(std::uint64_t wr_id, Buffer dest, RKey rkey, std::size_t
   host.Count(Counter::kDoorbells);
 
   auto self = std::static_pointer_cast<RdmaQp>(peer->peer_.lock());
+  // The device will DMA into `dest` when the response returns; pin its region until
+  // the read completes so it cannot be deregistered out from under the descriptor.
+  const BufferStorage* dest_root = dest.storage()->registration_root();
+  nic_->PinDma(dest_root);
   const TimeNs there = cost.pcie_dma_ns + cost.rdma_transport_ns + cost.wire_latency_ns;
-  host.sim().Schedule(there, [peer, self, wr_id, dest, rkey, offset]() mutable {
+  host.sim().Schedule(there, [peer, self, wr_id, dest, rkey, offset, dest_root]() mutable {
     HostCpu& phost = *peer->nic_->host_;
     const CostModel& pcost = phost.cost();
     auto it = peer->nic_->regions_.find(rkey);
@@ -197,7 +229,8 @@ Status RdmaQp::PostRead(std::uint64_t wr_id, Buffer dest, RKey rkey, std::size_t
     const TimeNs back = pcost.wire_latency_ns +
                         (status.ok() ? pcost.WireSerializationNs(dest.size()) : 0) +
                         pcost.rdma_transport_ns;
-    phost.sim().Schedule(back, [self, wr_id, status, n = dest.size()] {
+    phost.sim().Schedule(back, [self, wr_id, status, n = dest.size(), dest_root] {
+      self->nic_->UnpinDma(dest_root);
       self->CompleteLocal({wr_id, WorkCompletion::Op::kRead, status, status.ok() ? n : 0, {}});
     });
   });
@@ -221,9 +254,12 @@ Status RdmaQp::PostWrite(std::uint64_t wr_id, Buffer src, RKey rkey, std::size_t
   host.Count(Counter::kDoorbells);
 
   auto self = std::static_pointer_cast<RdmaQp>(peer->peer_.lock());
+  // `src` is read by the device until the message is on the remote side; pin it.
+  const BufferStorage* src_root = src.storage()->registration_root();
+  nic_->PinDma(src_root);
   const TimeNs there = cost.pcie_dma_ns + cost.rdma_transport_ns + cost.wire_latency_ns +
                        cost.WireSerializationNs(src.size());
-  host.sim().Schedule(there, [peer, self, wr_id, src, rkey, offset]() mutable {
+  host.sim().Schedule(there, [peer, self, wr_id, src, rkey, offset, src_root]() mutable {
     HostCpu& phost = *peer->nic_->host_;
     const CostModel& pcost = phost.cost();
     auto it = peer->nic_->regions_.find(rkey);
@@ -237,6 +273,7 @@ Status RdmaQp::PostWrite(std::uint64_t wr_id, Buffer src, RKey rkey, std::size_t
       std::memcpy(it->second->data() + offset, src.data(), src.size());
       phost.Count(Counter::kDmaOps);
     }
+    self->nic_->UnpinDma(src_root);  // local device is done reading the source
     phost.sim().Schedule(pcost.wire_latency_ns + pcost.rdma_transport_ns,
                          [self, wr_id, status, n = src.size()] {
                            self->CompleteLocal({wr_id, WorkCompletion::Op::kWrite, status,
@@ -261,7 +298,25 @@ DeviceCaps RdmaNic::caps() const {
       .transport_offload = true,
       .needs_explicit_mem_reg = true,
       .program_offload = false,
+      .tenant_isolation = tenants_ != nullptr,
   };
+}
+
+void RdmaNic::PinDma(const BufferStorage* root) {
+  if (root != nullptr) {
+    ++inflight_dma_[root];
+  }
+}
+
+void RdmaNic::UnpinDma(const BufferStorage* root) {
+  if (root == nullptr) {
+    return;
+  }
+  auto it = inflight_dma_.find(root);
+  DEMI_CHECK(it != inflight_dma_.end() && it->second > 0);
+  if (--it->second == 0) {
+    inflight_dma_.erase(it);
+  }
 }
 
 FaultDeviceId RdmaNic::AttachFaultInjector(FaultInjector* faults) {
@@ -313,10 +368,40 @@ Result<RKey> RdmaNic::RegisterMemory(std::shared_ptr<BufferStorage> storage) {
   return rkey;
 }
 
+Result<RKey> RdmaNic::RegisterMemory(TenantId tenant, std::shared_ptr<BufferStorage> storage) {
+  DEMI_CHECK(tenants_ != nullptr && tenant != kNoTenant);
+  const BufferStorage* root = storage != nullptr ? storage->registration_root() : nullptr;
+  if (!tenants_->TryAcquireRegistration(tenant)) {
+    return ResourceExhausted("tenant registration quota exhausted");
+  }
+  auto rkey = RegisterMemory(std::move(storage));
+  if (!rkey.ok()) {
+    tenants_->ReleaseRegistration(tenant);
+    return rkey;
+  }
+  tenants_->GrantRegion(tenant, root);
+  region_tenant_[*rkey] = tenant;
+  return rkey;
+}
+
 Status RdmaNic::DeregisterMemory(RKey rkey) {
   auto it = regions_.find(rkey);
   if (it == regions_.end()) {
     return NotFound("unknown rkey");
+  }
+  // Refusing here (instead of erasing) closes a use-after-free window: posted recv
+  // buffers and in-flight one-sided transfers hold device descriptors into the
+  // region, and real hardware would DMA through a stale translation after free.
+  const BufferStorage* root = it->second->registration_root();
+  if (auto dma = inflight_dma_.find(root); dma != inflight_dma_.end() && dma->second > 0) {
+    return Status(ErrorCode::kWouldBlock, "region has in-flight DMA descriptors");
+  }
+  if (auto owner = region_tenant_.find(rkey); owner != region_tenant_.end()) {
+    if (tenants_ != nullptr) {
+      tenants_->RevokeRegion(owner->second, root);
+      tenants_->ReleaseRegistration(owner->second);
+    }
+    region_tenant_.erase(owner);
   }
   pinned_bytes_ -= it->second->capacity();
   registered_.erase(it->second.get());
@@ -358,7 +443,9 @@ std::shared_ptr<RdmaQp> RdmaNic::Connect(const std::string& addr) {
   auto it = cm_->listeners_.find(addr);
   const TimeNs rtt = 2 * host_->cost().wire_latency_ns;
   if (it == cm_->listeners_.end()) {
-    host_->sim().Schedule(rtt, [qp] { qp->state_ = RdmaQp::State::kError; });
+    // Fail() (not a bare state flip) so tenant QP quota is released for refused
+    // connections too — otherwise churn against a dead address would leak slots.
+    host_->sim().Schedule(rtt, [qp] { qp->Fail(ConnectionReset("no listener at address")); });
     return qp;
   }
 
@@ -380,6 +467,17 @@ std::shared_ptr<RdmaQp> RdmaNic::Connect(const std::string& addr) {
       qp->state_ = RdmaQp::State::kEstablished;
     }
   });
+  return qp;
+}
+
+std::shared_ptr<RdmaQp> RdmaNic::Connect(const std::string& addr, TenantId tenant) {
+  DEMI_CHECK(tenants_ != nullptr && tenant != kNoTenant);
+  if (!tenants_->TryAcquireQp(tenant)) {
+    host_->Work(host_->cost().syscall_ns);  // denied at the CM before any device state
+    return nullptr;
+  }
+  auto qp = Connect(addr);
+  qp->tenant_ = tenant;
   return qp;
 }
 

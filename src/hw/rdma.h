@@ -24,6 +24,7 @@
 #include "src/common/buffer.h"
 #include "src/common/result.h"
 #include "src/hw/device.h"
+#include "src/hw/tenant.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
@@ -82,6 +83,7 @@ class RdmaQp {
 
   std::size_t posted_recvs() const { return recv_queue_.size(); }
   RdmaNic& nic() { return *nic_; }
+  TenantId tenant() const { return tenant_; }
 
  private:
   friend class RdmaNic;
@@ -107,6 +109,7 @@ class RdmaQp {
 
   RdmaNic* nic_;
   State state_ = State::kConnecting;
+  TenantId tenant_ = kNoTenant;  // set by Connect(addr, tenant); quota released on Fail
   Status error_status_ = Status(ErrorCode::kConnectionReset, "qp in error state");
   std::weak_ptr<RdmaQp> peer_;
   std::deque<std::pair<std::uint64_t, Buffer>> recv_queue_;
@@ -145,9 +148,16 @@ class RdmaNic {
   // Registers a storage region; charges the (expensive) registration cost and pins the
   // region. Returns the rkey remote peers can use for one-sided access.
   Result<RKey> RegisterMemory(std::shared_ptr<BufferStorage> storage);
+  // Tenant-scoped form: charges the registration against the tenant's quota and adds
+  // the region to its capability set, so tenant QPs may reference it in descriptors.
+  Result<RKey> RegisterMemory(TenantId tenant, std::shared_ptr<BufferStorage> storage);
+  // Refuses (kWouldBlock) while device DMA descriptors still reference the region:
+  // posted recv buffers and in-flight one-sided reads/writes pin their roots, closing
+  // the deregister-while-DMA-pending use-after-free window.
   Status DeregisterMemory(RKey rkey);
   bool IsRegistered(const Buffer& buffer) const;
   std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  std::size_t inflight_dma_regions() const { return inflight_dma_.size(); }
 
   // --- Connection management ---
 
@@ -158,6 +168,14 @@ class RdmaNic {
   // Initiates a connection; the QP becomes connected() after the CM handshake
   // (~1 RTT of simulated time) or failed() if nobody listens there.
   std::shared_ptr<RdmaQp> Connect(const std::string& addr);
+  // Tenant-scoped form: the QP counts against the tenant's QP quota (released when
+  // the QP fails) and its posts pass the tenant's doorbell bucket and capability
+  // checks. Returns nullptr when the quota denies the QP — churn defense.
+  std::shared_ptr<RdmaQp> Connect(const std::string& addr, TenantId tenant);
+
+  // --- Multi-tenant sharing (same registry the SimNic uses) ---
+  void AttachTenantRegistry(TenantRegistry* registry) { tenants_ = registry; }
+  TenantRegistry* tenant_registry() { return tenants_; }
 
   // --- Fault injection ---
 
@@ -173,15 +191,22 @@ class RdmaNic {
   friend class RdmaQp;
 
   void OnFault(const FaultEvent& event);
+  // In-flight DMA pinning: a region root with a nonzero pin count cannot be
+  // deregistered (DeregisterMemory returns kWouldBlock).
+  void PinDma(const BufferStorage* root);
+  void UnpinDma(const BufferStorage* root);
 
   HostCpu* host_;
   RdmaCm* cm_;
   RdmaConfig config_;
   FaultInjector* faults_ = nullptr;
   FaultDeviceId fault_dev_ = kInvalidFaultDevice;
+  TenantRegistry* tenants_ = nullptr;
   RKey next_rkey_ = 1;
   std::unordered_map<RKey, std::shared_ptr<BufferStorage>> regions_;
   std::unordered_set<const BufferStorage*> registered_;
+  std::unordered_map<RKey, TenantId> region_tenant_;  // tenant-scoped registrations
+  std::unordered_map<const BufferStorage*, std::uint32_t> inflight_dma_;
   std::uint64_t pinned_bytes_ = 0;
   std::vector<std::shared_ptr<RdmaQp>> qps_;
 };

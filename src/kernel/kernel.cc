@@ -485,8 +485,63 @@ Result<int> SimKernel::AllocateNicQueue() {
   return next_leased_queue_++;
 }
 
+TenantRegistry* SimKernel::tenant_registry() {
+  if (tenants_ == nullptr) {
+    tenants_ = std::make_unique<TenantRegistry>(&host_->sim());
+    if (SimNic* leased = bypass_nic_ != nullptr ? bypass_nic_ : nic_; leased != nullptr) {
+      leased->AttachTenantRegistry(tenants_.get());
+    }
+  }
+  return tenants_.get();
+}
+
+Result<TenantId> SimKernel::CreateTenant(TenantQosConfig config) {
+  SimNic* leased = bypass_nic_ != nullptr ? bypass_nic_ : nic_;
+  if (leased == nullptr) {
+    return Unsupported("host has no NIC");
+  }
+  // Control path: validate the policy and program it into the device's tenant table.
+  ChargeSyscall();
+  ChargeSyscall();
+  return tenant_registry()->Create(std::move(config));
+}
+
+Result<int> SimKernel::AllocateNicQueue(TenantId tenant) {
+  if (tenants_ == nullptr || !tenants_->Has(tenant)) {
+    return InvalidArgument("unknown tenant id");
+  }
+  auto queue = AllocateNicQueue();
+  if (!queue.ok()) {
+    return queue;
+  }
+  SimNic* leased = bypass_nic_ != nullptr ? bypass_nic_ : nic_;
+  leased->BindQueueTenant(*queue, tenant);
+  return queue;
+}
+
+Status SimKernel::GrantTenantMemory(TenantId tenant,
+                                    const std::shared_ptr<BufferStorage>& storage) {
+  if (tenants_ == nullptr || !tenants_->Has(tenant)) {
+    return InvalidArgument("unknown tenant id");
+  }
+  if (storage == nullptr) {
+    return InvalidArgument("null region");
+  }
+  // IOMMU mapping plus capability-table install: same control-path cost shape as
+  // MapForDevice, but scoped to the tenant instead of globally trusted.
+  ChargeSyscall();
+  host_->Work(host_->cost().MemRegNs(storage->capacity()));
+  host_->Count(Counter::kMemRegistrations);
+  host_->Count(Counter::kBytesPinned, storage->capacity());
+  tenants_->GrantRegion(tenant, storage->registration_root());
+  return OkStatus();
+}
+
 void SimKernel::SetBypassNic(SimNic* nic) {
   bypass_nic_ = nic;
+  if (tenants_ != nullptr && nic != nullptr) {
+    nic->AttachTenantRegistry(tenants_.get());  // registry follows the leased device
+  }
   // Queue 0 of the leased device belongs to the kernel only when the kernel's own
   // stack runs on it; on a dedicated-kernel-NIC host every bypass queue is leasable.
   if (nic != nullptr && nic != nic_) {

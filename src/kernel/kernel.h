@@ -121,6 +121,18 @@ class SimKernel final : public Poller {
   // Leases a kernel-bypass NIC queue to a libOS. Control-path cost: a few syscalls of
   // setup; afterwards the kernel is out of the picture entirely.
   Result<int> AllocateNicQueue();
+  // Tenant-scoped lease: the queue is bound to `tenant` on the device, so its
+  // descriptors pass capability checks, token buckets, and DWRR arbitration
+  // (src/hw/tenant.h). The kernel's own queue 0 stays unbound/trusted.
+  Result<int> AllocateNicQueue(TenantId tenant);
+  // Mints a tenant on the bypass device's registry (created and attached lazily on
+  // first use). Control path only: the device enforces the policy thereafter.
+  Result<TenantId> CreateTenant(TenantQosConfig config);
+  // Installs `storage` in the tenant's device capability set (IOMMU + capability
+  // table update), charging registration cost like MapForDevice.
+  Status GrantTenantMemory(TenantId tenant, const std::shared_ptr<BufferStorage>& storage);
+  // The registry governing the bypass device; created on first CreateTenant call.
+  TenantRegistry* tenant_registry();
   // Names the device libOS leases come from. Defaults to the kernel's own NIC (the
   // shared-device topology); the harness points it at the bypass NIC when the kernel
   // runs on a dedicated NIC, where the kernel owns no queue of the bypass device.
@@ -186,6 +198,7 @@ class SimKernel final : public Poller {
   };
   std::unordered_map<std::uint64_t, PageFill> page_fills_;  // cmd id -> fill
   int next_leased_queue_ = 1;  // queue 0 belongs to the kernel
+  std::unique_ptr<TenantRegistry> tenants_;  // lazily created; attached to bypass NIC
 };
 
 }  // namespace demi

@@ -1,0 +1,108 @@
+#include "src/load/hostile_tenant.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace demi {
+
+namespace {
+
+// Raw frames the stack never parses: a private ethertype keeps the sink (and any
+// steering/RSS logic) from mistaking attack traffic for IPv4 or ARP.
+constexpr std::uint16_t kEtherTypeHostile = 0x88B5;
+
+Buffer MakeFloodBlob(std::size_t bytes, MacAddress dst, MacAddress src) {
+  Buffer blob = Buffer::Allocate(bytes);
+  std::memset(blob.mutable_data(), 0, blob.size());
+  WriteEthHeader({blob.mutable_data(), kEthHeaderSize},
+                 EthHeader{dst, src, kEtherTypeHostile});
+  return blob;
+}
+
+}  // namespace
+
+HostileTenant::HostileTenant(Simulation* sim, SimNic* nic, int queue, TenantId tenant,
+                             TenantRegistry* registry, MacAddress dst,
+                             HostileTenantConfig cfg)
+    : sim_(sim),
+      nic_(nic),
+      queue_(queue),
+      tenant_(tenant),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  DEMI_CHECK(cfg_.doorbell_rate_per_sec > 0);
+  DEMI_CHECK(cfg_.burst_frames > 0);
+  DEMI_CHECK(cfg_.frame_bytes >= kEthHeaderSize);
+  period_ns_ = std::max<TimeNs>(
+      1, static_cast<TimeNs>(1e9 / cfg_.doorbell_rate_per_sec));
+  granted_blob_ = MakeFloodBlob(cfg_.frame_bytes, dst, nic_->mac());
+  bogus_blob_ = MakeFloodBlob(cfg_.frame_bytes, dst, nic_->mac());
+  if (registry != nullptr && tenant_ != kNoTenant) {
+    registry->GrantRegion(tenant_, granted_blob_.storage()->registration_root());
+    // bogus_blob_ deliberately stays outside the capability set.
+  }
+  burst_.reserve(cfg_.burst_frames);
+}
+
+void HostileTenant::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  ++epoch_;
+  Arm(sim_->now());  // open fire immediately
+}
+
+void HostileTenant::Stop() {
+  running_ = false;
+  ++epoch_;  // orphans any armed tick
+}
+
+FaultDeviceId HostileTenant::AttachFaultInjector(FaultInjector* faults,
+                                                 std::string name) {
+  return faults->Register(std::move(name), [this](const FaultEvent& event) {
+    if (event.kind == FaultKind::kHostileBurst) {
+      Start();
+    } else if (event.kind == FaultKind::kHostileQuiet) {
+      Stop();
+    }
+  });
+}
+
+void HostileTenant::Arm(TimeNs due) {
+  // Absolute-time self-rescheduling from the SCHEDULED instant: device pushback
+  // (full rings, throttled doorbells) must never slow the offered attack rate.
+  const std::uint64_t epoch = epoch_;
+  sim_->ScheduleAt(due, [this, due, epoch] {
+    if (!running_ || epoch != epoch_) {
+      return;
+    }
+    Tick();
+    Arm(due + period_ns_);
+  });
+}
+
+void HostileTenant::Tick() {
+  ++stats_.doorbells_attempted;
+  burst_.clear();
+  for (std::size_t i = 0; i < cfg_.burst_frames; ++i) {
+    const bool bogus =
+        cfg_.bogus_fraction > 0 && rng_.NextDouble() < cfg_.bogus_fraction;
+    const Buffer& blob = bogus ? bogus_blob_ : granted_blob_;
+    burst_.emplace_back(blob.Slice(0, cfg_.frame_bytes));
+    if (bogus) {
+      ++stats_.bogus_offered;
+    }
+  }
+  stats_.frames_offered += burst_.size();
+  const std::size_t accepted = nic_->TransmitBurst(queue_, burst_);
+  stats_.frames_accepted += accepted;
+  if (accepted == 0) {
+    ++stats_.empty_doorbells;
+  }
+}
+
+}  // namespace demi

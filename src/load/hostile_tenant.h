@@ -1,0 +1,102 @@
+// HostileTenant: an adversarial co-tenant load generator for the multi-tenant
+// chaos suite (DESIGN.md "Tenant isolation model").
+//
+// The driver models a tenant that got a legitimate queue lease on a shared
+// kernel-bypass NIC and then misbehaves: it rings doorbells at an unthrottled
+// configured rate, posts maximal descriptor bursts per doorbell, and (optionally)
+// references memory it never registered — the bogus fraction — trying to DMA out
+// of other tenants' buffers. Traffic is raw Ethernet frames aimed at a sink MAC,
+// so it saturates the shared TX DMA engine without ever touching a victim stack.
+//
+// With isolation on, the device should contain all of it: bogus frames complete
+// with kCapabilityViolation, the token buckets clip the doorbell/descriptor rate,
+// and DWRR confines the flood to the hostile tenant's weight. With isolation off,
+// the same driver drags every co-tenant's tail latency down with it — the
+// contrast the chaos suite asserts.
+//
+// Doorbell ticks self-reschedule at ABSOLUTE times (same open-loop discipline as
+// the arrival timers in open_loop_runner.h): a throttled device never slows the
+// attack down. Attack windows can be scripted through the fault injector
+// (kHostileBurst / kHostileQuiet), so they share the seeded virtual-time ordering
+// of every other fault.
+//
+// CPU accounting caveat: doorbell MMIO cost is charged to the NIC's host — the
+// shared machine — in both arms of an on/off comparison, so it cancels out.
+
+#ifndef SRC_LOAD_HOSTILE_TENANT_H_
+#define SRC_LOAD_HOSTILE_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/buffer.h"
+#include "src/common/random.h"
+#include "src/hw/mac.h"
+#include "src/hw/nic.h"
+#include "src/hw/tenant.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulation.h"
+
+namespace demi {
+
+struct HostileTenantConfig {
+  double doorbell_rate_per_sec = 500'000.0;  // attack doorbell rate (attempted)
+  std::size_t burst_frames = 32;             // descriptors posted per doorbell
+  std::size_t frame_bytes = 1500;            // >= kEthHeaderSize
+  // Fraction of posted frames that reference memory the tenant never registered.
+  // Under isolation these must complete as capability violations, not DMA.
+  double bogus_fraction = 0.0;
+  std::uint64_t seed = 0xbad7e4a47;  // draws the bogus/legit coin flips
+};
+
+class HostileTenant {
+ public:
+  struct Stats {
+    std::uint64_t doorbells_attempted = 0;
+    std::uint64_t frames_offered = 0;   // frames handed to TransmitBurst
+    std::uint64_t frames_accepted = 0;  // consumed by the device ring
+    std::uint64_t bogus_offered = 0;    // of frames_offered, how many were bogus
+    std::uint64_t empty_doorbells = 0;  // bursts accepted 0 (ring full / throttled)
+  };
+
+  // `registry` may be null (no tenancy; pure flood). When set, the constructor
+  // registers the driver's legitimate blob into `tenant`'s capability set — a
+  // hostile tenant still registers its own memory through the front door; only
+  // the bogus blob stays unregistered.
+  HostileTenant(Simulation* sim, SimNic* nic, int queue, TenantId tenant,
+                TenantRegistry* registry, MacAddress dst, HostileTenantConfig cfg);
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+
+  // Subscribes to scripted attack windows: kHostileBurst -> Start(),
+  // kHostileQuiet -> Stop(). Returns the injector device id for scheduling.
+  FaultDeviceId AttachFaultInjector(FaultInjector* faults, std::string name);
+
+  const Stats& stats() const { return stats_; }
+  const HostileTenantConfig& config() const { return cfg_; }
+
+ private:
+  void Arm(TimeNs due);
+  void Tick();
+
+  Simulation* sim_;
+  SimNic* nic_;
+  int queue_;
+  TenantId tenant_;
+  HostileTenantConfig cfg_;
+  TimeNs period_ns_;
+  Buffer granted_blob_;  // registered with the tenant (legal descriptors)
+  Buffer bogus_blob_;    // never registered (capability violations)
+  Rng rng_;
+  bool running_ = false;
+  std::uint64_t epoch_ = 0;  // invalidates in-flight tick timers on Stop/Start
+  std::vector<FrameChain> burst_;
+  Stats stats_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_LOAD_HOSTILE_TENANT_H_

@@ -11,7 +11,6 @@ namespace demi {
 namespace {
 
 constexpr std::uint16_t kServerBasePort = 5000;
-constexpr std::size_t kEphemeralPartition = 2048;  // per-stack ephemeral port pool
 // Reap dead connections once this many have piled up on a stack. ReapClosed is
 // O(live), so at 10^6 connections reaping every handful of deaths would be
 // quadratic; this threshold amortizes the sweep.
@@ -26,6 +25,33 @@ std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t salt) {
 
 }  // namespace
 
+Status OpenLoopRunner::ValidateConfig(const OpenLoopConfig& cfg) {
+  if (cfg.connections == 0) {
+    return InvalidArgument("open-loop config: connections must be > 0");
+  }
+  if (cfg.client_stacks == 0 || cfg.server_ports == 0) {
+    return InvalidArgument(
+        "open-loop config: client_stacks and server_ports must be > 0");
+  }
+  // Each (client stack, server port) pair supports one ephemeral partition of
+  // connections thanks to per-4-tuple port reuse.
+  const std::size_t capacity =
+      cfg.client_stacks * cfg.server_ports * kEphemeralPartition;
+  if (cfg.connections > capacity) {
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "open-loop config: %zu connections exceed 4-tuple capacity %zu "
+                  "(%zu client stacks x %zu server ports x %zu ephemeral ports)",
+                  cfg.connections, capacity, cfg.client_stacks, cfg.server_ports,
+                  kEphemeralPartition);
+    return InvalidArgument(msg);
+  }
+  if (cfg.tenant.enabled && cfg.tenant.victim.weight == 0) {
+    return InvalidArgument("open-loop config: victim tenant weight must be > 0");
+  }
+  return OkStatus();
+}
+
 OpenLoopRunner::OpenLoopRunner(OpenLoopConfig cfg)
     : cfg_(cfg),
       sim_(CostModel{}, cfg.scheduler),
@@ -33,12 +59,9 @@ OpenLoopRunner::OpenLoopRunner(OpenLoopConfig cfg)
       workload_(cfg.workload),
       arrival_(cfg.arrival, cfg.connections),
       rng_(MixSeed(cfg.seed, 0x10adul)) {
-  DEMI_CHECK(cfg_.connections > 0);
-  DEMI_CHECK(cfg_.client_stacks > 0 && cfg_.server_ports > 0);
-  // Each (client stack, server port) pair supports one ephemeral partition of
-  // connections thanks to per-4-tuple port reuse.
-  DEMI_CHECK(cfg_.connections <=
-             cfg_.client_stacks * cfg_.server_ports * kEphemeralPartition);
+  if (const Status valid = ValidateConfig(cfg_); !valid.ok()) {
+    PanicImpl(__FILE__, __LINE__, valid.message());
+  }
 
   server_ip_ = Ipv4Address::FromOctets(10, 0, 0, 1);
   response_blob_ = Buffer::Allocate(WorkloadModel::kMaxResponseBytes);
@@ -50,14 +73,37 @@ OpenLoopRunner::OpenLoopRunner(OpenLoopConfig cfg)
   NicConfig nic_cfg;
   nic_cfg.ring_size = 4096;  // ramp waves and incast bursts exceed the 256 default
 
+  NicConfig server_nic_cfg = nic_cfg;
+  if (cfg_.tenant.enabled) {
+    server_nic_cfg.num_queues = 2;  // queue 0: victim stack; queue 1: hostile tenant
+  }
   server_host_ = std::make_unique<HostCpu>(&sim_, "loadsrv", /*charges_clock=*/true);
   server_nic_ = std::make_unique<SimNic>(server_host_.get(), &fabric_,
-                                         MacAddress::ForHost(1), nic_cfg);
+                                         MacAddress::ForHost(1), server_nic_cfg);
   NetStackConfig scfg;
   scfg.ip = server_ip_;
   scfg.rx_batch = 256;
   scfg.tcp = tcp;
   scfg.seed = MixSeed(cfg_.seed, 0x5e71);
+  if (cfg_.tenant.enabled) {
+    tenant_registry_ = std::make_unique<TenantRegistry>(&sim_);
+    tenant_registry_->set_isolation_enabled(cfg_.tenant.isolation_on);
+    server_nic_->AttachTenantRegistry(tenant_registry_.get());
+    victim_tenant_ = tenant_registry_->Create(cfg_.tenant.victim);
+    hostile_tenant_ = tenant_registry_->Create(cfg_.tenant.hostile);
+    server_nic_->BindQueueTenant(0, victim_tenant_);
+    server_nic_->BindQueueTenant(1, hostile_tenant_);
+    // Victim capability coverage: the stack draws every protocol header from
+    // this manager (BindTenant grants each arena, current and future), response
+    // payloads are zero-copy slices of the blob granted below, and echoed
+    // request bytes are covered by device RX grants. Nothing the victim posts
+    // should ever trip a capability check.
+    server_memory_ = std::make_unique<MemoryManager>(server_host_.get());
+    server_memory_->BindTenant(tenant_registry_.get(), victim_tenant_);
+    tenant_registry_->GrantRegion(victim_tenant_,
+                                  response_blob_.storage()->registration_root());
+    scfg.memory = server_memory_.get();
+  }
   server_stack_ = std::make_unique<NetStack>(server_host_.get(), server_nic_.get(), scfg);
   for (std::size_t p = 0; p < cfg_.server_ports; ++p) {
     auto l = server_stack_->TcpListen(static_cast<std::uint16_t>(kServerBasePort + p));
@@ -81,6 +127,18 @@ OpenLoopRunner::OpenLoopRunner(OpenLoopConfig cfg)
     ccfg.seed = MixSeed(cfg_.seed, 0xc11e + s);
     client_stacks_.push_back(std::make_unique<NetStack>(
         client_hosts_.back().get(), client_nics_.back().get(), ccfg));
+  }
+
+  if (cfg_.tenant.enabled) {
+    // The hostile tenant floods raw frames at a sink NIC that never drains its
+    // rings, so attack traffic exercises the shared device without involving
+    // any stack. The sink host charges no clock: it is scenery.
+    sink_host_ = std::make_unique<HostCpu>(&sim_, "sink", /*charges_clock=*/false);
+    sink_nic_ = std::make_unique<SimNic>(sink_host_.get(), &fabric_,
+                                         MacAddress::ForHost(99), nic_cfg);
+    hostile_ = std::make_unique<HostileTenant>(
+        &sim_, server_nic_.get(), /*queue=*/1, hostile_tenant_,
+        tenant_registry_.get(), sink_nic_->mac(), cfg_.tenant.hostile_load);
   }
 
   conns_.resize(cfg_.connections);

@@ -53,15 +53,43 @@
 #include <vector>
 
 #include "src/common/random.h"
+#include "src/common/status.h"
 #include "src/hw/fabric.h"
 #include "src/hw/nic.h"
+#include "src/hw/tenant.h"
 #include "src/load/arrival.h"
+#include "src/load/hostile_tenant.h"
 #include "src/load/workload.h"
+#include "src/memory/memory_manager.h"
 #include "src/net/stack.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulation.h"
 
 namespace demi {
+
+// Multi-tenant chaos mode for the load harness. When enabled, the server NIC
+// becomes a two-queue shared device governed by a TenantRegistry: the echo
+// server is the *victim* tenant on queue 0 (its stack's listen ports are flow-
+// steered there) and a HostileTenant co-tenant floods queue 1 with raw frames
+// aimed at a dedicated sink NIC that never drains. The victim's capability set
+// is covered three ways: a MemoryManager bound to the tenant supplies every
+// protocol header (transparent registration), the shared response blob is
+// granted explicitly, and echoed request payloads are legal via device RX
+// grants. `isolation_on` is the experiment knob: on, the device contains the
+// hostile tenant (buckets + DWRR + capability checks); off reproduces the
+// unprotected first-come-first-served device.
+struct OpenLoopTenantConfig {
+  bool enabled = false;
+  bool isolation_on = true;
+  TenantQosConfig victim{.name = "victim", .weight = 8};
+  TenantQosConfig hostile{.name = "hostile",
+                          .weight = 1,
+                          .doorbells_per_sec = 50'000.0,
+                          .doorbell_burst = 32.0,
+                          .descriptors_per_sec = 2'000'000.0,
+                          .descriptor_burst = 256.0};
+  HostileTenantConfig hostile_load;
+};
 
 struct OpenLoopConfig {
   std::size_t connections = 100'000;
@@ -85,6 +113,7 @@ struct OpenLoopConfig {
   std::size_t ramp_batch = 2048;
   std::uint64_t seed = 1;
   SchedulerKind scheduler = kDefaultSchedulerKind;
+  OpenLoopTenantConfig tenant;  // disabled by default; see struct comment
 };
 
 // One measured point of an offered-load sweep.
@@ -99,6 +128,17 @@ struct SweepPoint {
 
 class OpenLoopRunner final : public Poller {
  public:
+  // Ephemeral ports each client stack may use per server port (per-4-tuple reuse).
+  static constexpr std::size_t kEphemeralPartition = 2048;
+
+  // Validates capacity and stressor parameters without building anything.
+  // Returns kInvalidArgument — with the offending numbers in the message — when
+  // `connections` exceeds the 4-tuple capacity client_stacks * server_ports *
+  // kEphemeralPartition, or when a required count is zero. The constructor
+  // panics on an invalid config; callers that take untrusted configs should
+  // call this first and surface the typed error instead.
+  static Status ValidateConfig(const OpenLoopConfig& cfg);
+
   explicit OpenLoopRunner(OpenLoopConfig cfg);
   ~OpenLoopRunner() override;
   OpenLoopRunner(const OpenLoopRunner&) = delete;
@@ -139,6 +179,13 @@ class OpenLoopRunner final : public Poller {
   SimNic& client_nic(std::size_t i) { return *client_nics_[i]; }
   SimNic& server_nic() { return *server_nic_; }
   const OpenLoopConfig& config() const { return cfg_; }
+
+  // --- tenant mode (null / kNoTenant unless cfg.tenant.enabled) ---
+  TenantRegistry* tenant_registry() { return tenant_registry_.get(); }
+  TenantId victim_tenant() const { return victim_tenant_; }
+  TenantId hostile_tenant() const { return hostile_tenant_; }
+  HostileTenant* hostile() { return hostile_.get(); }
+  SimNic* sink_nic() { return sink_nic_.get(); }
 
   // Test hook: observe every completion as (intended send time, completion time).
   using CompletionProbe = std::function<void(TimeNs intended, TimeNs completed)>;
@@ -229,6 +276,13 @@ class OpenLoopRunner final : public Poller {
   std::uint64_t phase_flips_ = 0;
   std::uint64_t stray_bytes_ = 0;
 
+  // Tenant mode. Declared before the hardware so the registry and allocator are
+  // destroyed after the device and stack that reference them.
+  std::unique_ptr<TenantRegistry> tenant_registry_;
+  std::unique_ptr<MemoryManager> server_memory_;
+  TenantId victim_tenant_ = kNoTenant;
+  TenantId hostile_tenant_ = kNoTenant;
+
   // Hardware and stacks last: destroyed first, while the state above is alive.
   std::unique_ptr<HostCpu> server_host_;
   std::unique_ptr<SimNic> server_nic_;
@@ -236,6 +290,11 @@ class OpenLoopRunner final : public Poller {
   std::vector<std::unique_ptr<SimNic>> client_nics_;
   std::unique_ptr<NetStack> server_stack_;
   std::vector<std::unique_ptr<NetStack>> client_stacks_;
+  // Hostile co-tenant and its traffic sink (tenant mode only); destroyed before
+  // the shared NIC they reference.
+  std::unique_ptr<HostCpu> sink_host_;
+  std::unique_ptr<SimNic> sink_nic_;
+  std::unique_ptr<HostileTenant> hostile_;
 };
 
 }  // namespace demi

@@ -66,6 +66,12 @@ void MemoryManager::AttachDevice(RegisterRegionFn register_region) {
   devices_.push_back(std::move(register_region));
 }
 
+void MemoryManager::BindTenant(TenantRegistry* registry, TenantId tenant) {
+  AttachDevice([registry, tenant](std::shared_ptr<BufferStorage> arena) {
+    registry->GrantRegion(tenant, arena->registration_root());
+  });
+}
+
 MemoryManager::SizeClass& MemoryManager::ClassFor(std::size_t size) {
   for (auto& cls : classes_) {
     if (size <= cls.slot_size) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/buffer.h"
+#include "src/hw/tenant.h"
 #include "src/memory/sgarray.h"
 #include "src/sim/simulation.h"
 
@@ -56,6 +57,12 @@ class MemoryManager {
   // Attaches a kernel-bypass device: every arena (current and future) is registered
   // with it, making *all* manager memory transparently usable for I/O (§3.1).
   void AttachDevice(RegisterRegionFn register_region);
+
+  // Multi-tenant form of transparent registration: every arena (current and future)
+  // lands in `tenant`'s device capability set, so buffers this manager hands out are
+  // legal in that tenant's descriptors with no per-allocation work — the §4.5
+  // allocator contract extended to an untrusted shared device.
+  void BindTenant(TenantRegistry* registry, TenantId tenant);
 
   // Allocates a buffer of exactly `size` bytes from the pools.
   Buffer Allocate(std::size_t size);

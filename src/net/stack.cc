@@ -133,8 +133,18 @@ void NetStack::SendArpRequest(Ipv4Address target) {
   req.sender_ip = config_.ip;
   req.target_mac = MacAddress{};
   req.target_ip = target;
-  Buffer frame = BuildArpFrame(nic_->mac(), MacAddress::Broadcast(), req);
-  StageFrame(FrameChain(std::move(frame)));
+  StageFrame(FrameChain(BuildArp(MacAddress::Broadcast(), req)));
+}
+
+// ARP frames must come from the stack's header allocator, not the plain heap:
+// on a tenant-bound queue the device validates every TX descriptor against the
+// tenant's capability set, and a heap-allocated ARP reply would be refused —
+// leaving the stack unable to resolve anything.
+Buffer NetStack::BuildArp(MacAddress dst, const ArpPacket& arp) {
+  Buffer frame = AllocateHeader(kEthHeaderSize + kArpPacketSize);
+  WriteEthHeader(frame.mutable_span(), EthHeader{dst, nic_->mac(), kEtherTypeArp});
+  WriteArpPacket(frame.mutable_span().subspan(kEthHeaderSize), arp);
+  return frame;
 }
 
 void NetStack::HandleArp(Buffer frame) {
@@ -153,8 +163,7 @@ void NetStack::HandleArp(Buffer frame) {
     reply.sender_ip = config_.ip;
     reply.target_mac = arp->sender_mac;
     reply.target_ip = arp->sender_ip;
-    Buffer out = BuildArpFrame(nic_->mac(), arp->sender_mac, reply);
-    StageFrame(FrameChain(std::move(out)));
+    StageFrame(FrameChain(BuildArp(arp->sender_mac, reply)));
   }
 }
 

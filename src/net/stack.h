@@ -130,6 +130,9 @@ class NetStack final : public Poller, public TcpIo {
   // The chain's first part is always the mutable eth+ip header buffer.
   void ResolveAndTransmit(Ipv4Address next_hop, FrameChain frame);
   void SendArpRequest(Ipv4Address target);
+  // Builds an ARP frame from the header allocator so it stays inside the
+  // stack's tenant capability set (see the comment at the definition).
+  Buffer BuildArp(MacAddress dst, const ArpPacket& arp);
   void ArpRetryTick(Ipv4Address next_hop);
   void FlushArpPending(Ipv4Address ip, MacAddress mac);
   // Picks a free local port for a connection to `remote`. Ports are free per

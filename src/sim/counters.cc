@@ -78,6 +78,12 @@ std::string_view CounterName(Counter c) {
       return "header_pool_hits";
     case Counter::kHeaderPoolMisses:
       return "header_pool_misses";
+    case Counter::kCapabilityViolations:
+      return "capability_violations";
+    case Counter::kDoorbellsThrottled:
+      return "doorbells_throttled";
+    case Counter::kDescriptorsThrottled:
+      return "descriptors_throttled";
     case Counter::kNumCounters:
       break;
   }

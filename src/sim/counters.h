@@ -49,6 +49,9 @@ enum class Counter : std::size_t {
   kBufferAllocs,        // Buffer allocations on the data path (pool or heap)
   kHeaderPoolHits,      // protocol headers served from the pre-registered header pool
   kHeaderPoolMisses,    // header requests that fell back to a general/heap allocation
+  kCapabilityViolations,   // tenant descriptors rejected at the device capability check
+  kDoorbellsThrottled,     // tenant doorbells dropped by the per-tenant token bucket
+  kDescriptorsThrottled,   // tenant descriptors deferred by the per-tenant token bucket
   kNumCounters,
 };
 

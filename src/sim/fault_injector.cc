@@ -28,6 +28,10 @@ std::string_view FaultKindName(FaultKind kind) {
       return "partition";
     case FaultKind::kHeal:
       return "heal";
+    case FaultKind::kHostileBurst:
+      return "hostile_burst";
+    case FaultKind::kHostileQuiet:
+      return "hostile_quiet";
   }
   return "?";
 }
@@ -35,7 +39,10 @@ std::string_view FaultKindName(FaultKind kind) {
 FaultInjector::FaultInjector(Simulation* sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
 
 FaultDeviceId FaultInjector::Register(std::string name, FaultHandler handler) {
-  devices_.push_back(Device{std::move(name), std::move(handler)});
+  Device dev;
+  dev.name = std::move(name);
+  dev.handler = std::move(handler);
+  devices_.push_back(std::move(dev));
   return static_cast<FaultDeviceId>(devices_.size() - 1);
 }
 
@@ -130,6 +137,8 @@ void FaultInjector::Fire(FaultEvent event) {
       case FaultKind::kQpRestored:
       case FaultKind::kPartition:
       case FaultKind::kHeal:
+      case FaultKind::kHostileBurst:
+      case FaultKind::kHostileQuiet:
         break;  // no latched per-device state; the handler/partition map carries it
     }
     LOG_DEBUG << "fault: " << FaultKindName(event.kind) << " on " << d.name << " @ "
@@ -180,6 +189,11 @@ void FaultInjector::ScheduleTransientRegExhaustion(FaultDeviceId dev, TimeNs at,
 void FaultInjector::ScheduleOpFault(FaultDeviceId dev, FaultKind kind, TimeNs at) {
   DEMI_CHECK(kind == FaultKind::kMediaError || kind == FaultKind::kOpTimeout);
   sim_->ScheduleAt(at, [this, dev, kind] { Fire({kind, dev}); });
+}
+
+void FaultInjector::ScheduleHostileBurst(FaultDeviceId dev, TimeNs at, TimeNs for_ns) {
+  sim_->ScheduleAt(at, [this, dev] { Fire({FaultKind::kHostileBurst, dev}); });
+  sim_->ScheduleAt(at + for_ns, [this, dev] { Fire({FaultKind::kHostileQuiet, dev}); });
 }
 
 void FaultInjector::SchedulePartition(std::uint32_t port_a, std::uint32_t port_b, TimeNs at,

@@ -48,6 +48,8 @@ enum class FaultKind : std::uint8_t {
   kRegRestored,   // memory-registration table has room again.
   kPartition,     // fabric stops forwarding between a port pair.
   kHeal,          // fabric partition removed.
+  kHostileBurst,  // a hostile tenant driver opens fire (load generators subscribe).
+  kHostileQuiet,  // the hostile tenant goes quiet again.
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -102,6 +104,11 @@ class FaultInjector {
   void ScheduleTransientRegExhaustion(FaultDeviceId dev, TimeNs at, TimeNs recover_after);
   // Queues a one-shot per-operation fault (kMediaError or kOpTimeout) armed at `at`.
   void ScheduleOpFault(FaultDeviceId dev, FaultKind kind, TimeNs at);
+  // Hostile-tenant chaos phases: kHostileBurst fires at `at` and kHostileQuiet at
+  // `at + for_ns`. The injector keeps no state for these; a registered hostile load
+  // generator (src/load/hostile_tenant) starts and stops flooding in its handler, so
+  // attack windows share the same seeded virtual-time script as device faults.
+  void ScheduleHostileBurst(FaultDeviceId dev, TimeNs at, TimeNs for_ns);
   void SchedulePartition(std::uint32_t port_a, std::uint32_t port_b, TimeNs at,
                          TimeNs heal_after);
 

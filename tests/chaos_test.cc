@@ -408,6 +408,10 @@ TEST(ChaosTest, OpenLoopFleetDrainsCleanlyWhenClientNicDiesMidSweep) {
   EXPECT_EQ(r.completed_total() + r.lost_in_flight(), r.issued_total());
   EXPECT_EQ(r.stray_response_bytes(), 0u);
   EXPECT_GT(r.lost_in_flight(), 0u);  // the kill landed mid-flight
+  // Tenant machinery is dormant outside tenant mode: a single-owner chaos run
+  // must never trip a capability check or a doorbell throttle.
+  EXPECT_EQ(r.sim().counters().Get(Counter::kCapabilityViolations), 0u);
+  EXPECT_EQ(r.sim().counters().Get(Counter::kDoorbellsThrottled), 0u);
 }
 
 // A fleet of concurrent echo sessions on one recovery-enabled libOS, NIC death
@@ -450,8 +454,13 @@ RecoveryOutcome RunEchoFleetNicDeath(std::uint64_t seed) {
     total += fleet[i]->completed();
   }
   EXPECT_EQ(total, kClients * kPerClient) << "seed " << seed;
-  // Post-drain sweep: no qtoken left pending anywhere in the fleet.
+  // Post-drain sweep: no qtoken left pending anywhere in the fleet, and no
+  // tenant enforcement fired on this single-owner device.
   EXPECT_EQ(rig.client_libos->pending_ops(), 0u) << "seed " << seed;
+  EXPECT_EQ(rig.h->sim().counters().Get(Counter::kCapabilityViolations), 0u)
+      << "seed " << seed;
+  EXPECT_EQ(rig.h->sim().counters().Get(Counter::kDoorbellsThrottled), 0u)
+      << "seed " << seed;
   return ReadRecoveryOutcome(*rig.h, terminated, false, total);
 }
 

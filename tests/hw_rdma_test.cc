@@ -305,5 +305,66 @@ TEST(RdmaTest, SendQueueDepthEnforced) {
   EXPECT_EQ(client->PostSend(3, {msg}).code(), ErrorCode::kResourceExhausted);
 }
 
+TEST(RdmaTest, DeregisterBusyWithPostedRecv) {
+  RdmaRig rig;
+  auto [client, server] = rig.ConnectPair();
+
+  Buffer recv_buf = Buffer::Allocate(64);
+  auto rkey = rig.nic_b.RegisterMemory(recv_buf.shared_storage());
+  ASSERT_TRUE(rkey.ok());
+  ASSERT_TRUE(server->PostRecv(1, recv_buf).ok());
+
+  // The device may DMA into this region at any moment: deregistration must be
+  // refused (typed, retryable) rather than silently unpinning it.
+  EXPECT_EQ(rig.nic_b.DeregisterMemory(*rkey).code(), ErrorCode::kWouldBlock);
+
+  Buffer msg = rig.RegisteredBuffer(rig.nic_a, 16);
+  ASSERT_TRUE(client->PostSend(2, {msg}).ok());
+  std::vector<WorkCompletion> done;
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] {
+        for (auto& wc : server->PollCq()) {
+          done.push_back(wc);
+        }
+        return !done.empty();
+      },
+      kSecond));
+
+  // The recv completed; the region is no longer posted and deregisters cleanly.
+  EXPECT_TRUE(rig.nic_b.DeregisterMemory(*rkey).ok());
+  EXPECT_FALSE(rig.nic_b.IsRegistered(recv_buf));
+}
+
+TEST(RdmaTest, DeregisterBusyDuringOneSidedWrite) {
+  RdmaRig rig;
+  auto [client, server] = rig.ConnectPair();
+
+  Buffer remote = Buffer::Allocate(64);
+  auto remote_key = rig.nic_b.RegisterMemory(remote.shared_storage());
+  ASSERT_TRUE(remote_key.ok());
+
+  Buffer src = Buffer::Allocate(16);
+  auto src_key = rig.nic_a.RegisterMemory(src.shared_storage());
+  ASSERT_TRUE(src_key.ok());
+  ASSERT_TRUE(client->PostWrite(1, src, *remote_key, 0).ok());
+
+  // The WRITE is in flight: the source stays pinned until its completion.
+  EXPECT_EQ(rig.nic_a.DeregisterMemory(*src_key).code(), ErrorCode::kWouldBlock);
+
+  std::vector<WorkCompletion> done;
+  ASSERT_TRUE(rig.sim.RunUntil(
+      [&] {
+        for (auto& wc : client->PollCq()) {
+          done.push_back(wc);
+        }
+        return !done.empty();
+      },
+      kSecond));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_TRUE(done[0].status.ok());
+
+  EXPECT_TRUE(rig.nic_a.DeregisterMemory(*src_key).ok());
+}
+
 }  // namespace
 }  // namespace demi

@@ -278,5 +278,46 @@ TEST(OpenLoopLatency, QueueingDelayLandsInTheMeasuredTail) {
   EXPECT_GT(pt.latency.p999, pt.latency.p50);
 }
 
+TEST(OpenLoopValidate, AcceptsConfigsWithinFourTupleCapacity) {
+  OpenLoopConfig cfg;  // defaults: 100k connections, capacity 8 * 64 * 2048
+  EXPECT_TRUE(OpenLoopRunner::ValidateConfig(cfg).ok());
+  cfg.connections = cfg.client_stacks * cfg.server_ports *
+                    OpenLoopRunner::kEphemeralPartition;  // exactly full
+  EXPECT_TRUE(OpenLoopRunner::ValidateConfig(cfg).ok());
+}
+
+TEST(OpenLoopValidate, OverCapacityIsTypedWithTheOffendingNumbers) {
+  OpenLoopConfig cfg;
+  cfg.client_stacks = 2;
+  cfg.server_ports = 3;
+  cfg.connections = 2 * 3 * OpenLoopRunner::kEphemeralPartition + 1;
+  const Status s = OpenLoopRunner::ValidateConfig(cfg);
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  // The message names both the request and the capacity so operators can size
+  // the sweep without reading the source.
+  EXPECT_NE(s.message().find("12289"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("12288"), std::string::npos) << s.message();
+}
+
+TEST(OpenLoopValidate, ZeroCountsAreRejected) {
+  OpenLoopConfig cfg;
+  cfg.connections = 0;
+  EXPECT_EQ(OpenLoopRunner::ValidateConfig(cfg).code(), ErrorCode::kInvalidArgument);
+  cfg = OpenLoopConfig{};
+  cfg.client_stacks = 0;
+  EXPECT_EQ(OpenLoopRunner::ValidateConfig(cfg).code(), ErrorCode::kInvalidArgument);
+  cfg = OpenLoopConfig{};
+  cfg.server_ports = 0;
+  EXPECT_EQ(OpenLoopRunner::ValidateConfig(cfg).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(OpenLoopValidate, TenantModeRequiresAWeightedVictim) {
+  OpenLoopConfig cfg;
+  cfg.tenant.enabled = true;
+  EXPECT_TRUE(OpenLoopRunner::ValidateConfig(cfg).ok());
+  cfg.tenant.victim.weight = 0;
+  EXPECT_EQ(OpenLoopRunner::ValidateConfig(cfg).code(), ErrorCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace demi

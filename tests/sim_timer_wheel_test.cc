@@ -90,6 +90,70 @@ TEST(TimerWheelTest, FarFutureTimerBeyondHorizonStillFiresAtExactTime) {
   EXPECT_EQ(fired_at, far);
 }
 
+TEST(TimerWheelTest, TimersAtAndBeyondTheExactHorizonFireAtExactTimes) {
+  // The 7 levels x 8 slot bits + 6 resolution bits cover exactly 2^62 ns. Pin
+  // the edge: the last due inside the horizon, the first beyond it, and one far
+  // past it must all fire at their exact virtual times in due order.
+  const TimeNs tick = TimeNs{1} << TimerWheel::kResBits;
+  const TimeNs horizon = TimeNs{1}
+                         << (TimerWheel::kResBits +
+                             TimerWheel::kSlotBits * TimerWheel::kLevels);
+  ASSERT_EQ(horizon, TimeNs{1} << 62);
+
+  Simulation sim;
+  std::vector<std::pair<TimeNs, TimeNs>> fired;  // (due, actual)
+  for (const TimeNs due : {horizon - tick, horizon, horizon + tick,
+                           horizon + (TimeNs{1} << 40) + 7}) {
+    sim.Schedule(due, [&fired, &sim, due] { fired.emplace_back(due, sim.now()); });
+  }
+  while (sim.StepOnce()) {
+  }
+  ASSERT_EQ(fired.size(), 4u);
+  TimeNs prev = -1;
+  for (const auto& [due, at] : fired) {
+    EXPECT_EQ(at, due);
+    EXPECT_GT(at, prev);  // due order preserved across the clamp + re-cascade
+    prev = at;
+  }
+}
+
+TEST(TimerWheelTest, CancelAfterCascadeStillSilencesTheTimer) {
+  // A level-1 entry cascades into level 0 when the cursor crosses the 256-tick
+  // boundary; cancelling it AFTER that migration must still prevent the firing.
+  Simulation sim;
+  bool far_fired = false;
+  bool near_fired = false;
+  const TimerId far = sim.Schedule(64 * 500, [&] { far_fired = true; });  // level 1
+  sim.Schedule(64 * 260, [&] { near_fired = true; });                     // level 1
+  // Run exactly until the near timer fires: the wheel cursor is now at tick 260,
+  // past the 256 boundary, so the far entry has cascaded down.
+  ASSERT_TRUE(sim.RunUntil([&] { return near_fired; }, 64 * 300));
+  ASSERT_FALSE(far_fired);
+  sim.Cancel(far);
+  sim.RunFor(64 * 1000);
+  EXPECT_FALSE(far_fired);
+}
+
+TEST(TimerWheelTest, ReArmInsideFiringCallbackKeepsExactPeriod) {
+  // A timer that re-schedules itself from inside its own dispatch (the TCP RTO
+  // idiom) must tick at the exact period on both scheduler backends.
+  for (const SchedulerKind kind :
+       {SchedulerKind::kTimerWheel, SchedulerKind::kBinaryHeap}) {
+    Simulation sim(CostModel{}, kind);
+    std::vector<TimeNs> fires;
+    std::function<void()> tick = [&] {
+      fires.push_back(sim.now());
+      if (fires.size() < 5) {
+        sim.Schedule(1000, tick);
+      }
+    };
+    sim.Schedule(1000, tick);
+    while (sim.StepOnce()) {
+    }
+    EXPECT_EQ(fires, (std::vector<TimeNs>{1000, 2000, 3000, 4000, 5000}));
+  }
+}
+
 TEST(TimerWheelTest, ZeroDelayTimersRunThisStepInScheduleOrder) {
   Simulation sim;
   std::vector<int> order;
