@@ -21,6 +21,7 @@
 //                         the bench always drops a metrics snapshot via
 //                         BENCH_METRICS_DIR like the other benches).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -152,7 +153,10 @@ int Run() {
   // --- Section 1: timer cost vs pending-timer population -----------------------
   // Always full-size: 3M timer ops take a couple of wall seconds even in smoke
   // mode, and the flat-cost claim is specifically about the 10^5..10^6 regime.
-  const std::vector<std::size_t> sizes{1'000, 10'000, 100'000, 1'000'000};
+  // The low-occupancy points (16, 256 pending in a 4096-slot wheel) exercise the
+  // word-scan occupancy bitmap: a near-empty wheel must find its next armed slot
+  // by scanning 64 slots per word, not by walking empties one by one.
+  const std::vector<std::size_t> sizes{16, 256, 1'000, 10'000, 100'000, 1'000'000};
   const std::size_t ops = 200'000;
   // Throwaway round: warm the allocator and code paths so the first measured
   // point is not polluted by cold-start effects.
@@ -176,15 +180,22 @@ int Run() {
                tp.heap_drain_ns / tp.wheel_drain_ns);
     timers.push_back(tp);
   }
-  const double wheel_growth = timers.back().wheel_ns / timers.front().wheel_ns;
-  const double heap_growth = timers.back().heap_ns / timers.front().heap_ns;
+  // Growth verdicts compare the 10^3 point against the 10^6 point: the flat-cost
+  // claim is about scaling INTO the dense regime. The low-occupancy points above
+  // are reported for the sparse-drain behaviour but kept out of the baseline —
+  // per-pop cost at 16 pending is dominated by fixed per-drain overhead.
+  const TimerPoint& base = *std::find_if(
+      timers.begin(), timers.end(),
+      [](const TimerPoint& tp) { return tp.pending == 1'000; });
+  const double wheel_growth = timers.back().wheel_ns / base.wheel_ns;
+  const double heap_growth = timers.back().heap_ns / base.heap_ns;
   const double wheel_drain_growth =
-      timers.back().wheel_drain_ns / timers.front().wheel_drain_ns;
+      timers.back().wheel_drain_ns / base.wheel_drain_ns;
   const double heap_drain_growth =
-      timers.back().heap_drain_ns / timers.front().heap_drain_ns;
+      timers.back().heap_drain_ns / base.heap_drain_ns;
   std::printf("\ngrowth %zu -> %zu pending: schedule+cancel wheel %.2fx / heap "
               "%.2fx, drain wheel %.2fx / heap %.2fx\n",
-              timers.front().pending, timers.back().pending, wheel_growth,
+              base.pending, timers.back().pending, wheel_growth,
               heap_growth, wheel_drain_growth, heap_drain_growth);
 
   // --- Section 2: offered-load sweep -------------------------------------------

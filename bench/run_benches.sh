@@ -32,8 +32,9 @@ LABEL="${1:-after}"
 SMOKE="${BENCH_SMOKE:-0}"
 BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 
-BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants)
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants bench_s1_scaling)
 TENANTS_OUT="${BENCH_TENANTS_OUT:-$REPO/BENCH_tenants.json}"
+SMP_OUT="${BENCH_SMP_OUT:-$REPO/BENCH_smp.json}"
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -248,3 +249,31 @@ else
   } > "$TENANTS_OUT"
 fi
 echo "wrote tenant section(s) ${LABELS[*]} to $TENANTS_OUT"
+
+# Multi-core scale-out: wall time plus the bench's own metrics snapshot (1->N
+# worker scaling curves for echo/KV, skewed-tail steal on/off arms, determinism
+# flag). Merged into BENCH_smp.json so before/after pairs diff in one file.
+emit_smp_section() {  # label -> json on stdout
+  local label=$1 m
+  m=$(cat "$TMP/metrics-$label/bench_s1_scaling.metrics.json" 2>/dev/null || echo '{}')
+  printf '{"wall_ms": %s, "metrics": %s}' "${WALL_MS[$label/bench_s1_scaling]}" "$m"
+}
+
+if command -v jq >/dev/null && [[ -f "$SMP_OUT" ]]; then
+  for label in "${LABELS[@]}"; do
+    jq --argjson section "$(emit_smp_section "$label")" \
+      ". + {\"$label\": \$section}" "$SMP_OUT" > "$SMP_OUT.tmp"
+    mv "$SMP_OUT.tmp" "$SMP_OUT"
+  done
+else
+  {
+    printf '{'
+    sep=''
+    for label in "${LABELS[@]}"; do
+      printf '%s\n  "%s": %s' "$sep" "$label" "$(emit_smp_section "$label")"
+      sep=','
+    done
+    printf '\n}\n'
+  } > "$SMP_OUT"
+fi
+echo "wrote smp section(s) ${LABELS[*]} to $SMP_OUT"

@@ -15,6 +15,9 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
       kernel_(control_kernel),
       config_(std::move(config)),
       session_rng_(config_.recovery.seed ^ 0x5e5510d15ull) {
+  // Kernel-less hosts take the configured queue directly (shard index for RSS-sharded
+  // workers); a control kernel's lease below overrides it.
+  nic_queue_ = config_.nic_queue;
   // Control path (Figure 2): ask the kernel for a dedicated NIC queue, once.
   if (control_kernel != nullptr) {
     if (config_.tenant.has_value()) {
@@ -44,6 +47,8 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
   net_cfg.nic_queue = nic_queue_;
   net_cfg.tcp = config_.tcp;
   net_cfg.seed = config_.seed;
+  net_cfg.rss_steering = config_.rss_steering;
+  net_cfg.rx_batch = config_.rx_batch;
   // Zero-copy TX: protocol headers come from the libOS memory manager's
   // pre-registered header pool instead of the heap.
   net_cfg.memory = &memory_;
@@ -53,6 +58,14 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
 
 Result<std::unique_ptr<IoQueue>> CatnipLibOS::NewSocketQueue() {
   return std::unique_ptr<IoQueue>(new CatnipTcpQueue(this, nullptr));
+}
+
+bool CatnipLibOS::PollDevice() {
+  if (sparse_polling() && !device_failure_marked_ && stack_->device_failed()) {
+    device_failure_marked_ = true;
+    MarkAllDirty();
+  }
+  return false;
 }
 
 Result<QDesc> CatnipLibOS::SocketUdp() {
@@ -75,12 +88,42 @@ CatnipTcpQueue::CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn)
     rng_ = Rng(cfg.seed ^ libos->NewSessionId());
     alive_ = std::make_shared<bool>(true);
   }
+  AttachReadyHook();  // accepted connections arrive with conn_ already live
 }
 
 CatnipTcpQueue::~CatnipTcpQueue() {
+  if (ready_hook_attached_ && conn_ != nullptr) {
+    conn_->set_on_ready(nullptr);  // the connection outlives us (stack-owned)
+  }
   if (recovery_ && session_id_ != 0 && libos_->FindSession(session_id_) == this) {
     libos_->UnregisterSession(session_id_);
   }
+}
+
+void CatnipTcpQueue::AttachReadyHook() {
+  if (conn_ == nullptr || !libos_->sparse_polling()) {
+    return;
+  }
+  conn_->set_on_ready([this](TcpConnection*) { libos_->MarkDirty(this); });
+  ready_hook_attached_ = true;
+  libos_->MarkDirty(this);
+}
+
+bool CatnipTcpQueue::Quiescent() const {
+  if (recovery_) {
+    return false;  // session timers/handshakes need visits; recovery uses dense polling
+  }
+  if (!pending_pushes_.empty() || !preloaded_.empty()) {
+    return false;
+  }
+  if (conn_ == nullptr) {
+    return true;  // listener or unconnected socket: accepts go via PollControlOps
+  }
+  // A pending pop may sleep when nothing is deliverable: the on-ready hook re-marks
+  // the queue the moment bytes, EOF, a reset, or connection death arrive. The decode
+  // loop exhausts buffered complete frames before ever reporting no-progress, so
+  // partial decoder bytes can sleep too (their continuation is a future readable edge).
+  return !conn_->readable() && !conn_->dead();
 }
 
 Status CatnipTcpQueue::Bind(std::uint16_t port) {
@@ -140,6 +183,7 @@ Status CatnipTcpQueue::StartConnect(Endpoint remote) {
     auto conn = libos_->stack().TcpConnect(remote);
     RETURN_IF_ERROR(conn.status());
     conn_ = *conn;
+    AttachReadyHook();
     return OkStatus();
   }
   if (session_id_ != 0) {
@@ -191,6 +235,7 @@ Status CatnipTcpQueue::StartPush(QToken token, const SgArray& sga) {
   if (closed_) {
     return BadDescriptor("push on closed queue");
   }
+  libos_->MarkDirty(this);
   if (!recovery_) {
     if (conn_ == nullptr) {
       return NotConnected("push before connect");
@@ -226,6 +271,7 @@ Status CatnipTcpQueue::StartPop(QToken token) {
   if (closed_) {
     return BadDescriptor("pop on closed queue");
   }
+  libos_->MarkDirty(this);
   if (!recovery_) {
     if (conn_ == nullptr) {
       return NotConnected("pop before connect");

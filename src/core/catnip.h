@@ -49,6 +49,18 @@ struct CatnipConfig {
   Ipv4Address ip;
   TcpConfig tcp;
   std::uint64_t seed = 11;
+  // Kernel-less hosts only: which NIC queue pair this libOS drives (with a control
+  // kernel the queue comes from the lease instead). RSS-sharded workers (DESIGN.md
+  // §13) each pass their shard index here.
+  int nic_queue = 0;
+  // Rely on the NIC's RSS hash instead of ntuple steering rules to direct flows to
+  // nic_queue. Required when N sharded stacks serve the SAME port on one NIC; see
+  // NetStackConfig::rss_steering.
+  bool rss_steering = false;
+  // RX frames ingested per stack poll (NetStackConfig::rx_batch). Overloaded
+  // servers need ingest to outpace app-side consumption, or queueing stays in
+  // the NIC ring where completion-queue load signals cannot see it.
+  std::size_t rx_batch = 32;
   RecoveryConfig recovery;  // disabled by default; the plain path is untouched
   // When set (and a control kernel exists), the libOS runs as this tenant on a
   // shared bypass device: the kernel mints a TenantId, leases a tenant-bound queue,
@@ -87,6 +99,10 @@ class CatnipLibOS final : public LibOS {
 
  protected:
   Result<std::unique_ptr<IoQueue>> NewSocketQueue() override;
+  // Sparse polling only: latches the stack's device-failure edge and marks every
+  // queue dirty once, so connections killed wholesale by a NIC death are visited
+  // even though no per-queue submission re-marked them.
+  bool PollDevice() override;
 
  private:
   SimNic* nic_;
@@ -97,6 +113,7 @@ class CatnipLibOS final : public LibOS {
   std::unique_ptr<NetStack> stack_;
   Rng session_rng_;
   std::unordered_map<std::uint64_t, CatnipTcpQueue*> sessions_;
+  bool device_failure_marked_ = false;
 };
 
 // TCP socket queue: framed atomic units over the user-level byte stream. In recovery
@@ -118,6 +135,10 @@ class CatnipTcpQueue final : public IoQueue {
   Status ConnectStatus() override;
   Status Cancel(QToken token) override;
   Status Close() override;
+  // Sparse polling: a plain queue is quiescent when it has no pending work and its
+  // connection has no undelivered readiness — the connection's on-ready hook
+  // (AttachReadyHook) re-marks the queue when bytes, death, or window edges arrive.
+  bool Quiescent() const override;
 
   TcpConnection* connection() { return conn_; }
 
@@ -157,6 +178,9 @@ class CatnipTcpQueue final : public IoQueue {
 
   // --- plain path (byte-identical to the pre-recovery code) ---
   bool ProgressPlain(CompletionSink& sink);
+  // Under sparse polling, wires conn_'s on-ready callback to MarkDirty and marks the
+  // queue once; no-op under dense polling or without a connection.
+  void AttachReadyHook();
 
   // --- recovery path ---
   bool ProgressRecovery(CompletionSink& sink);
@@ -198,6 +222,7 @@ class CatnipTcpQueue final : public IoQueue {
   TcpListener* listener_ = nullptr;
   std::uint16_t bound_port_ = 0;
   bool closed_ = false;
+  bool ready_hook_attached_ = false;  // conn_'s on_ready points at this queue
   FrameDecoder decoder_;
   Status stream_error_;
   std::deque<PendingPush> pending_pushes_;

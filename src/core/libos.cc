@@ -112,7 +112,15 @@ void LibOS::CompleteOp(QToken token, QResult result) {
     slot->watcher = nullptr;
     watcher->OnTokenComplete(token, slot->qd);
   } else {
+    // The observer may start new operations, which can grow the slot table and
+    // invalidate `slot` — copy what it needs first and touch nothing after.
+    const QDesc done_qd = slot->qd;
+    const OpType done_type = slot->type;
+    const bool done_ok = slot->result.status.ok();
     PushReady(token);
+    if (ready_observer_) {
+      ready_observer_(token, done_qd, done_type, done_ok);
+    }
   }
 }
 
@@ -195,6 +203,9 @@ Status LibOS::Close(QDesc qd) {
     return BadDescriptor("close");
   }
   const Status status = it->second->Close();
+  if (it->second->dirty_listed) {
+    std::erase(dirty_queues_, it->second.get());
+  }
   qtable_.erase(it);
   // Cancel splices touching this queue.
   std::erase_if(splices_, [qd](const Splice& s) { return s.in == qd || s.out == qd; });
@@ -316,6 +327,22 @@ Result<QResult> LibOS::TakeResult(QToken token) {
     host_->Count(Counter::kWakeups);
   }
   return r;
+}
+
+bool LibOS::PopReady(ReadyCompletion* out) {
+  while (auto t = ready_ring_.Pop()) {
+    OpSlot* slot = FindSlot(*t);
+    if (slot == nullptr || slot->state != OpState::kCompleted) {
+      continue;  // stale hint: already claimed off the slot table
+    }
+    out->token = *t;
+    out->qd = slot->qd;
+    out->op = slot->type;
+    out->result = std::move(slot->result);
+    ReleaseSlot(*t);
+    return true;
+  }
+  return false;
 }
 
 Result<QResult> LibOS::TakeResultInternal(QToken token) {
@@ -624,18 +651,54 @@ bool LibOS::PollSplices() {
   return progress;
 }
 
+void LibOS::MarkDirty(IoQueue* queue) {
+  if (!sparse_polling_ || queue == nullptr || queue->dirty_listed) {
+    return;
+  }
+  queue->dirty_listed = true;
+  dirty_queues_.push_back(queue);
+}
+
+void LibOS::MarkAllDirty() {
+  if (!sparse_polling_) {
+    return;
+  }
+  for (auto& [qd, q] : qtable_) {
+    MarkDirty(q.get());
+  }
+}
+
 bool LibOS::Poll() {
   bool progress = false;
-  // Iterate a snapshot: Progress may install queues (not expected, but combinators
-  // issue internal ops through the libOS which can mutate tables). The scratch vector
-  // is a member so steady-state polling does not allocate.
-  poll_scratch_.clear();
-  poll_scratch_.reserve(qtable_.size());
-  for (auto& [qd, q] : qtable_) {
-    poll_scratch_.push_back(q.get());
-  }
-  for (IoQueue* q : poll_scratch_) {
-    progress |= q->Progress(*this);
+  if (sparse_polling_) {
+    // Visit only dirty queues; a queue leaves the set when a visit yields nothing
+    // AND it reports quiescence, so stalled work (full TX window, pending pops) keeps
+    // its queue in the set. Progress may MarkDirty other queues mid-loop — the index
+    // loop picks appended entries up this same poll.
+    for (std::size_t i = 0; i < dirty_queues_.size();) {
+      IoQueue* q = dirty_queues_[i];
+      const bool did = q->Progress(*this);
+      progress |= did;
+      if (!did && q->Quiescent()) {
+        q->dirty_listed = false;
+        dirty_queues_[i] = dirty_queues_.back();
+        dirty_queues_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  } else {
+    // Iterate a snapshot: Progress may install queues (not expected, but combinators
+    // issue internal ops through the libOS which can mutate tables). The scratch
+    // vector is a member so steady-state polling does not allocate.
+    poll_scratch_.clear();
+    poll_scratch_.reserve(qtable_.size());
+    for (auto& [qd, q] : qtable_) {
+      poll_scratch_.push_back(q.get());
+    }
+    for (IoQueue* q : poll_scratch_) {
+      progress |= q->Progress(*this);
+    }
   }
   progress |= PollDevice();
   progress |= PollControlOps();

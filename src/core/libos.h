@@ -49,6 +49,18 @@ class CompletionWatcher {
   virtual void OnTokenComplete(QToken token, QDesc qd) = 0;
 };
 
+// A completion claimed off the ready ring (LibOS::PopReady): the finished
+// operation's identity plus its moved-out result. Claiming releases the qtoken, so
+// a later TakeResult on it fails with kBadDescriptor — that is the stale-token
+// contract that makes completion stealing safe (at most one consumer ever sees a
+// completion, DESIGN.md §13).
+struct ReadyCompletion {
+  QToken token = kInvalidQToken;
+  QDesc qd = kInvalidQDesc;
+  OpType op = OpType::kPush;
+  QResult result;
+};
+
 class LibOS : public Poller, public CompletionSink {
  public:
   LibOS(HostCpu* host, MemoryConfig mem_config = MemoryConfig{});
@@ -137,6 +149,45 @@ class LibOS : public Poller, public CompletionSink {
 
   // --- plumbing ---
 
+  // --- completion stealing (ZygOS-style, DESIGN.md §13) ---
+
+  // Claims the next live completion off the ready ring in completion (FIFO) order,
+  // releasing its token; false when the ring holds no live completions. Stale ring
+  // hints (tokens already claimed elsewhere) are skipped and discarded. Does NOT
+  // count an application wakeup — callers (worker loops, cross-core thieves)
+  // account on the consuming side so exactly-one-wakeup holds per completion.
+  bool PopReady(ReadyCompletion* out);
+  // Ready-ring occupancy, stale hints included. This is the steal-victim load
+  // signal: cheap to read cross-core, and safe to over-estimate because thieves
+  // re-validate every entry against the slot table on pop.
+  std::size_t ready_size() const { return ready_ring_.size(); }
+
+  // Fires whenever an unwatched completion lands in the ready ring, with the
+  // op's identity and whether it succeeded. SMP workers use this to re-arm the
+  // next pop at DELIVERY time rather than at handling time: under overload the
+  // backlog then accumulates in the ready ring — where ready_size() and thieves
+  // can see it — instead of invisibly in transport receive buffers. The
+  // observer may start new operations (the completed slot is not touched after
+  // the call); it must not claim the delivered token.
+  using ReadyObserver = std::function<void(QToken, QDesc, OpType, bool ok)>;
+  void set_ready_observer(ReadyObserver obs) { ready_observer_ = std::move(obs); }
+
+  // --- sparse (dirty-set) polling, DESIGN.md §13 ---
+
+  // Opt-in for sharded workers holding many mostly-idle connections: Poll() visits
+  // only queues in the dirty set instead of sweeping the whole qtable, making the
+  // poll loop O(active) rather than O(open). Queues enter the set on submission and
+  // on device readiness edges (MarkDirty), and leave it only when a visit makes no
+  // progress AND the queue reports Quiescent(). Only valid when every queue type in
+  // use marks itself (Catnip TCP queues do); combinator queues and recovery
+  // sessions require the dense sweep.
+  void EnableSparsePolling() { sparse_polling_ = true; }
+  bool sparse_polling() const { return sparse_polling_; }
+  void MarkDirty(IoQueue* queue);
+  // Safety net for device-wide edges a per-queue hook cannot see (e.g. NIC death
+  // failing every connection at once): puts every open queue in the dirty set.
+  void MarkAllDirty();
+
   bool Poll() override;
   void CompleteOp(QToken token, QResult result) override;
   std::size_t open_queues() const { return qtable_.size(); }
@@ -166,7 +217,10 @@ class LibOS : public Poller, public CompletionSink {
   // state in their destructors (e.g. catnip's UDP unbind touching the net stack) must
   // call this from its own destructor, before that state is torn down — the base
   // destructor would run the queue destructors only after derived members are gone.
-  void DestroyQueues() { qtable_.clear(); }
+  void DestroyQueues() {
+    qtable_.clear();
+    dirty_queues_.clear();
+  }
 
   HostCpu* host_;
   MemoryManager memory_;
@@ -244,9 +298,12 @@ class LibOS : public Poller, public CompletionSink {
   // every simulation step. Entries are hints — the slot table is the source of truth,
   // so stale entries (already claimed via TakeResult) are skipped on pop.
   RingBuffer<QToken> ready_ring_{256};
+  ReadyObserver ready_observer_;
   std::vector<QToken> control_tokens_;  // pending accepts/connects, lazily compacted
   std::vector<Splice> splices_;
   std::vector<IoQueue*> poll_scratch_;  // reused per Poll(); avoids per-poll allocation
+  bool sparse_polling_ = false;
+  std::vector<IoQueue*> dirty_queues_;  // sparse-poll visit set; membership via dirty_listed
 };
 
 }  // namespace demi

@@ -71,6 +71,17 @@ class IoQueue {
   virtual Status InstallOffloadFilter(const ElementPredicate& pred) {
     return Unsupported("offload");
   }
+
+  // --- sparse-polling hooks (LibOS::EnableSparsePolling, DESIGN.md §13) ---
+
+  // True when the queue holds no registered-but-incomplete work and no undelivered
+  // inbound data, so a sparse poller may drop it from the dirty set until the queue
+  // marks itself dirty again. The conservative default keeps a queue type that never
+  // marks itself permanently in the dirty set (dense behavior).
+  virtual bool Quiescent() const { return false; }
+
+  // Intrusive dirty-set membership flag; owned by the LibOS (see LibOS::MarkDirty).
+  bool dirty_listed = false;
 };
 
 }  // namespace demi

@@ -42,6 +42,11 @@ TenantId SimNic::queue_tenant(int queue) const {
   return queue_tenant_[queue];
 }
 
+const SimNic::QueueStats& SimNic::queue_stats(int queue) const {
+  DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
+  return queues_[queue].stats;
+}
+
 Status SimNic::Transmit(int queue, Buffer frame) {
   DEMI_CHECK(frame.size() >= kEthHeaderSize);
   return Transmit(queue, FrameChain(std::move(frame)));
@@ -92,6 +97,7 @@ std::size_t SimNic::TransmitBurst(int queue, std::span<FrameChain> frames) {
   host_->Count(Counter::kDoorbells);
   host_->Count(Counter::kTxBursts);
   host_->Count(Counter::kFramesPerDoorbell, n);
+  ++q.stats.doorbells;
   host_->sim().metrics().RecordStat(SimStat::kTxBurstFrames, n);
 
   // Device side: each chain is captured by value, so every part's refcount pins its
@@ -116,6 +122,8 @@ std::size_t SimNic::TransmitBurst(int queue, std::span<FrameChain> frames) {
       }
       host_->Count(Counter::kDmaOps);
       host_->Count(Counter::kPacketsTx);
+      ++dq.stats.dma_ops;
+      ++dq.stats.tx_frames;
       fabric_->Transmit(port_, chain.Gather());
     });
   }
@@ -143,6 +151,7 @@ std::size_t SimNic::TransmitBurstTenant(int queue, TenantId tenant, std::span<Fr
   }
   host_->Count(Counter::kDoorbells);
   host_->Count(Counter::kTxBursts);
+  ++q.stats.doorbells;
 
   const std::size_t space = config_.ring_size - q.tx_in_flight;
   std::size_t n = std::min(space, frames.size());
@@ -265,6 +274,8 @@ void SimNic::ServeTxEngine() {
   } else {
     host_->Count(Counter::kDmaOps);
     host_->Count(Counter::kPacketsTx);
+    ++queues_[item.queue].stats.dma_ops;
+    ++queues_[item.queue].stats.tx_frames;
     TenantStats& stats = tenants_->mutable_stats(item.tenant);
     ++stats.tx_frames;
     stats.tx_bytes += item.bytes;
@@ -385,6 +396,17 @@ int SimNic::RssQueue(const Buffer& frame) const {
   return static_cast<int>(h % static_cast<std::uint64_t>(config_.num_queues));
 }
 
+int SimNic::RssForTuple(const std::array<std::uint8_t, 12>& tuple, int num_queues) {
+  if (num_queues <= 1) {
+    return 0;
+  }
+  std::uint64_t h = 1469598103934665603ULL;  // same FNV-1a as RssQueue()
+  for (const std::uint8_t b : tuple) {
+    h = (h ^ b) * 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_queues));
+}
+
 void SimNic::AddSteeringRule(std::uint8_t ip_proto, std::uint16_t dst_port, int queue) {
   DEMI_CHECK(queue >= 0 && queue < config_.num_queues);
   steering_[static_cast<std::uint32_t>(ip_proto) << 16 | dst_port] = queue;
@@ -484,6 +506,7 @@ void SimNic::FinishRxDeposit(int queue, TenantId tenant, Buffer frame) {
   Queue& dq = queues_[queue];
   const bool was_empty = dq.rx.empty();
   host_->Count(Counter::kDmaOps);
+  ++dq.stats.dma_ops;
   const std::size_t bytes = frame.size();
   if (tenants_ != nullptr && tenant != kNoTenant && frame.storage() != nullptr) {
     // The device just DMA'd these bytes into the tenant's RX ring: the tenant may
@@ -497,6 +520,7 @@ void SimNic::FinishRxDeposit(int queue, TenantId tenant, Buffer frame) {
     return;
   }
   host_->Count(Counter::kPacketsRx);
+  ++dq.stats.rx_frames;
   if (tenants_ != nullptr && tenant != kNoTenant) {
     TenantStats& stats = tenants_->mutable_stats(tenant);
     ++stats.rx_frames;

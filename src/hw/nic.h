@@ -14,6 +14,7 @@
 #ifndef SRC_HW_NIC_H_
 #define SRC_HW_NIC_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -128,6 +129,24 @@ class SimNic {
 
   std::uint64_t rx_ring_drops() const { return rx_ring_drops_; }
 
+  // Per-queue doorbell/DMA accounting (DESIGN.md §13): with RSS-sharded workers each
+  // owning a queue pair, these show whether load — and device work — actually spread
+  // across the shards.
+  struct QueueStats {
+    std::uint64_t doorbells = 0;  // MMIO doorbell writes on this queue
+    std::uint64_t dma_ops = 0;    // completed descriptor DMAs (TX wire + RX deposit)
+    std::uint64_t tx_frames = 0;  // frames that reached the wire from this queue
+    std::uint64_t rx_frames = 0;  // frames deposited into this queue's RX ring
+  };
+  const QueueStats& queue_stats(int queue) const;
+
+  // Predicts the RSS queue for a flow without building a frame: `tuple` is the 12
+  // wire-order bytes the hardware hashes (src IP, dst IP, src port, dst port — all
+  // big-endian, the IPv4 frame region [eth+12, eth+24)). Load generators use this to
+  // know which queue — hence which RSS-sharded worker — a flow will land on. Must
+  // stay in lockstep with the private RssQueue().
+  static int RssForTuple(const std::array<std::uint8_t, 12>& tuple, int num_queues);
+
   // --- Multi-tenant sharing (DESIGN.md "Tenant isolation model") ---
   //
   // With a registry attached, queues bound to a tenant route their descriptors
@@ -195,6 +214,7 @@ class SimNic {
     RingBuffer<Buffer> rx;
     std::size_t tx_in_flight;
     std::vector<NicProgram> rx_programs;
+    QueueStats stats;
   };
   std::vector<Queue> queues_;
   std::function<void(int queue)> rx_notify_;

@@ -313,7 +313,9 @@ Result<TcpListener*> NetStack::TcpListen(std::uint16_t port) {
   auto listener = std::make_unique<TcpListener>(port, config_.tcp.listen_backlog);
   TcpListener* out = listener.get();
   listeners_[port] = std::move(listener);
-  nic_->AddSteeringRule(kIpProtoTcp, port, config_.nic_queue);
+  if (!config_.rss_steering) {
+    nic_->AddSteeringRule(kIpProtoTcp, port, config_.nic_queue);
+  }
   return out;
 }
 

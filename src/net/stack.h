@@ -45,6 +45,11 @@ struct NetStackConfig {
   // (zero-copy libOS TX path); when null, headers fall back to heap buffers (the
   // legacy kernel stack, which copies at the socket layer anyway).
   MemoryManager* memory = nullptr;
+  // RSS-sharded worker mode (DESIGN.md §13): don't install an ntuple steering rule
+  // for listened/connected ports — flows reach this stack's queue by RSS hash alone.
+  // Required when N sharded stacks listen on the SAME port of one NIC: a steering
+  // rule is a single map entry, so the last registrant would capture every flow.
+  bool rss_steering = false;
 };
 
 class NetStack final : public Poller, public TcpIo {

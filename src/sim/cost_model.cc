@@ -14,6 +14,7 @@ std::string CostModel::Describe() const {
       "ctxsw=%lld epoll=%lld fs_op=%lld\n"
       "  libos: call=%lld ustack_tx=%lld ustack_rx=%lld mtcp_batch=%lld\n"
       "  pcie: doorbell=%lld dma=%lld dma_batch_desc=%lld nic=%lld\n"
+      "  smp: cacheline=%lld ipi=%lld steal_probe=%lld\n"
       "  fabric: wire=%lld link=%.0f Gbps\n"
       "  rdma: transport=%lld reg_base=%lld reg_page=%lld\n"
       "  nvme: read=%lld write=%lld %.2f ns/B\n"
@@ -28,7 +29,10 @@ std::string CostModel::Describe() const {
       static_cast<long long>(user_stack_rx_ns), static_cast<long long>(mtcp_batch_delay_ns),
       static_cast<long long>(pcie_doorbell_ns), static_cast<long long>(pcie_dma_ns),
       static_cast<long long>(pcie_dma_batch_descriptor_ns),
-      static_cast<long long>(nic_process_ns), static_cast<long long>(wire_latency_ns),
+      static_cast<long long>(nic_process_ns),
+      static_cast<long long>(cacheline_transfer_ns),
+      static_cast<long long>(ipi_wakeup_ns), static_cast<long long>(steal_probe_ns),
+      static_cast<long long>(wire_latency_ns),
       link_gbps, static_cast<long long>(rdma_transport_ns),
       static_cast<long long>(mem_reg_base_ns), static_cast<long long>(mem_reg_per_page_ns),
       static_cast<long long>(nvme_read_ns), static_cast<long long>(nvme_write_ns),

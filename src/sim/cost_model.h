@@ -57,6 +57,16 @@ struct CostModel {
                                               // completes at dma + N*this.
   TimeNs nic_process_ns = 120;      // on-NIC per-packet work: parse, RSS hash, queue.
 
+  // --- Cross-core (SMP) ---
+  // Charged by the completion-stealing protocol (DESIGN.md §13): moving state
+  // between cores is not free even without locks.
+  TimeNs cacheline_transfer_ns = 60;  // one cache line migrating between L2s
+                                      // (remote-read latency on a same-socket mesh).
+  TimeNs ipi_wakeup_ns = 400;         // IPI-equivalent cross-core notification
+                                      // (kick a remote core's pipeline).
+  TimeNs steal_probe_ns = 40;         // inspecting a remote worker's ready-ring
+                                      // head/tail (one read of a contended line).
+
   // --- Network fabric ---
   TimeNs wire_latency_ns = 1000;    // propagation + one switch hop, intra-rack.
   double link_gbps = 40.0;          // serialization rate.

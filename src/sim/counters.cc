@@ -84,6 +84,12 @@ std::string_view CounterName(Counter c) {
       return "doorbells_throttled";
     case Counter::kDescriptorsThrottled:
       return "descriptors_throttled";
+    case Counter::kStealAttempts:
+      return "steal_attempts";
+    case Counter::kCompletionsStolen:
+      return "completions_stolen";
+    case Counter::kStealAborts:
+      return "steal_aborts";
     case Counter::kNumCounters:
       break;
   }

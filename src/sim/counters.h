@@ -52,6 +52,9 @@ enum class Counter : std::size_t {
   kCapabilityViolations,   // tenant descriptors rejected at the device capability check
   kDoorbellsThrottled,     // tenant doorbells dropped by the per-tenant token bucket
   kDescriptorsThrottled,   // tenant descriptors deferred by the per-tenant token bucket
+  kStealAttempts,          // steal probes: an idle worker inspected a victim's ring
+  kCompletionsStolen,      // ready completions moved cross-core by stealing
+  kStealAborts,            // probes that found nothing stealable (below threshold)
   kNumCounters,
 };
 

@@ -281,6 +281,30 @@ MetricsSnapshot MetricsRegistry::Snapshot(const Counters& counters, TimeNs now) 
   return snap;
 }
 
+void MetricsRegistry::MergeHistogramsInto(MetricsSnapshot& snap) const {
+  for (const auto& [libos, by_op] : op_latency_) {
+    auto [it, inserted] = snap.op_latency.try_emplace(libos, by_op);
+    if (!inserted) {
+      for (std::size_t op = 0; op < kNumOpKinds; ++op) {
+        it->second[op].Merge(by_op[op]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < kNumSimStats; ++i) {
+    snap.sim_stats[i].Merge(sim_stats_[i]);
+  }
+  for (const auto& [name, h] : named_) {
+    auto [it, inserted] = snap.named.try_emplace(name, h);
+    if (!inserted) {
+      it->second.Merge(h);
+    }
+  }
+  for (const TraceEvent& ev : trace_.Events()) {
+    snap.trace.push_back(ev);
+  }
+  snap.trace_dropped += trace_.dropped();
+}
+
 MetricsSnapshot MetricsRegistry::Delta(const MetricsSnapshot& later,
                                        const MetricsSnapshot& earlier) {
   MetricsSnapshot out;

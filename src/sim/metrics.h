@@ -194,6 +194,11 @@ class MetricsRegistry {
   // Captures everything, pairing the registry's histograms/trace with the
   // caller-supplied counters (per-host or simulation-wide) and timestamp.
   MetricsSnapshot Snapshot(const Counters& counters, TimeNs now) const;
+  // Folds this registry's histograms and trace into `snap` bucket-wise, leaving
+  // snap.counters untouched — the merge path for per-core registries
+  // (Simulation::MergedSnapshot), where counters are simulation-global and must
+  // not be added once per core.
+  void MergeHistogramsInto(MetricsSnapshot& snap) const;
   // Window view: this snapshot minus `earlier` (counters and histogram buckets
   // subtract; trace keeps only events after earlier.taken_at).
   static MetricsSnapshot Delta(const MetricsSnapshot& later,

@@ -18,14 +18,77 @@ std::unique_ptr<EventQueue> MakeEventQueue(SchedulerKind kind) {
 Simulation::Simulation(CostModel cost, SchedulerKind scheduler)
     : cost_(cost), scheduler_kind_(scheduler), events_(MakeEventQueue(scheduler)) {}
 
+void Simulation::ConfigureCores(int n) {
+  DEMI_CHECK(n >= 1);
+  while (num_cores() < n) {
+    CoreCtx ctx;
+    ctx.events = MakeEventQueue(scheduler_kind_);
+    ctx.metrics = std::make_unique<MetricsRegistry>();
+    ctx.metrics->set_enabled(metrics_.enabled());
+    cores_.push_back(std::move(ctx));
+  }
+}
+
+MetricsRegistry& Simulation::metrics(int core) {
+  if (core == 0) {
+    return metrics_;
+  }
+  DEMI_CHECK(core > 0 && core < num_cores());
+  return *cores_[static_cast<std::size_t>(core - 1)].metrics;
+}
+
+void Simulation::SetMetricsEnabled(bool enabled) {
+  metrics_.set_enabled(enabled);
+  for (CoreCtx& ctx : cores_) {
+    ctx.metrics->set_enabled(enabled);
+  }
+}
+
+MetricsSnapshot Simulation::MergedSnapshot() {
+  MetricsSnapshot snap = metrics_.Snapshot(counters_, now_);
+  // Counters are simulation-global and appear exactly once (from the snapshot
+  // above); only the per-core histograms and traces need folding in.
+  for (CoreCtx& ctx : cores_) {
+    ctx.metrics->MergeHistogramsInto(snap);
+  }
+  std::stable_sort(snap.trace.begin(), snap.trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+  return snap;
+}
+
+TimeNs Simulation::core_busy_until(int core) const {
+  if (core == 0) {
+    return now_;
+  }
+  DEMI_CHECK(core > 0 && core < num_cores());
+  return cores_[static_cast<std::size_t>(core - 1)].busy_until;
+}
+
+int Simulation::SetHomeCore(int core) {
+  DEMI_CHECK(core >= 0 && core < num_cores());
+  const int prev = home_core_;
+  home_core_ = core;
+  return prev;
+}
+
 TimerId Simulation::Schedule(TimeNs delay, std::function<void()> fn) {
   return ScheduleAt(now_ + std::max<TimeNs>(delay, 0), std::move(fn));
 }
 
 TimerId Simulation::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  const int core = current_core_ != 0 ? current_core_ : home_core_;
+  return ScheduleAtOn(core, when, std::move(fn));
+}
+
+TimerId Simulation::ScheduleOn(int core, TimeNs delay, std::function<void()> fn) {
+  return ScheduleAtOn(core, now_ + std::max<TimeNs>(delay, 0), std::move(fn));
+}
+
+TimerId Simulation::ScheduleAtOn(int core, TimeNs when, std::function<void()> fn) {
+  DEMI_CHECK(core >= 0 && core < num_cores());
   ++schedule_calls_;
   const TimerId id = AllocSlot(std::move(fn));
-  events_->Push(SchedEntry{std::max(when, now_), next_seq_++, id});
+  QueueOf(core).Push(SchedEntry{std::max(when, now_), next_seq_++, id});
   return id;
 }
 
@@ -71,22 +134,98 @@ void Simulation::Cancel(TimerId id) {
 }
 
 void Simulation::AddPoller(Poller* poller) {
+  AddPollerOn(current_core_ != 0 ? current_core_ : home_core_, poller);
+}
+
+void Simulation::AddPollerOn(int core, Poller* poller) {
   DEMI_CHECK(poller != nullptr);
-  pollers_.push_back(poller);
+  DEMI_CHECK(core >= 0 && core < num_cores());
+  if (core == 0) {
+    pollers_.push_back(poller);
+  } else {
+    cores_[static_cast<std::size_t>(core - 1)].pollers.push_back(poller);
+  }
 }
 
 void Simulation::RemovePoller(Poller* poller) {
   pollers_.erase(std::remove(pollers_.begin(), pollers_.end(), poller), pollers_.end());
+  for (CoreCtx& ctx : cores_) {
+    ctx.pollers.erase(std::remove(ctx.pollers.begin(), ctx.pollers.end(), poller),
+                      ctx.pollers.end());
+  }
+}
+
+bool Simulation::idle() const {
+  if (!events_->empty()) {
+    return false;
+  }
+  for (const CoreCtx& ctx : cores_) {
+    if (!ctx.events->empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Simulation::pending_events() const {
+  std::size_t total = events_->size();
+  for (const CoreCtx& ctx : cores_) {
+    total += ctx.events->size();
+  }
+  return total - cancelled_count_;
+}
+
+int Simulation::EarliestCore() {
+  int best = -1;
+  const SchedEntry* best_top = nullptr;
+  for (int core = 0; core < num_cores(); ++core) {
+    EventQueue& queue = QueueOf(core);
+    // Release cancelled tombstones at the head so they neither win the comparison
+    // nor linger as phantom next-event times for the idle jump.
+    const SchedEntry* top;
+    while ((top = queue.Peek()) != nullptr &&
+           !event_fns_[static_cast<std::uint32_t>(top->id)].fn) {
+      TakeSlot(static_cast<std::uint32_t>(top->id));
+      --cancelled_count_;
+      queue.Pop();
+    }
+    if (top == nullptr) {
+      continue;
+    }
+    if (best_top == nullptr || top->due < best_top->due ||
+        (top->due == best_top->due && top->seq < best_top->seq)) {
+      best = core;
+      best_top = top;
+    }
+  }
+  return best;
+}
+
+void Simulation::RunInBubble(int core, const std::function<void()>& fn) {
+  CoreCtx& ctx = cores_[static_cast<std::size_t>(core - 1)];
+  const TimeNs saved = now_;
+  const int prev_core = current_core_;
+  current_core_ = core;
+  fn();
+  current_core_ = prev_core;
+  ctx.busy_until = std::max(ctx.busy_until, now_);
+  now_ = saved;
 }
 
 bool Simulation::RunDue() {
   std::uint64_t ran = 0;
   while (true) {
-    const SchedEntry* top = events_->Peek();
+    const int core = cores_.empty() ? (events_->Peek() != nullptr ? 0 : -1)
+                                    : EarliestCore();
+    if (core < 0) {
+      break;
+    }
+    EventQueue& queue = QueueOf(core);
+    const SchedEntry* top = queue.Peek();
     if (top == nullptr || top->due > now_) {
       break;
     }
-    const SchedEntry ev = events_->Pop();
+    const SchedEntry ev = queue.Pop();
     // Take the callback out of the pool before running it: it may reschedule
     // (growing the pool), and a cancelled slot (null fn) must be released too.
     std::function<void()> fn = TakeSlot(static_cast<std::uint32_t>(ev.id));
@@ -95,7 +234,15 @@ bool Simulation::RunDue() {
       continue;
     }
     ++ran;
-    fn();
+    if (core == 0) {
+      fn();
+    } else {
+      // The event runs in its core's context at the global due time: device-side
+      // completions (which charge no CPU) keep their exact timing, while CPU an
+      // event callback does charge extends the core's busy horizon from here —
+      // interrupt-style preemption rather than queueing behind the poll loop.
+      RunInBubble(core, fn);
+    }
   }
   if (ran > 0) {
     metrics_.RecordStat(SimStat::kDispatchBatch, ran);
@@ -113,6 +260,22 @@ bool Simulation::StepOnce() {
   for (std::size_t i = 0; i < pollers_.size(); ++i) {
     progress |= pollers_[i]->Poll();
   }
+  // Bubble cores, in fixed index order (the deterministic interleaving rule): a
+  // core polls only once the global clock has caught up with its busy horizon, and
+  // the clock advance its poll causes becomes the new horizon.
+  for (int core = 1; core < num_cores(); ++core) {
+    CoreCtx& ctx = cores_[static_cast<std::size_t>(core - 1)];
+    if (ctx.pollers.empty() || now_ < ctx.busy_until) {
+      continue;
+    }
+    bool core_progress = false;
+    RunInBubble(core, [&] {
+      for (std::size_t i = 0; i < ctx.pollers.size(); ++i) {
+        core_progress |= ctx.pollers[i]->Poll();
+      }
+    });
+    progress |= core_progress;
+  }
   const TimeNs dispatch_start = now_;
   metrics_.RecordStat(SimStat::kStepPollNs,
                       static_cast<std::uint64_t>(dispatch_start - poll_start));
@@ -123,23 +286,30 @@ bool Simulation::StepOnce() {
   if (progress) {
     return true;
   }
-  // Nothing runnable now: jump to the next scheduled event, skipping cancelled ones.
-  while (const SchedEntry* top = events_->Peek()) {
-    const std::uint32_t slot = static_cast<std::uint32_t>(top->id);
-    if (!event_fns_[slot].fn) {  // cancelled tombstone
-      TakeSlot(slot);
-      --cancelled_count_;
-      events_->Pop();
-      continue;
-    }
-    if (top->due > now_) {
-      metrics_.RecordStat(SimStat::kIdleJumpNs,
-                          static_cast<std::uint64_t>(top->due - now_));
-    }
-    now_ = std::max(now_, top->due);
-    return RunDue();
+  // Nothing runnable now: jump to the next wakeup. Candidates are the earliest
+  // scheduled event across all cores and the nearest busy horizon of a core that
+  // still has pollers waiting to run (its next poll is the wakeup).
+  const int core = EarliestCore();
+  TimeNs target = -1;
+  if (core >= 0) {
+    target = QueueOf(core).Peek()->due;
   }
-  return false;  // completely idle
+  for (int c = 1; c < num_cores(); ++c) {
+    const CoreCtx& ctx = cores_[static_cast<std::size_t>(c - 1)];
+    if (!ctx.pollers.empty() && ctx.busy_until > now_ &&
+        (target < 0 || ctx.busy_until < target)) {
+      target = ctx.busy_until;
+    }
+  }
+  if (target < 0) {
+    return false;  // completely idle
+  }
+  if (target > now_) {
+    metrics_.RecordStat(SimStat::kIdleJumpNs, static_cast<std::uint64_t>(target - now_));
+  }
+  now_ = std::max(now_, target);
+  RunDue();
+  return true;  // time advanced (and/or events ran): the next step can make progress
 }
 
 bool Simulation::RunUntil(const std::function<bool()>& pred, TimeNs deadline) {

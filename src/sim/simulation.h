@@ -7,6 +7,18 @@
 // device-side work never blocks the CPU — it schedules completion events instead,
 // exactly the overlap a real kernel-bypass device gives you.
 //
+// Multi-core model (DESIGN.md §13): ConfigureCores(N) adds execution contexts
+// 1..N-1 next to the legacy context (core 0). Core 0 is bit-exact with the
+// single-core simulator: its pollers advance the global clock directly. A core
+// c > 0 executes in *bubbles*: its pollers run only once the global clock has
+// caught up to the core's busy horizon (busy_until), the clock advance its work
+// causes is recorded as the new horizon, and the global clock is then restored —
+// so N cores doing independent work overlap in virtual time instead of
+// serializing. Each core owns an event queue (timers armed inside a bubble stay
+// on that core) and a MetricsRegistry. Determinism: cores are polled in fixed
+// index order and events dispatch in global (due, seq) order, so a run is a pure
+// function of the seed — at any core count.
+//
 // Blocking convenience calls (LibOS::Wait in examples) drive Simulation::StepOnce in a
 // loop; they may only be used from top-level driver code, never from inside a Poller.
 
@@ -56,16 +68,49 @@ class Simulation {
   const CostModel& cost() const { return cost_; }
   CostModel& mutable_cost() { return cost_; }
   Counters& counters() { return counters_; }
-  MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
+  // The current execution context's registry: core 0's outside any bubble, the
+  // bubble core's inside one — so per-core recordings (op latency, ring depth)
+  // land in per-core histograms and merge without double-counting.
+  MetricsRegistry& metrics() { return metrics(current_core_); }
+  const MetricsRegistry& metrics() const {
+    return const_cast<Simulation*>(this)->metrics(current_core_);
+  }
+  MetricsRegistry& metrics(int core);
+  // One export view: core 0's snapshot (with the global counters) plus every other
+  // core's histograms/trace merged in bucket-wise.
+  MetricsSnapshot MergedSnapshot();
+  void SetMetricsEnabled(bool enabled);
+
+  // --- multi-core execution contexts ---
+
+  // Declares `n` cores (including core 0). Call once, before any ScheduleOn /
+  // AddPollerOn targeting cores > 0. Idempotent growth: a larger n adds cores.
+  void ConfigureCores(int n);
+  int num_cores() const { return 1 + static_cast<int>(cores_.size()); }
+  // The core whose bubble is executing; 0 in the legacy context.
+  int current_core() const { return current_core_; }
+  // How far ahead of the global clock core `c`'s serial work has run.
+  TimeNs core_busy_until(int core) const;
+  // Construction-time default core for AddPoller/Schedule issued outside any
+  // bubble (e.g. a worker libOS constructor registering its pollers). Returns the
+  // previous value so scoped setters can restore it.
+  int SetHomeCore(int core);
 
   // Schedules `fn` to run at now()+delay (clamped to >= now). Returns a cancellable id.
+  // The event lands on the calling context's core: inside a bubble, the bubble's
+  // core (a TCP retransmit timer armed by a worker fires on that worker); outside,
+  // the home core (default 0).
   TimerId Schedule(TimeNs delay, std::function<void()> fn);
   TimerId ScheduleAt(TimeNs when, std::function<void()> fn);
+  // Explicit-core forms, for cross-core messages (e.g. a steal notification).
+  TimerId ScheduleOn(int core, TimeNs delay, std::function<void()> fn);
+  TimerId ScheduleAtOn(int core, TimeNs when, std::function<void()> fn);
   void Cancel(TimerId id);
 
-  // Registers/unregisters a poller. Pollers are polled once per StepOnce round.
+  // Registers/unregisters a poller. Pollers are polled once per StepOnce round, on
+  // the registering context's core (see Schedule). RemovePoller searches all cores.
   void AddPoller(Poller* poller);
+  void AddPollerOn(int core, Poller* poller);
   void RemovePoller(Poller* poller);
 
   // Advances the clock by `ns` of CPU work on the measured path.
@@ -87,8 +132,8 @@ class Simulation {
   // Steps until the clock has advanced by `duration` (or the simulation idles out).
   void RunFor(TimeNs duration);
 
-  bool idle() const { return events_->empty(); }
-  std::size_t pending_events() const { return events_->size() - cancelled_count_; }
+  bool idle() const;
+  std::size_t pending_events() const;
   // Lifetime total of Schedule/ScheduleAt calls; lets tests assert that hot paths
   // (e.g. the TCP retransmit timer) are not rescheduling per event.
   std::uint64_t schedule_calls() const { return schedule_calls_; }
@@ -110,9 +155,29 @@ class Simulation {
     std::uint32_t gen = 1;
   };
 
+  // One execution context beyond core 0: its own event queue and poller list (the
+  // shard of the simulation that core runs), a busy horizon, and a metrics registry.
+  // Core 0 keeps using the legacy members below so the single-core simulator is
+  // bit-exact with the pre-SMP code.
+  struct CoreCtx {
+    std::unique_ptr<EventQueue> events;
+    std::vector<Poller*> pollers;
+    TimeNs busy_until = 0;
+    std::unique_ptr<MetricsRegistry> metrics;
+  };
+
   TimerId AllocSlot(std::function<void()> fn);
   // Removes and returns the callback, releasing the slot (and its captures).
   std::function<void()> TakeSlot(std::uint32_t slot);
+  EventQueue& QueueOf(int core) {
+    return core == 0 ? *events_ : *cores_[static_cast<std::size_t>(core - 1)].events;
+  }
+  // The core whose queue holds the globally earliest (due, seq) event, or -1.
+  // Skips cancelled tombstones at each queue head (releasing them) on the way.
+  int EarliestCore();
+  // Runs `fn` in core `c`'s bubble starting at the current global clock, then
+  // records the bubble end as the core's new busy horizon and restores the clock.
+  void RunInBubble(int core, const std::function<void()>& fn);
 
   CostModel cost_;
   Counters counters_;
@@ -127,6 +192,9 @@ class Simulation {
   std::size_t cancelled_count_ = 0;
   std::vector<Poller*> pollers_;
   bool in_step_ = false;
+  std::vector<CoreCtx> cores_;  // cores 1..N-1; empty in single-core runs
+  int current_core_ = 0;        // bubble being executed (0 = legacy context)
+  int home_core_ = 0;           // default core for out-of-bubble registration
 };
 
 // The CPU of one simulated host. Work on a host that `charges_clock` advances the global
@@ -135,8 +203,8 @@ class Simulation {
 // aggregate is updated too.
 class HostCpu {
  public:
-  HostCpu(Simulation* sim, std::string name, bool charges_clock = true)
-      : sim_(sim), name_(std::move(name)), charges_clock_(charges_clock) {}
+  HostCpu(Simulation* sim, std::string name, bool charges_clock = true, int core = 0)
+      : sim_(sim), name_(std::move(name)), charges_clock_(charges_clock), core_(core) {}
 
   Simulation& sim() { return *sim_; }
   const CostModel& cost() const { return sim_->cost(); }
@@ -174,13 +242,34 @@ class HostCpu {
   std::uint64_t busy_ns() const { return busy_ns_; }
   bool charges_clock() const { return charges_clock_; }
   void set_charges_clock(bool v) { charges_clock_ = v; }
+  // The simulation core this host's work executes on (0 unless pinned by an SMP
+  // worker pool). Informational: the clock a Work() call advances is decided by
+  // the executing bubble, not this field.
+  int core() const { return core_; }
+  void set_core(int core) { core_ = core; }
 
  private:
   Simulation* sim_;
   std::string name_;
   bool charges_clock_;
+  int core_ = 0;
   Counters counters_;
   std::uint64_t busy_ns_ = 0;
+};
+
+// Scoped home-core override: pollers/timers registered while alive land on `core`.
+// Used when constructing per-core components (a worker's libOS and NetStack register
+// themselves from their constructors, which know nothing about cores).
+class HomeCoreScope {
+ public:
+  HomeCoreScope(Simulation& sim, int core) : sim_(sim), prev_(sim.SetHomeCore(core)) {}
+  ~HomeCoreScope() { sim_.SetHomeCore(prev_); }
+  HomeCoreScope(const HomeCoreScope&) = delete;
+  HomeCoreScope& operator=(const HomeCoreScope&) = delete;
+
+ private:
+  Simulation& sim_;
+  int prev_;
 };
 
 }  // namespace demi

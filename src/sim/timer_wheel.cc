@@ -1,6 +1,7 @@
 #include "src/sim/timer_wheel.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/logging.h"
 
@@ -86,12 +87,31 @@ std::uint32_t TimerWheel::DetachSlot(int level, std::size_t slot) {
 }
 
 int TimerWheel::NearestOccupied(int level, int min_dist) const {
+  // Word scan over the occupancy bitmap: at most kSlots/64 + 1 word loads instead
+  // of up to kSlots bit probes. At low occupancy this is what makes a drain cheap —
+  // the refill loop calls this per level per cascade, and with a handful of timers
+  // pending almost every slot is empty.
   const std::size_t cursor = static_cast<std::size_t>(CursorAt(level) & kSlotMask);
-  for (int d = min_dist; d < static_cast<int>(kSlots); ++d) {
-    const std::size_t slot = (cursor + static_cast<std::size_t>(d)) & kSlotMask;
-    if (occupied_[level][slot >> 6] & (std::uint64_t{1} << (slot & 63))) {
-      return d;
+  const std::size_t start = (cursor + static_cast<std::size_t>(min_dist)) & kSlotMask;
+  const auto& bits = occupied_[level];
+  constexpr std::size_t kWords = kSlots / 64;
+  for (std::size_t i = 0; i <= kWords; ++i) {
+    const std::size_t w = ((start >> 6) + i) % kWords;
+    std::uint64_t word = bits[w];
+    if (i == 0) {
+      word &= ~std::uint64_t{0} << (start & 63);  // skip slots before start
+    } else if (i == kWords) {
+      word &= (std::uint64_t{1} << (start & 63)) - 1;  // wrapped: only pre-start bits
     }
+    if (word == 0) {
+      continue;
+    }
+    const std::size_t slot = (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    // The first set bit in circular order is the nearest slot; a distance landing at
+    // or past a full lap (only possible for the cursor slot when min_dist > 0) means
+    // nothing is occupied in the allowed range.
+    const int d = min_dist + static_cast<int>((slot - start) & kSlotMask);
+    return d < static_cast<int>(kSlots) ? d : -1;
   }
   return -1;
 }
