@@ -35,6 +35,7 @@ BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants bench_s1_scaling)
 TENANTS_OUT="${BENCH_TENANTS_OUT:-$REPO/BENCH_tenants.json}"
 SMP_OUT="${BENCH_SMP_OUT:-$REPO/BENCH_smp.json}"
+STORAGE_OUT="${BENCH_STORAGE_OUT:-$REPO/BENCH_storage.json}"
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -145,6 +146,13 @@ emit_section() {  # label -> json on stdout
     awk -F'|' '$1 ~ /^4096/{split($2, k, " "); split($3, c, " "); print k[1], c[1]}' \
       "$TMP/$label-bench_e3_storage.txt")
 
+  # e3 push-down rows: "host|pushdown | depth us/op cmpl/op dbell/op nvme/op".
+  local e3_host_cmpl e3_push_cmpl
+  e3_host_cmpl=$(awk -F'|' '$1 ~ /^host /{split($2, a, " "); print a[3]}' \
+    "$TMP/$label-bench_e3_storage.txt")
+  e3_push_cmpl=$(awk -F'|' '$1 ~ /^pushdown /{split($2, a, " "); print a[3]}' \
+    "$TMP/$label-bench_e3_storage.txt")
+
   # Observability snapshots (per-op latency p50/p99, sim internals, recovery trace)
   # emitted by the benches themselves; {} when a bench wrote none.
   local m_e1 m_e3
@@ -189,6 +197,8 @@ emit_section() {  # label -> json on stdout
   "e3_storage": {
     "wall_ms": ${WALL_MS[$label/bench_e3_storage]},
     "us_per_append_4k": {"kernel": $e3_kernel_us, "catfish": $e3_catfish_us},
+    "pushdown_completions_per_lookup": {"host": ${e3_host_cmpl:-0},
+                                        "pushdown": ${e3_push_cmpl:-0}},
     "verdict": "SHAPE-OK"
   },
   "metrics": {
@@ -277,3 +287,32 @@ else
   } > "$SMP_OUT"
 fi
 echo "wrote smp section(s) ${LABELS[*]} to $SMP_OUT"
+
+# Storage push-down: wall time plus the e3 bench's metrics snapshot (catfish append
+# latency quantiles + the host-vs-pushdown index lookup summary: us/op,
+# completions/op, doorbells/op, nvme/op at the measured depth). Merged into
+# BENCH_storage.json so before/after pairs diff in one file.
+emit_storage_section() {  # label -> json on stdout
+  local label=$1 m
+  m=$(cat "$TMP/metrics-$label/bench_e3_storage.metrics.json" 2>/dev/null || echo '{}')
+  printf '{"wall_ms": %s, "metrics": %s}' "${WALL_MS[$label/bench_e3_storage]}" "$m"
+}
+
+if command -v jq >/dev/null && [[ -f "$STORAGE_OUT" ]]; then
+  for label in "${LABELS[@]}"; do
+    jq --argjson section "$(emit_storage_section "$label")" \
+      ". + {\"$label\": \$section}" "$STORAGE_OUT" > "$STORAGE_OUT.tmp"
+    mv "$STORAGE_OUT.tmp" "$STORAGE_OUT"
+  done
+else
+  {
+    printf '{'
+    sep=''
+    for label in "${LABELS[@]}"; do
+      printf '%s\n  "%s": %s' "$sep" "$label" "$(emit_storage_section "$label")"
+      sep=','
+    done
+    printf '\n}\n'
+  } > "$STORAGE_OUT"
+fi
+echo "wrote storage section(s) ${LABELS[*]} to $STORAGE_OUT"

@@ -1,0 +1,275 @@
+#include "src/apps/block_index.h"
+
+#include <memory>
+#include <vector>
+
+#include "src/common/byte_order.h"
+
+namespace demi {
+namespace {
+
+// One descent step, shared bit-for-bit by the device program and the host baseline:
+// parse the node, binary-search `key`, and either stop with the value (leaf hit) or
+// name the child to read next (inner node).
+struct StepOutcome {
+  bool done = false;
+  std::uint64_t value_or_child = 0;  // value when done, absolute child LBA otherwise
+};
+
+std::uint64_t EntryKey(std::span<const std::byte> block, std::size_t i) {
+  ByteReader r(block.subspan(BlockIndex::kNodeHeader + i * BlockIndex::kEntryBytes, 8));
+  return r.U64();
+}
+
+std::uint64_t EntryVal(std::span<const std::byte> block, std::size_t i) {
+  ByteReader r(
+      block.subspan(BlockIndex::kNodeHeader + i * BlockIndex::kEntryBytes + 8, 8));
+  return r.U64();
+}
+
+Result<StepOutcome> IndexStep(std::span<const std::byte> block, std::uint64_t key) {
+  if (block.size() < BlockIndex::kNodeHeader) {
+    return ProtocolError("short index node");
+  }
+  ByteReader header(block);
+  if (header.U32() != BlockIndex::kMagic) {
+    return ProtocolError("bad index node magic");
+  }
+  const bool is_leaf = header.U8() != 0;
+  header.Skip(1);
+  const std::uint16_t nkeys = header.U16();
+  if (nkeys == 0 ||
+      BlockIndex::kNodeHeader + nkeys * BlockIndex::kEntryBytes > block.size()) {
+    return ProtocolError("bad index node entry count");
+  }
+  // Count of keys <= `key` (entries are ascending within a node).
+  std::size_t lo = 0;
+  std::size_t hi = nkeys;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (EntryKey(block, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (is_leaf) {
+    if (lo == 0 || EntryKey(block, lo - 1) != key) {
+      return NotFound("key not in index");
+    }
+    StepOutcome out;
+    out.done = true;
+    out.value_or_child = EntryVal(block, lo - 1);
+    return out;
+  }
+  if (lo == 0) {
+    return NotFound("key below index range");  // every subtree key exceeds `key`
+  }
+  StepOutcome out;
+  out.value_or_child = EntryVal(block, lo - 1);
+  return out;
+}
+
+}  // namespace
+
+Result<BlockIndex> BlockIndex::Build(
+    CatfishLibOS& libos, const std::string& path,
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> entries,
+    std::size_t fanout) {
+  if (entries.empty()) {
+    return InvalidArgument("index needs at least one entry");
+  }
+  if (fanout < 2 || fanout > MaxFanout()) {
+    return InvalidArgument("index fanout out of range");
+  }
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].first <= entries[i - 1].first) {
+      return InvalidArgument("index entries must have strictly ascending keys");
+    }
+  }
+
+  Result<QDesc> qd = libos.Creat(path);
+  if (!qd.ok()) {
+    return qd.status();
+  }
+  Result<CatfishLibOS::FileMeta> meta = libos.StatFile(path);
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  const std::uint64_t base_lba = meta->base_lba;
+
+  // Writes are fire-and-tracked: completions decrement `outstanding` and keep the
+  // first error. The build drives the simulation until all node writes are durable.
+  struct BuildState {
+    std::size_t outstanding = 0;
+    Status status;
+  };
+  auto state = std::make_shared<BuildState>();
+  std::uint64_t next_block = 0;
+
+  struct ChildRef {
+    std::uint64_t first_key = 0;
+    std::uint64_t abs_lba = 0;
+  };
+  auto emit_node = [&](bool is_leaf,
+                       std::span<const ChildRef> refs) -> Result<ChildRef> {
+    if (next_block >= meta->extent_blocks) {
+      return ResourceExhausted("index does not fit the file extent");
+    }
+    std::vector<std::byte> raw(kBlock, std::byte{0});
+    ByteWriter w(raw);
+    w.U32(kMagic);
+    w.U8(is_leaf ? 1 : 0);
+    w.Skip(1);
+    w.U16(static_cast<std::uint16_t>(refs.size()));
+    for (const ChildRef& ref : refs) {
+      w.U64(ref.first_key);
+      w.U64(ref.abs_lba);
+    }
+    const std::uint64_t rel = next_block++;
+    ++state->outstanding;
+    libos.SubmitWrite(base_lba + rel, Buffer::CopyOf(std::span<const std::byte>(raw)),
+                      [state](const BlockCompletion& c) {
+                        if (!c.status.ok() && state->status.ok()) {
+                          state->status = c.status;
+                        }
+                        --state->outstanding;
+                      });
+    ChildRef self;
+    self.first_key = refs.front().first_key;
+    self.abs_lba = base_lba + rel;
+    return self;
+  };
+
+  // Level 0: leaves hold the (key, value) pairs themselves.
+  std::vector<ChildRef> level;
+  {
+    std::vector<ChildRef> chunk;
+    for (const auto& [key, value] : entries) {
+      ChildRef e;
+      e.first_key = key;
+      e.abs_lba = value;  // leaf entries carry the value in the pointer slot
+      chunk.push_back(e);
+      if (chunk.size() == fanout) {
+        Result<ChildRef> node = emit_node(/*is_leaf=*/true, chunk);
+        if (!node.ok()) {
+          return node.status();
+        }
+        level.push_back(*node);
+        chunk.clear();
+      }
+    }
+    if (!chunk.empty()) {
+      Result<ChildRef> node = emit_node(/*is_leaf=*/true, chunk);
+      if (!node.ok()) {
+        return node.status();
+      }
+      level.push_back(*node);
+    }
+  }
+
+  // Inner levels until a single root remains.
+  std::uint32_t depth = 1;
+  while (level.size() > 1) {
+    std::vector<ChildRef> parents;
+    for (std::size_t at = 0; at < level.size(); at += fanout) {
+      const std::size_t take = std::min(fanout, level.size() - at);
+      Result<ChildRef> node = emit_node(
+          /*is_leaf=*/false, std::span<const ChildRef>(level).subspan(at, take));
+      if (!node.ok()) {
+        return node.status();
+      }
+      parents.push_back(*node);
+    }
+    level = std::move(parents);
+    ++depth;
+  }
+
+  if (!libos.sim().RunUntil([&] { return state->outstanding == 0; }, 60 * kSecond)) {
+    return TimedOut("index node writes did not complete");
+  }
+  if (!state->status.ok()) {
+    return state->status;
+  }
+  const std::uint64_t root_block = level.front().abs_lba - base_lba;
+  return BlockIndex(&libos, *qd, base_lba, root_block, depth, next_block);
+}
+
+PushdownProgram BlockIndex::LookupProgram() {
+  PushdownProgram prog;
+  // Parse + binary search per node, as the host-side descent pays per level.
+  prog.host_step_cost_ns = 400;
+  prog.fn = [](const PushdownContext& ctx) -> Result<PushdownAction> {
+    if (ctx.arg.size() != 8) {
+      return InvalidArgument("index lookup arg must be an 8-byte key");
+    }
+    ByteReader key_reader(ctx.arg);
+    const std::uint64_t key = key_reader.U64();
+    Result<StepOutcome> step = IndexStep(ctx.block, key);
+    if (!step.ok()) {
+      return step.status();
+    }
+    if (step->done) {
+      Buffer value = Buffer::Allocate(8);
+      ByteWriter w(value.mutable_span());
+      w.U64(step->value_or_child);
+      return PushdownAction::Finish(std::move(value));
+    }
+    return PushdownAction::Resubmit(step->value_or_child);
+  };
+  return prog;
+}
+
+Result<QToken> BlockIndex::LookupAsync(PushdownProgramId program,
+                                       std::uint64_t key) const {
+  Buffer arg = Buffer::Allocate(8);
+  ByteWriter w(arg.mutable_span());
+  w.U64(key);
+  return libos_->PushdownRead(qd_, program, root_block_, SgArray(std::move(arg)));
+}
+
+Result<BlockIndex::Lookup> BlockIndex::LookupFromHost(std::uint64_t key) const {
+  struct ReadState {
+    bool done = false;
+    Status status;
+  };
+  std::uint64_t lba = base_lba_ + root_block_;
+  Lookup out;
+  // depth_ levels; +1 tolerates a stale depth rather than descending forever.
+  for (std::uint32_t level = 0; level < depth_ + 1; ++level) {
+    auto state = std::make_shared<ReadState>();
+    Buffer dest = Buffer::Allocate(kBlock);
+    libos_->SubmitRead(lba, dest, [state](const BlockCompletion& c) {
+      state->status = c.status;
+      state->done = true;
+    });
+    if (!libos_->sim().RunUntil([&] { return state->done; }, 60 * kSecond)) {
+      return TimedOut("index node read did not complete");
+    }
+    if (!state->status.ok()) {
+      return state->status;
+    }
+    ++out.steps;
+    Result<StepOutcome> step = IndexStep(dest.span(), key);
+    if (!step.ok()) {
+      return step.status();
+    }
+    if (step->done) {
+      out.value = step->value_or_child;
+      return out;
+    }
+    lba = step->value_or_child;
+  }
+  return Internal("index descent exceeded the declared depth");
+}
+
+std::uint64_t BlockIndex::DecodeValue(const SgArray& sga) {
+  Buffer flat = sga.Flatten();
+  if (flat.size() != 8) {
+    return 0;
+  }
+  ByteReader r(flat.span());
+  return r.U64();
+}
+
+}  // namespace demi

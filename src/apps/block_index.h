@@ -1,0 +1,96 @@
+// BlockIndex: a persistent multi-level KV index over raw blocks in a Catfish file
+// extent — the BPF-for-storage push-down workload (DESIGN.md §14).
+//
+// The index is a static B-tree built bottom-up over sorted (key, value) pairs. Each
+// node is one 4 KiB device block:
+//
+//   [u32 magic 'BIDX'][u8 is_leaf][u8 pad][u16 nkeys] then nkeys entries of
+//   [u64 key][u64 value_or_child_lba]
+//
+// Child pointers are ABSOLUTE device LBAs, so the device-side lookup program can
+// compute the next read target from node contents alone — no base-address plumbing
+// into the device. A lookup descends root → leaf:
+//
+//   - host path (LookupFromHost): one blocking single-block read per level — depth d
+//     costs d host completions and d wakeups;
+//   - push-down path (LookupAsync + LookupProgram): the device chases the chain and
+//     posts ONE completion carrying the value — the O(d) → 1 win the bench measures.
+//
+// Both paths run the same node-parsing logic, so device and host agree bit-for-bit.
+
+#ifndef SRC_APPS_BLOCK_INDEX_H_
+#define SRC_APPS_BLOCK_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "src/core/catfish.h"
+
+namespace demi {
+
+class BlockIndex {
+ public:
+  static constexpr std::uint32_t kMagic = 0x42494458;  // "BIDX"
+  static constexpr std::size_t kBlock = 4096;
+  static constexpr std::size_t kNodeHeader = 8;   // magic + is_leaf + pad + nkeys
+  static constexpr std::size_t kEntryBytes = 16;  // key + value_or_child_lba
+
+  // Widest node that fits one block (255 entries at 4 KiB).
+  static constexpr std::size_t MaxFanout() { return (kBlock - kNodeHeader) / kEntryBytes; }
+
+  struct Lookup {
+    std::uint64_t value = 0;
+    std::uint32_t steps = 0;  // blocks touched root → leaf
+  };
+
+  // Creates file `path` on `libos` and builds the index over `entries` (strictly
+  // ascending keys) with at most `fanout` entries per node. Small fanouts force depth,
+  // which is what makes push-down interesting. Node writes go through the libOS write
+  // path (durable on return).
+  static Result<BlockIndex> Build(CatfishLibOS& libos, const std::string& path,
+                                  std::span<const std::pair<std::uint64_t, std::uint64_t>> entries,
+                                  std::size_t fanout);
+
+  // The device-side lookup program: parses the fetched node, binary-searches the key,
+  // and either resubmits the child read or finishes with the 8-byte value. Install
+  // once per device, reuse across lookups.
+  static PushdownProgram LookupProgram();
+
+  // Starts a push-down lookup through the file queue's offload hook; the returned
+  // qtoken completes with the big-endian 8-byte value (kNotFound if absent).
+  Result<QToken> LookupAsync(PushdownProgramId program, std::uint64_t key) const;
+
+  // Host-side baseline: the same descent with one blocking device read per level.
+  Result<Lookup> LookupFromHost(std::uint64_t key) const;
+
+  // Decodes the 8-byte value a completed push-down lookup carries.
+  static std::uint64_t DecodeValue(const SgArray& sga);
+
+  QDesc qd() const { return qd_; }
+  std::uint32_t depth() const { return depth_; }
+  std::uint64_t node_blocks() const { return node_blocks_; }
+  std::uint64_t root_block() const { return root_block_; }  // file-relative
+
+ private:
+  BlockIndex(CatfishLibOS* libos, QDesc qd, std::uint64_t base_lba,
+             std::uint64_t root_block, std::uint32_t depth, std::uint64_t node_blocks)
+      : libos_(libos),
+        qd_(qd),
+        base_lba_(base_lba),
+        root_block_(root_block),
+        depth_(depth),
+        node_blocks_(node_blocks) {}
+
+  CatfishLibOS* libos_;
+  QDesc qd_;
+  std::uint64_t base_lba_;    // absolute LBA of file-relative block 0
+  std::uint64_t root_block_;  // file-relative root node
+  std::uint32_t depth_;
+  std::uint64_t node_blocks_;
+};
+
+}  // namespace demi
+
+#endif  // SRC_APPS_BLOCK_INDEX_H_

@@ -54,6 +54,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "degraded";
     case ErrorCode::kCapabilityViolation:
       return "capability_violation";
+    case ErrorCode::kPushdownUnsupported:
+      return "pushdown_unsupported";
+    case ErrorCode::kPushdownDepthExceeded:
+      return "pushdown_depth_exceeded";
     case ErrorCode::kInternal:
       return "internal";
   }

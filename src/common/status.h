@@ -42,6 +42,8 @@ enum class ErrorCode : std::uint8_t {
   kRetryExhausted,      // Recovery gave up: retries/failover exceeded the policy deadline.
   kDegraded,            // Device is in a degraded (but possibly recoverable) state.
   kCapabilityViolation, // Descriptor references memory outside the tenant's capability set.
+  kPushdownUnsupported, // Device/queue has no program engine for push-down offload.
+  kPushdownDepthExceeded, // Device-side resubmission chain exceeded its depth/step budget.
   kInternal,            // Invariant violation; always a bug.
 };
 
@@ -121,6 +123,12 @@ inline Status RetryExhausted(std::string msg) {
 inline Status Degraded(std::string msg) { return Status(ErrorCode::kDegraded, std::move(msg)); }
 inline Status CapabilityViolation(std::string msg) {
   return Status(ErrorCode::kCapabilityViolation, std::move(msg));
+}
+inline Status PushdownUnsupported(std::string msg) {
+  return Status(ErrorCode::kPushdownUnsupported, std::move(msg));
+}
+inline Status PushdownDepthExceeded(std::string msg) {
+  return Status(ErrorCode::kPushdownDepthExceeded, std::move(msg));
 }
 inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
 

@@ -23,54 +23,91 @@ bool TransientDeviceError(const Status& status) {
 }
 }  // namespace
 
-std::uint64_t CatfishLibOS::SubmitIo(bool is_write, std::uint64_t lba, Buffer buf,
-                                     CompletionFn done, int attempt, TimeNs started_at) {
+namespace {
+// Synthesizes the device-CQ shape for errors produced on the host side (synchronous
+// submit failures, retry exhaustion), so every CompletionFn sees one shape.
+BlockCompletion SyntheticCompletion(Status status) {
+  BlockCompletion c;
+  c.status = std::move(status);
+  return c;
+}
+}  // namespace
+
+Status CatfishLibOS::SubmitToDevice(std::uint64_t cmd_id, const IoCmd& cmd) {
+  switch (cmd.kind) {
+    case IoKind::kWrite:
+      return bdev_->SubmitWrite(cmd_id, cmd.lba, cmd.buf);
+    case IoKind::kRead:
+      return bdev_->SubmitRead(cmd_id, cmd.lba, 1, cmd.buf);
+    case IoKind::kPushdown:
+      return bdev_->SubmitPushdown(cmd_id, cmd.lba, cmd.program, cmd.buf);
+  }
+  return Internal("unknown io kind");
+}
+
+std::uint64_t CatfishLibOS::SubmitIo(IoCmd cmd, CompletionFn done, int attempt,
+                                     TimeNs started_at) {
   CompletionFn wrapped = std::move(done);
   if (config_.recovery.enabled) {
     std::weak_ptr<bool> alive = alive_;
     CompletionFn inner = std::move(wrapped);
-    wrapped = [this, alive, is_write, lba, buf, inner, attempt,
-               started_at](const Status& status) {
+    // Retries resubmit the whole command — for a push-down chain that means the whole
+    // chain from the root, never a device-internal step.
+    wrapped = [this, alive, cmd, inner, attempt,
+               started_at](const BlockCompletion& completion) {
+      const Status& status = completion.status;
       if (status.ok() || !TransientDeviceError(status)) {
-        inner(status);
+        inner(completion);
         return;
       }
       const RetryPolicy& policy = config_.recovery.retry;
+      const TimeNs deadline = started_at + policy.deadline_ns;
       const int next = attempt + 1;
-      if (next >= policy.max_attempts ||
-          host_->sim().now() > started_at + policy.deadline_ns) {
+      if (next >= policy.max_attempts || host_->sim().now() > deadline) {
         host_->Count(Counter::kRetryGiveups);
-        host_->sim().metrics().Trace(TraceKind::kRetryGiveup, host_->now(), lba);
-        inner(RetryExhausted(std::string("device retries exhausted: ") +
-                             std::string(status.message())));
+        host_->sim().metrics().Trace(TraceKind::kRetryGiveup, host_->now(), cmd.lba);
+        inner(SyntheticCompletion(RetryExhausted(
+            std::string("device retries exhausted: ") + std::string(status.message()))));
         return;
       }
       host_->Count(Counter::kRetriesAttempted);
-      host_->sim().metrics().Trace(TraceKind::kRetryAttempt, host_->now(), lba,
+      host_->sim().metrics().Trace(TraceKind::kRetryAttempt, host_->now(), cmd.lba,
                                    static_cast<std::uint64_t>(next));
-      const TimeNs delay = policy.BackoffBeforeAttempt(next, retry_rng_);
-      host_->sim().Schedule(delay, [this, alive, is_write, lba, buf, inner, next,
-                                    started_at] {
+      // Clamp the jittered backoff to the remaining deadline budget: a resubmission
+      // must never be scheduled past the deadline it is spending.
+      const TimeNs remaining = deadline - host_->sim().now();
+      const TimeNs delay =
+          std::min(policy.BackoffBeforeAttempt(next, retry_rng_), remaining);
+      host_->sim().Schedule(delay, [this, alive, cmd, inner, next, started_at,
+                                    deadline] {
         if (alive.expired()) {
           return;  // the libOS is gone; drop the resubmission
         }
-        (void)SubmitIo(is_write, lba, buf, inner, next, started_at);
+        // Re-check at fire time: clock skew between scheduling and firing (e.g. other
+        // work advancing the simulated clock) must not stretch the budget.
+        if (host_->sim().now() > deadline) {
+          host_->Count(Counter::kRetryGiveups);
+          host_->sim().metrics().Trace(TraceKind::kRetryGiveup, host_->now(), cmd.lba);
+          inner(SyntheticCompletion(
+              RetryExhausted("device retry deadline passed before resubmission")));
+          return;
+        }
+        (void)SubmitIo(cmd, inner, next, started_at);
       });
     };
   }
-  const std::uint64_t cmd = next_cmd_++;
-  const Status status = is_write ? bdev_->SubmitWrite(cmd, lba, buf)
-                                 : bdev_->SubmitRead(cmd, lba, 1, buf);
+  const std::uint64_t cmd_id = next_cmd_++;
+  const Status status = SubmitToDevice(cmd_id, cmd);
   if (status.code() == ErrorCode::kResourceExhausted) {
-    deferred_.push_back(Deferred{is_write, lba, std::move(buf), std::move(wrapped)});
-    return cmd;
+    deferred_.push_back(Deferred{std::move(cmd), std::move(wrapped)});
+    return cmd_id;
   }
   if (!status.ok()) {
-    wrapped(status);
-    return cmd;
+    wrapped(SyntheticCompletion(status));
+    return cmd_id;
   }
-  callbacks_[cmd] = std::move(wrapped);
-  return cmd;
+  callbacks_[cmd_id] = std::move(wrapped);
+  return cmd_id;
 }
 
 Result<std::unique_ptr<IoQueue>> CatfishLibOS::NewFileQueue(const std::string& path,
@@ -93,13 +130,57 @@ Result<std::unique_ptr<IoQueue>> CatfishLibOS::NewFileQueue(const std::string& p
 }
 
 std::uint64_t CatfishLibOS::SubmitWrite(std::uint64_t lba, Buffer data, CompletionFn done) {
-  return SubmitIo(/*is_write=*/true, lba, std::move(data), std::move(done), /*attempt=*/0,
-                  host_->sim().now());
+  IoCmd cmd;
+  cmd.kind = IoKind::kWrite;
+  cmd.lba = lba;
+  cmd.buf = std::move(data);
+  return SubmitIo(std::move(cmd), std::move(done), /*attempt=*/0, host_->sim().now());
 }
 
 std::uint64_t CatfishLibOS::SubmitRead(std::uint64_t lba, Buffer dest, CompletionFn done) {
-  return SubmitIo(/*is_write=*/false, lba, std::move(dest), std::move(done), /*attempt=*/0,
-                  host_->sim().now());
+  IoCmd cmd;
+  cmd.kind = IoKind::kRead;
+  cmd.lba = lba;
+  cmd.buf = std::move(dest);
+  return SubmitIo(std::move(cmd), std::move(done), /*attempt=*/0, host_->sim().now());
+}
+
+std::uint64_t CatfishLibOS::SubmitPushdown(std::uint64_t lba, PushdownProgramId program,
+                                           Buffer arg, CompletionFn done) {
+  IoCmd cmd;
+  cmd.kind = IoKind::kPushdown;
+  cmd.lba = lba;
+  cmd.buf = std::move(arg);
+  cmd.program = program;
+  return SubmitIo(std::move(cmd), std::move(done), /*attempt=*/0, host_->sim().now());
+}
+
+Result<CatfishLibOS::FileMeta> CatfishLibOS::StatFile(const std::string& path) const {
+  auto it = catalog_.find(path);
+  if (it == catalog_.end()) {
+    return NotFound(path);
+  }
+  return it->second;
+}
+
+Result<PushdownProgramId> CatfishLibOS::InstallPushdownProgram(const PushdownProgram& prog) {
+  return bdev_->InstallProgram(prog);
+}
+
+Result<QToken> CatfishLibOS::PushdownRead(QDesc qd, PushdownProgramId program,
+                                          std::uint64_t root_block, const SgArray& arg) {
+  ChargeCall();
+  IoQueue* q = GetQueue(qd);
+  if (q == nullptr) {
+    return BadDescriptor("pushdown");
+  }
+  const QToken token = NewToken(qd, OpType::kPop);
+  const Status status = q->StartPushdown(token, program, root_block, arg);
+  if (!status.ok()) {
+    ReleaseFailedToken(token);
+    return status;
+  }
+  return token;
 }
 
 bool CatfishLibOS::PollDevice() {
@@ -109,7 +190,7 @@ bool CatfishLibOS::PollDevice() {
     if (it != callbacks_.end()) {
       CompletionFn fn = std::move(it->second);
       callbacks_.erase(it);
-      fn(c.status);
+      fn(c);
       progress = true;
     }
   }
@@ -117,18 +198,17 @@ bool CatfishLibOS::PollDevice() {
   while (!deferred_.empty()) {
     Deferred d = std::move(deferred_.front());
     deferred_.pop_front();
-    const std::uint64_t cmd = next_cmd_++;
-    const Status status = d.is_write ? bdev_->SubmitWrite(cmd, d.lba, d.buf)
-                                     : bdev_->SubmitRead(cmd, d.lba, 1, d.buf);
+    const std::uint64_t cmd_id = next_cmd_++;
+    const Status status = SubmitToDevice(cmd_id, d.cmd);
     if (status.code() == ErrorCode::kResourceExhausted) {
       deferred_.push_front(std::move(d));
       break;
     }
     progress = true;
     if (!status.ok()) {
-      d.done(status);
+      d.done(SyntheticCompletion(status));
     } else {
-      callbacks_[cmd] = std::move(d.done);
+      callbacks_[cmd_id] = std::move(d.done);
     }
   }
   return progress;
@@ -161,22 +241,27 @@ void CatfishFileQueue::FetchBlock(std::uint64_t index) {
   Buffer dest = Buffer::Allocate(kBlock);
   std::weak_ptr<bool> alive = alive_;
   libos_->SubmitRead(meta_->base_lba + index, dest,
-                     [this, alive, index, dest](const Status& status) {
+                     [this, alive, index, dest](const BlockCompletion& c) {
                        auto locked = alive.lock();
                        if (!locked || !*locked) {
                          return;  // queue closed before the read landed
                        }
                        fetch_in_flight_.erase(index);
-                       if (status.ok()) {
+                       if (c.status.ok()) {
                          auto& block = CachedBlock(index);
                          std::memcpy(block.data(), dest.data(), kBlock);
                        } else {
-                         read_error_ = status;
+                         read_error_ = c.status;
                        }
                      });
 }
 
 bool CatfishFileQueue::ReadLogBytes(std::uint64_t offset, std::size_t len, std::byte* out) {
+  if (len == 0) {
+    // Zero-length reads touch no blocks; without this the (offset + len - 1)/kBlock
+    // bound below underflows at offset 0 and sweeps the whole extent.
+    return true;
+  }
   // First pass: ensure residency (kick fetches for every cold block).
   bool all_resident = true;
   for (std::uint64_t index = offset / kBlock; index <= (offset + len - 1) / kBlock;
@@ -206,13 +291,13 @@ void CatfishFileQueue::WriteBlockOut(std::uint64_t index, PendingPush* push) {
   ++push->writes_outstanding;
   std::weak_ptr<bool> alive = alive_;
   libos_->SubmitWrite(meta_->base_lba + index, std::move(data),
-                      [alive, push](const Status& status) {
+                      [alive, push](const BlockCompletion& c) {
                         auto locked = alive.lock();
                         if (!locked || !*locked) {
                           return;
                         }
-                        if (!status.ok() && push->status.ok()) {
-                          push->status = status;
+                        if (!c.status.ok() && push->status.ok()) {
+                          push->status = c.status;
                         }
                         --push->writes_outstanding;
                       });
@@ -278,8 +363,57 @@ Status CatfishFileQueue::StartPop(QToken token) {
   return OkStatus();
 }
 
+bool CatfishFileQueue::SupportsPushdownOffload() const {
+  return libos_->bdev().caps().program_offload;
+}
+
+Result<PushdownProgramId> CatfishFileQueue::InstallPushdownProgram(
+    const PushdownProgram& prog) {
+  if (closed_) {
+    return BadDescriptor("install on closed file queue");
+  }
+  return libos_->InstallPushdownProgram(prog);
+}
+
+Status CatfishFileQueue::StartPushdown(QToken token, PushdownProgramId program,
+                                       std::uint64_t root_block, const SgArray& arg) {
+  if (closed_) {
+    return BadDescriptor("pushdown on closed file queue");
+  }
+  if (root_block >= meta_->extent_blocks) {
+    return InvalidArgument("pushdown root outside file extent");
+  }
+  pending_pushdowns_.push_back(token);
+  std::weak_ptr<bool> alive = alive_;
+  libos_->SubmitPushdown(
+      meta_->base_lba + root_block, program, arg.Flatten(),
+      [this, alive, token](const BlockCompletion& c) {
+        auto locked = alive.lock();
+        if (!locked || !*locked) {
+          return;  // queue closed; Close() already failed the token
+        }
+        std::erase(pending_pushdowns_, token);
+        QResult res;
+        res.op = OpType::kPop;
+        res.status = c.status;
+        if (c.status.ok()) {
+          res.sga = SgArray(Buffer::CopyOf(c.payload.span()));
+        }
+        ready_pushdowns_.emplace_back(token, std::move(res));
+      });
+  return OkStatus();
+}
+
 bool CatfishFileQueue::Progress(CompletionSink& sink) {
   bool progress = false;
+
+  // Deliver finished push-down chains (one host completion per chain).
+  while (!ready_pushdowns_.empty()) {
+    auto [token, res] = std::move(ready_pushdowns_.front());
+    ready_pushdowns_.pop_front();
+    sink.CompleteOp(token, std::move(res));
+    progress = true;
+  }
 
   // Complete durable pushes in order.
   while (!pending_pushes_.empty()) {
@@ -359,7 +493,39 @@ bool CatfishFileQueue::Progress(CompletionSink& sink) {
 }
 
 Status CatfishFileQueue::Close() {
+  if (closed_) {
+    return OkStatus();
+  }
   closed_ = true;
+  // Kill in-flight device continuations first: the libOS destroys this queue right
+  // after Close() returns, so a completion landing later must find *alive_ false.
+  *alive_ = false;
+
+  // Deliver push-down results that already finished on the device, then fail every
+  // still-outstanding token with kCancelled — no qtoken is ever left pending.
+  while (!ready_pushdowns_.empty()) {
+    auto [token, res] = std::move(ready_pushdowns_.front());
+    ready_pushdowns_.pop_front();
+    libos_->CompleteOp(token, std::move(res));
+  }
+  auto cancel = [this](QToken token, OpType op) {
+    QResult res;
+    res.op = op;
+    res.status = Cancelled("file queue closed");
+    libos_->CompleteOp(token, std::move(res));
+  };
+  for (const auto& push : pending_pushes_) {
+    cancel(push->token, OpType::kPush);
+  }
+  pending_pushes_.clear();
+  for (QToken token : pending_pops_) {
+    cancel(token, OpType::kPop);
+  }
+  pending_pops_.clear();
+  for (QToken token : pending_pushdowns_) {
+    cancel(token, OpType::kPop);
+  }
+  pending_pushdowns_.clear();
   return OkStatus();
 }
 

@@ -52,10 +52,33 @@ class CatfishLibOS final : public LibOS {
 
   // Completion routing: the device CQ is shared; each command's continuation runs
   // when its completion arrives (guarded against the owning queue being gone).
-  using CompletionFn = std::function<void(const Status&)>;
+  // Push-down chains deliver their payload and step count through the completion.
+  using CompletionFn = std::function<void(const BlockCompletion&)>;
   std::uint64_t SubmitWrite(std::uint64_t lba, Buffer data, CompletionFn done);
   std::uint64_t SubmitRead(std::uint64_t lba, Buffer dest, CompletionFn done);
+  // Submits a device-side push-down chain rooted at absolute `lba`. When recovery is
+  // enabled, a transient mid-chain fault retries the WHOLE chain from the root — a
+  // device-internal step is never retried in isolation, so retry semantics match the
+  // read/write path exactly.
+  std::uint64_t SubmitPushdown(std::uint64_t lba, PushdownProgramId program, Buffer arg,
+                               CompletionFn done);
   std::size_t inflight_commands() const { return callbacks_.size(); }
+
+  // --- push-down install/invoke API (§4.3 offload surface, DESIGN.md §14) ---
+
+  // Extent geometry for `path` (base LBA, blocks); kNotFound when absent. Lets
+  // workloads that lay out raw blocks inside a file's extent (e.g. the block index)
+  // compute absolute device LBAs for device-side child pointers.
+  Result<FileMeta> StatFile(const std::string& path) const;
+
+  // Installs `prog` on the block device. kPushdownUnsupported when the device has no
+  // program engine.
+  Result<PushdownProgramId> InstallPushdownProgram(const PushdownProgram& prog);
+  // Starts a push-down lookup on file queue `qd`, rooted at file-relative block
+  // `root_block`; the returned qtoken completes (pop-like) with the program's final
+  // value. Redeem with Wait/TakeResult like any other operation.
+  Result<QToken> PushdownRead(QDesc qd, PushdownProgramId program,
+                              std::uint64_t root_block, const SgArray& arg);
 
  protected:
   Result<std::unique_ptr<IoQueue>> NewSocketQueue() override {
@@ -68,10 +91,23 @@ class CatfishLibOS final : public LibOS {
  private:
   friend class CatfishFileQueue;
 
+  enum class IoKind : std::uint8_t { kRead, kWrite, kPushdown };
+
+  // One device command as the retry layer sees it: enough to resubmit from scratch.
+  // For kPushdown, `buf` carries the program argument and the retry resubmits the
+  // whole chain from the root LBA.
+  struct IoCmd {
+    IoKind kind = IoKind::kRead;
+    std::uint64_t lba = 0;
+    Buffer buf;
+    PushdownProgramId program = kInvalidPushdownProgram;
+  };
+
   // Common submit path: wraps `done` with the transient-error retry layer (when
   // recovery is enabled) before handing the command to the device.
-  std::uint64_t SubmitIo(bool is_write, std::uint64_t lba, Buffer buf,
-                         CompletionFn done, int attempt, TimeNs started_at);
+  std::uint64_t SubmitIo(IoCmd cmd, CompletionFn done, int attempt, TimeNs started_at);
+  // Hands the command to the device under a fresh command id; defers on a full SQ.
+  Status SubmitToDevice(std::uint64_t cmd_id, const IoCmd& cmd);
 
   BlockDevice* bdev_;
   CatfishConfig config_;
@@ -83,9 +119,7 @@ class CatfishLibOS final : public LibOS {
   std::unordered_map<std::uint64_t, CompletionFn> callbacks_;
   // Commands the device rejected (SQ full) awaiting resubmission.
   struct Deferred {
-    bool is_write;
-    std::uint64_t lba;
-    Buffer buf;
+    IoCmd cmd;
     CompletionFn done;
   };
   std::deque<Deferred> deferred_;
@@ -101,7 +135,15 @@ class CatfishFileQueue final : public IoQueue {
   Status StartPush(QToken token, const SgArray& sga) override;
   Status StartPop(QToken token) override;
   bool Progress(CompletionSink& sink) override;
+  // Fails every outstanding push/pop/push-down with kCancelled before closing — the
+  // PR 1 invariant: no qtoken is ever left pending.
   Status Close() override;
+
+  // --- push-down offload hooks (DESIGN.md §14) ---
+  bool SupportsPushdownOffload() const override;
+  Result<PushdownProgramId> InstallPushdownProgram(const PushdownProgram& prog) override;
+  Status StartPushdown(QToken token, PushdownProgramId program, std::uint64_t root_block,
+                       const SgArray& arg) override;
 
  private:
   static constexpr std::size_t kBlock = 4096;
@@ -129,7 +171,10 @@ class CatfishFileQueue final : public IoQueue {
   std::unordered_map<std::uint64_t, bool> fetch_in_flight_;
   std::deque<std::unique_ptr<PendingPush>> pending_pushes_;
   std::deque<QToken> pending_pops_;
-  std::deque<std::pair<QToken, QResult>> ready_;
+  // Push-down chains in flight on the device; their device completions park results
+  // in `ready_pushdowns_` for Progress to deliver in completion order.
+  std::vector<QToken> pending_pushdowns_;
+  std::deque<std::pair<QToken, QResult>> ready_pushdowns_;
   std::uint64_t read_offset_ = 0;  // replay cursor
   // Sticky error from a failed block fetch (media error, device death). Progress
   // flushes pending pops with it — without this, ReadLogBytes would refetch the bad

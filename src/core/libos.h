@@ -212,6 +212,9 @@ class LibOS : public Poller, public CompletionSink {
   QDesc InstallQueue(std::unique_ptr<IoQueue> queue);
   IoQueue* GetQueue(QDesc qd) const;
   QToken NewToken(QDesc qd, OpType type);
+  // Drops a token that never started (StartPush/StartPop/StartPushdown failed
+  // synchronously).
+  void ReleaseFailedToken(QToken token);
 
   // Destroys all open queues. A derived libOS whose queues reference derived-owned
   // state in their destructors (e.g. catnip's UDP unbind touching the net stack) must
@@ -276,8 +279,6 @@ class LibOS : public Poller, public CompletionSink {
     return &ops_[index];
   }
   void ReleaseSlot(QToken token) { ops_.Release(TokenIndex(token)); }
-  // Drops a token that never started (StartPush/StartPop failed synchronously).
-  void ReleaseFailedToken(QToken token);
   void PushReady(QToken token);
 
   bool PollControlOps();

@@ -17,6 +17,7 @@
 
 #include "src/common/result.h"
 #include "src/core/types.h"
+#include "src/hw/pushdown.h"
 #include "src/net/packet.h"
 
 namespace demi {
@@ -70,6 +71,22 @@ class IoQueue {
   virtual bool SupportsFilterOffload() const { return false; }
   virtual Status InstallOffloadFilter(const ElementPredicate& pred) {
     return Unsupported("offload");
+  }
+
+  // True when this queue can push traversal programs down to its storage device
+  // (BPF-for-storage-style dependent-read chasing, DESIGN.md §14).
+  virtual bool SupportsPushdownOffload() const { return false; }
+  // Installs a device-side traversal program for later StartPushdown calls.
+  virtual Result<PushdownProgramId> InstallPushdownProgram(const PushdownProgram& prog) {
+    return PushdownUnsupported("pushdown");
+  }
+  // Registers a device-side chained read rooted at queue-relative block `root_block`;
+  // the queue completes `token` (pop-like) with the program's final value as the
+  // element. The whole chain is one host completion; a mid-chain device fault or an
+  // exhausted depth budget surfaces as the token's typed status.
+  virtual Status StartPushdown(QToken token, PushdownProgramId program,
+                               std::uint64_t root_block, const SgArray& arg) {
+    return PushdownUnsupported("pushdown");
   }
 
   // --- sparse-polling hooks (LibOS::EnableSparsePolling, DESIGN.md §13) ---

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "src/common/result.h"
 #include "src/common/ring_buffer.h"
 #include "src/hw/device.h"
+#include "src/hw/pushdown.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/simulation.h"
 
@@ -29,11 +31,21 @@ struct BlockDeviceConfig {
   std::uint64_t num_blocks = 1 << 20;  // 4 GiB at 4 KiB blocks
   std::uint32_t block_size = 4096;
   std::size_t queue_depth = 64;  // outstanding commands
+  // --- push-down program engine (DESIGN.md §14) ---
+  bool pushdown_enabled = true;          // device ships an on-device program engine
+  std::uint32_t pushdown_max_depth = 16; // device-side reads per chain (root included)
+  TimeNs pushdown_step_budget_ns = 200 * kMicrosecond;  // total on-device program
+                                                        // execution time per chain
+  std::size_t pushdown_max_programs = 32;
 };
 
 struct BlockCompletion {
   std::uint64_t id = 0;
   Status status;
+  // Push-down chains only: the program's final value and how many device-side reads
+  // the chain consumed (1 = the root fetch alone; host completions are always 1).
+  Buffer payload;
+  std::uint32_t pushdown_steps = 0;
 };
 
 class BlockDevice {
@@ -56,6 +68,24 @@ class BlockDevice {
   // Submits a flush barrier: completes after every previously submitted write.
   Status SubmitFlush(std::uint64_t id);
 
+  // --- push-down program engine (DESIGN.md §14) ---
+
+  // Installs a device-side program; charges the offload setup cost.
+  // kPushdownUnsupported when the engine is disabled, kResourceExhausted when the
+  // program table is full.
+  Result<PushdownProgramId> InstallProgram(PushdownProgram program);
+
+  // Submits a push-down chain rooted at `root_lba`: the device fetches the block,
+  // runs `program` on it, and either completes to the host (one CQ entry carrying the
+  // program's final value) or resubmits the dependent read *device-side*. The chain is
+  // bounded by pushdown_max_depth and pushdown_step_budget_ns; exceeding either
+  // surfaces kPushdownDepthExceeded in the completion. An injected per-op fault
+  // (kMediaError/kOpTimeout) on any step — the injector is consulted once per
+  // device-side read, exactly as for host-submitted reads — aborts the chain and
+  // surfaces through the same single completion.
+  Status SubmitPushdown(std::uint64_t id, std::uint64_t root_lba,
+                        PushdownProgramId program, Buffer arg);
+
   // Drains up to `max` completions.
   std::vector<BlockCompletion> PollCompletions(std::size_t max = 16);
 
@@ -72,7 +102,22 @@ class BlockDevice {
   bool BlockExists(std::uint64_t lba) const { return blocks_.contains(lba); }
 
  private:
+  // One in-flight push-down chain. Heap-allocated and owned by the step events.
+  struct PushdownChain {
+    std::uint64_t id = 0;
+    PushdownProgramId program = kInvalidPushdownProgram;
+    Buffer arg;
+    std::uint64_t lba = 0;        // block the next step fetches
+    std::uint32_t steps = 0;      // device-side reads consumed so far
+    TimeNs exec_spent_ns = 0;     // on-device program time consumed so far
+  };
+
   void Complete(std::uint64_t id, Status status, TimeNs service_ns);
+  void CompletePushdown(std::uint64_t id, Status status, Buffer payload,
+                        std::uint32_t steps, TimeNs service_ns);
+  // Runs one device-side step of `chain` (fetch chain->lba, execute the program,
+  // finish or resubmit). Called from a scheduled event at the step's start time.
+  void PushdownStep(std::shared_ptr<PushdownChain> chain);
   std::vector<std::byte>& BlockAt(std::uint64_t lba);
   // Consults the injector for a per-op fault; returns the Status the op should complete
   // with (and the extra delay for timeouts), or kOk when the op proceeds normally.
@@ -84,6 +129,8 @@ class BlockDevice {
   FaultDeviceId fault_dev_ = kInvalidFaultDevice;
   bool failed_ = false;
   std::unordered_map<std::uint64_t, std::vector<std::byte>> blocks_;
+  std::vector<PushdownProgram> programs_;
+  std::vector<std::byte> zero_block_;  // device-local scratch for unwritten LBAs
   RingBuffer<BlockCompletion> cq_;
   std::size_t inflight_ = 0;
   TimeNs last_write_done_ = 0;  // flush barrier tracking

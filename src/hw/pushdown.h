@@ -1,0 +1,73 @@
+// Device-side push-down programs (DESIGN.md §14).
+//
+// Following "BPF for storage: an exokernel-inspired approach" (PAPERS.md), an
+// application installs a small traversal/predicate program on the block device. The
+// device runs the program at its completion queue: after fetching a block, the program
+// inspects it and either finishes the chain (returning a final value to the host) or
+// names the next LBA to read, which the device resubmits *internally* — no host
+// completion, no doorbell, no PCIe round trip. A depth-d dependent-read chain (B-tree
+// descent, LSM level probe) thus costs one host completion instead of d.
+//
+// Programs here are std::function + a declared per-step host-equivalent cost, the same
+// convention as the §4.3 ElementPredicate filter offload: the simulation charges
+// cost * device_compute_factor of on-device compute per step, so the trade-off the
+// paper describes (wimpier device cores vs saved crossings) is priced, not free.
+
+#ifndef SRC_HW_PUSHDOWN_H_
+#define SRC_HW_PUSHDOWN_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/common/buffer.h"
+#include "src/common/result.h"
+#include "src/sim/time.h"
+
+namespace demi {
+
+// Identifies one installed program on one device. Stable for the device's life.
+using PushdownProgramId = std::uint32_t;
+constexpr PushdownProgramId kInvalidPushdownProgram = ~0u;
+
+// What one program step sees: the block the device just fetched, the caller's
+// argument bytes (opaque to the device), the absolute LBA of that block, and the
+// step number (0 = the root block of the chain).
+struct PushdownContext {
+  std::span<const std::byte> block;
+  std::span<const std::byte> arg;
+  std::uint64_t lba = 0;
+  std::uint32_t step = 0;
+};
+
+// What one program step decides: finish the chain with `result` as the single host
+// completion's payload, or resubmit a dependent read of `next_lba` device-side.
+struct PushdownAction {
+  bool done = false;
+  std::uint64_t next_lba = 0;  // valid when !done
+  Buffer result;               // valid when done
+
+  static PushdownAction Finish(Buffer result) {
+    PushdownAction a;
+    a.done = true;
+    a.result = std::move(result);
+    return a;
+  }
+  static PushdownAction Resubmit(std::uint64_t next_lba) {
+    PushdownAction a;
+    a.next_lba = next_lba;
+    return a;
+  }
+};
+
+// A device-side program: the step function plus its declared host-equivalent cost per
+// step. A non-ok Result aborts the chain and surfaces as the host completion's status
+// (e.g. kNotFound for a missing key, kProtocolError for a malformed node).
+struct PushdownProgram {
+  std::function<Result<PushdownAction>(const PushdownContext&)> fn;
+  TimeNs host_step_cost_ns = 400;
+};
+
+}  // namespace demi
+
+#endif  // SRC_HW_PUSHDOWN_H_

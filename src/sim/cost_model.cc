@@ -17,7 +17,7 @@ std::string CostModel::Describe() const {
       "  smp: cacheline=%lld ipi=%lld steal_probe=%lld\n"
       "  fabric: wire=%lld link=%.0f Gbps\n"
       "  rdma: transport=%lld reg_base=%lld reg_page=%lld\n"
-      "  nvme: read=%lld write=%lld %.2f ns/B\n"
+      "  nvme: read=%lld write=%lld %.2f ns/B pushdown_resubmit=%lld\n"
       "  offload: compute_factor=%.2fx setup=%lld\n"
       "  app: kv_request=%lld\n",
       cpu_ghz, copy_ns_per_byte, static_cast<long long>(CopyNs(4096)),
@@ -36,7 +36,8 @@ std::string CostModel::Describe() const {
       link_gbps, static_cast<long long>(rdma_transport_ns),
       static_cast<long long>(mem_reg_base_ns), static_cast<long long>(mem_reg_per_page_ns),
       static_cast<long long>(nvme_read_ns), static_cast<long long>(nvme_write_ns),
-      nvme_ns_per_byte, device_compute_factor, static_cast<long long>(offload_setup_ns),
+      nvme_ns_per_byte, static_cast<long long>(nvme_pushdown_resubmit_ns),
+      device_compute_factor, static_cast<long long>(offload_setup_ns),
       static_cast<long long>(kv_request_cpu_ns));
   return buf;
 }

@@ -82,6 +82,9 @@ struct CostModel {
   double nvme_ns_per_byte = 0.3;    // ~3.2 GB/s transfer rate.
   TimeNs kernel_fs_op_ns = 2500;    // kernel VFS+ext4-style per-op overhead (journaling,
                                     // page-cache management), excluding copies/syscalls.
+  TimeNs nvme_pushdown_resubmit_ns = 300;  // device-internal dependent-read resubmission:
+                                           // re-arming the on-device SQ after a push-down
+                                           // program step — no doorbell, no PCIe crossing.
 
   // --- Offload engine (Table 1 "+other features" column) ---
   double device_compute_factor = 2.5;  // on-device cores run app functions this much

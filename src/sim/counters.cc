@@ -90,6 +90,12 @@ std::string_view CounterName(Counter c) {
       return "completions_stolen";
     case Counter::kStealAborts:
       return "steal_aborts";
+    case Counter::kPushdownChains:
+      return "pushdown_chains";
+    case Counter::kPushdownSteps:
+      return "pushdown_steps";
+    case Counter::kBlockHostCompletions:
+      return "block_host_completions";
     case Counter::kNumCounters:
       break;
   }

@@ -55,6 +55,9 @@ enum class Counter : std::size_t {
   kStealAttempts,          // steal probes: an idle worker inspected a victim's ring
   kCompletionsStolen,      // ready completions moved cross-core by stealing
   kStealAborts,            // probes that found nothing stealable (below threshold)
+  kPushdownChains,         // device-side push-down chains started
+  kPushdownSteps,          // dependent reads resubmitted device-side (no host completion)
+  kBlockHostCompletions,   // block-device CQ entries drained by the host
   kNumCounters,
 };
 

@@ -185,5 +185,82 @@ TEST(CatfishTest, NoSyscallsOnTheStoragePath) {
   EXPECT_EQ(rig.h.sim().counters().Get(Counter::kSyscalls), syscalls_before);
 }
 
+// Regression: a zero-length record used to make ReadLogBytes compute the touched
+// block range as (offset + 0 - 1) / kBlock, which underflows. Empty atomic units are
+// legal elements and must replay as such.
+TEST(CatfishTest, ZeroLengthRecordRoundTrips) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/zero");
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga(""))->status.ok());
+  ASSERT_TRUE(rig.libos->BlockingPush(qd, Sga("after empty"))->status.ok());
+
+  auto empty = rig.libos->BlockingPop(qd);
+  ASSERT_TRUE(empty.ok());
+  ASSERT_TRUE(empty->status.ok()) << empty->status;
+  EXPECT_EQ(empty->sga.total_bytes(), 0u);
+  EXPECT_EQ(rig.libos->BlockingPop(qd)->sga.ToString(), "after empty");
+}
+
+// Regression: Close() used to drop pending_pushes_/pending_pops_ on the floor,
+// leaving their qtokens pending forever. Every outstanding token must complete with
+// kCancelled — the no-hung-qtoken invariant.
+TEST(CatfishTest, CloseFailsOutstandingTokensWithCancelled) {
+  CatfishRig rig;
+  const QDesc qd = *rig.libos->Creat("/log/close");
+  // Registered but not yet driven: the device write/replay has not run.
+  const QToken push = *rig.libos->Push(qd, Sga("in flight"));
+  const QToken pop = *rig.libos->Pop(qd);
+  ASSERT_TRUE(rig.libos->Close(qd).ok());
+
+  auto push_result = rig.libos->Wait(push, kMillisecond);
+  ASSERT_TRUE(push_result.ok());
+  EXPECT_EQ(push_result->status.code(), ErrorCode::kCancelled) << push_result->status;
+  auto pop_result = rig.libos->Wait(pop, kMillisecond);
+  ASSERT_TRUE(pop_result.ok());
+  EXPECT_EQ(pop_result->status.code(), ErrorCode::kCancelled) << pop_result->status;
+  EXPECT_EQ(rig.libos->pending_ops(), 0u);
+}
+
+// Regression: the retry wrapper checked its deadline only when an attempt failed, so
+// a jittered backoff could schedule the next attempt far past the deadline and the op
+// would linger. The backoff is now clamped to the remaining budget (and re-checked at
+// fire time), so exhaustion surfaces at ~deadline, not at ~backoff.
+TEST(CatfishTest, RetryBackoffClampedToDeadline) {
+  CatfishConfig cfg;
+  cfg.recovery.enabled = true;
+  cfg.recovery.retry.initial_backoff_ns = 40 * kMillisecond;  // would overshoot alone
+  cfg.recovery.retry.max_backoff_ns = 40 * kMillisecond;
+  cfg.recovery.retry.jitter = 0;
+  cfg.recovery.retry.deadline_ns = 2 * kMillisecond;
+
+  TestHarness h;
+  HostOptions opts;
+  opts.with_nic = false;
+  opts.with_kernel = false;
+  opts.with_block_device = true;
+  auto& host = h.AddHost("storage", "10.0.0.1", opts);
+  auto& libos = h.Catfish(host, cfg);
+
+  const QDesc wqd = *libos.Creat("/log/deadline");
+  ASSERT_TRUE(libos.BlockingPush(wqd, Sga("record"))->status.ok());
+  ASSERT_TRUE(libos.Close(wqd).ok());
+
+  // Every read attempt inside the deadline fails: the op must give up on budget.
+  for (int i = 0; i < 10; ++i) {
+    h.faults().ScheduleOpFault(host.bdev->fault_device(), FaultKind::kMediaError,
+                               h.sim().now());
+  }
+  h.sim().RunFor(kMicrosecond);
+  const QDesc rqd = *libos.Open("/log/deadline");
+  const TimeNs start = h.sim().now();
+  auto r = libos.BlockingPop(rqd);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.code(), ErrorCode::kRetryExhausted) << r->status;
+  // With the clamp the whole retry dance fits the 2 ms budget (plus one device
+  // service time); the unclamped backoff would park the resubmission at 40 ms.
+  EXPECT_LE(h.sim().now() - start, 5 * kMillisecond);
+  EXPECT_GE(h.sim().counters().Get(Counter::kRetryGiveups), 1u);
+}
+
 }  // namespace
 }  // namespace demi

@@ -187,5 +187,31 @@ TEST_P(BlockFuzzTest, RandomWritesReadBackCorrectly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockFuzzTest, ::testing::Values(1, 2, 3, 4));
 
+// Regression: SubmitFlush used to skip the per-op fault consult, so a seeded fault
+// aimed at a flush silently slid onto the next read/write — breaking chaos-schedule
+// determinism. A flush must absorb the armed fault like any other op.
+TEST(BlockDeviceTest, FlushConsultsFaultInjector) {
+  BlockRig rig;
+  FaultInjector inj(&rig.sim, /*seed=*/7);
+  rig.dev.AttachFaultInjector(&inj);
+
+  ASSERT_TRUE(rig.dev.SubmitWrite(1, 5, BlockOf('w')).ok());
+  EXPECT_TRUE(rig.WaitFor(1).ok());
+
+  inj.ScheduleOpFault(rig.dev.fault_device(), FaultKind::kMediaError, rig.sim.now());
+  rig.sim.RunFor(kMicrosecond);
+  ASSERT_TRUE(rig.dev.SubmitFlush(2).ok());
+  EXPECT_EQ(rig.WaitFor(2).code(), ErrorCode::kMediaError);
+
+  // The fault was one-shot and consumed by the flush: the next flush is clean, and a
+  // read right after sees the durable data.
+  ASSERT_TRUE(rig.dev.SubmitFlush(3).ok());
+  EXPECT_TRUE(rig.WaitFor(3).ok());
+  Buffer dest = Buffer::Allocate(4096);
+  ASSERT_TRUE(rig.dev.SubmitRead(4, 5, 1, dest).ok());
+  EXPECT_TRUE(rig.WaitFor(4).ok());
+  EXPECT_EQ(std::to_integer<char>(dest.span()[0]), 'w');
+}
+
 }  // namespace
 }  // namespace demi

@@ -1,0 +1,344 @@
+// Tests for the storage push-down engine (DESIGN.md §14): device-side resubmission
+// chains on the block device, the Catfish install/invoke surface, the BlockIndex
+// workload, and fault interaction (mid-chain media errors, whole-chain retry,
+// close-with-inflight-chain).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/apps/block_index.h"
+#include "src/common/byte_order.h"
+#include "src/core/harness.h"
+#include "src/hw/block_device.h"
+
+namespace demi {
+namespace {
+
+// --- device-level chains (no libOS) ---
+
+struct PushdownRig {
+  PushdownRig() : sim(), host(&sim, "storage"), dev(&host) {}
+  explicit PushdownRig(BlockDeviceConfig cfg)
+      : sim(), host(&sim, "storage"), dev(&host, cfg) {}
+
+  // Runs until `id` completes; returns the full completion.
+  BlockCompletion WaitFor(std::uint64_t id) {
+    BlockCompletion out;
+    out.status = Internal("never completed");
+    const bool done = sim.RunUntil(
+        [&] {
+          for (auto& c : dev.PollCompletions()) {
+            if (c.id == id) {
+              out = std::move(c);
+              return true;
+            }
+          }
+          return false;
+        },
+        kSecond);
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  // Writes a chain node: bytes [0,8) = next LBA (0 terminates), [8,16) = value.
+  void WriteNode(std::uint64_t lba, std::uint64_t next, std::uint64_t value) {
+    Buffer b = Buffer::Allocate(4096);
+    ByteWriter w(b.mutable_span());
+    w.U64(next);
+    w.U64(value);
+    static std::uint64_t id = 1000000;
+    ASSERT_TRUE(dev.SubmitWrite(++id, lba, std::move(b)).ok());
+    EXPECT_TRUE(WaitFor(id).status.ok());
+  }
+
+  Simulation sim;
+  HostCpu host;
+  BlockDevice dev;
+};
+
+// Follow-the-pointer program over PushdownRig::WriteNode blocks.
+PushdownProgram ChainProgram() {
+  PushdownProgram prog;
+  prog.fn = [](const PushdownContext& ctx) -> Result<PushdownAction> {
+    ByteReader r(ctx.block);
+    const std::uint64_t next = r.U64();
+    if (next == 0) {
+      return PushdownAction::Finish(Buffer::CopyOf(ctx.block.subspan(8, 8)));
+    }
+    return PushdownAction::Resubmit(next);
+  };
+  return prog;
+}
+
+std::uint64_t ValueOf(const BlockCompletion& c) {
+  ByteReader r(c.payload.span());
+  return r.U64();
+}
+
+TEST(StoragePushdownTest, ChainFollowsPointersWithOneHostCompletion) {
+  PushdownRig rig;
+  rig.WriteNode(10, 20, 0);
+  rig.WriteNode(20, 30, 0);
+  rig.WriteNode(30, 0, 777);
+  const auto prog = rig.dev.InstallProgram(ChainProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status();
+
+  const std::uint64_t completions0 =
+      rig.sim.counters().Get(Counter::kBlockHostCompletions);
+  const std::uint64_t nvme0 = rig.sim.counters().Get(Counter::kNvmeOps);
+  ASSERT_TRUE(rig.dev.SubmitPushdown(1, 10, *prog, Buffer{}).ok());
+  const BlockCompletion c = rig.WaitFor(1);
+  ASSERT_TRUE(c.status.ok()) << c.status;
+  EXPECT_EQ(ValueOf(c), 777u);
+  EXPECT_EQ(c.pushdown_steps, 3u);
+
+  // The whole depth-3 chain cost ONE host completion but still three media reads.
+  EXPECT_EQ(rig.sim.counters().Get(Counter::kBlockHostCompletions) - completions0, 1u);
+  EXPECT_EQ(rig.sim.counters().Get(Counter::kNvmeOps) - nvme0, 3u);
+  EXPECT_EQ(rig.sim.counters().Get(Counter::kPushdownChains), 1u);
+  EXPECT_EQ(rig.sim.counters().Get(Counter::kPushdownSteps), 3u);
+  EXPECT_EQ(rig.dev.inflight(), 0u);
+}
+
+TEST(StoragePushdownTest, ChainTimingChargesDeviceComputePerStep) {
+  PushdownRig rig;
+  rig.WriteNode(10, 20, 0);
+  rig.WriteNode(20, 0, 1);
+  const auto prog = rig.dev.InstallProgram(ChainProgram());
+  ASSERT_TRUE(prog.ok());
+
+  const TimeNs start = rig.sim.now();
+  ASSERT_TRUE(rig.dev.SubmitPushdown(1, 10, *prog, Buffer{}).ok());
+  ASSERT_TRUE(rig.WaitFor(1).status.ok());
+  const TimeNs elapsed = rig.sim.now() - start;
+
+  // Two media reads + two program executions on the wimpier device cores + one
+  // internal resubmission; no PCIe round trip between the steps.
+  const CostModel& cost = rig.sim.cost();
+  const TimeNs read = cost.NvmeNs(/*is_write=*/false, 4096);
+  const TimeNs exec = static_cast<TimeNs>(400 * cost.device_compute_factor);
+  EXPECT_GE(elapsed, 2 * read + 2 * exec + cost.nvme_pushdown_resubmit_ns);
+  EXPECT_GE(rig.sim.counters().Get(Counter::kDeviceComputeNs),
+            static_cast<std::uint64_t>(2 * exec));
+}
+
+TEST(StoragePushdownTest, DepthBudgetSurfacesTypedError) {
+  BlockDeviceConfig cfg;
+  cfg.pushdown_max_depth = 4;
+  PushdownRig rig(cfg);
+  rig.WriteNode(10, 10, 0);  // self-loop: never terminates on its own
+  const auto prog = rig.dev.InstallProgram(ChainProgram());
+  ASSERT_TRUE(prog.ok());
+
+  ASSERT_TRUE(rig.dev.SubmitPushdown(1, 10, *prog, Buffer{}).ok());
+  const BlockCompletion c = rig.WaitFor(1);
+  EXPECT_EQ(c.status.code(), ErrorCode::kPushdownDepthExceeded) << c.status;
+  EXPECT_EQ(c.pushdown_steps, 4u);
+  EXPECT_EQ(rig.dev.inflight(), 0u);
+}
+
+TEST(StoragePushdownTest, DisabledEngineSurfacesUnsupported) {
+  BlockDeviceConfig cfg;
+  cfg.pushdown_enabled = false;
+  PushdownRig rig(cfg);
+  EXPECT_EQ(rig.dev.InstallProgram(ChainProgram()).code(),
+            ErrorCode::kPushdownUnsupported);
+  EXPECT_EQ(rig.dev.SubmitPushdown(1, 10, 0, Buffer{}).code(),
+            ErrorCode::kPushdownUnsupported);
+  EXPECT_FALSE(rig.dev.caps().program_offload);
+}
+
+TEST(StoragePushdownTest, MidChainMediaErrorIsOneTypedCompletion) {
+  PushdownRig rig;
+  rig.WriteNode(10, 20, 0);
+  rig.WriteNode(20, 30, 0);
+  rig.WriteNode(30, 0, 99);
+  const auto prog = rig.dev.InstallProgram(ChainProgram());
+  ASSERT_TRUE(prog.ok());
+
+  FaultInjector inj(&rig.sim, /*seed=*/3);
+  rig.dev.AttachFaultInjector(&inj);
+
+  // Arm the fault between step 0 and step 1 of the chain: step 0's consult happens at
+  // submit time, step 1's roughly one read + exec + resubmit later. The fault then
+  // lands on a DEVICE-INTERNAL read — genuinely mid-chain.
+  const TimeNs read = rig.sim.cost().NvmeNs(/*is_write=*/false, 4096);
+  inj.ScheduleOpFault(rig.dev.fault_device(), FaultKind::kMediaError,
+                      rig.sim.now() + read);
+  ASSERT_TRUE(rig.dev.SubmitPushdown(1, 10, *prog, Buffer{}).ok());
+  const BlockCompletion c = rig.WaitFor(1);
+  EXPECT_EQ(c.status.code(), ErrorCode::kMediaError) << c.status;
+  EXPECT_EQ(c.pushdown_steps, 2u);  // root fetch + the faulted internal read
+  EXPECT_EQ(rig.dev.inflight(), 0u);
+
+  // Exactly one completion: nothing else trickles out of the CQ later.
+  rig.sim.RunFor(10 * kMillisecond);
+  EXPECT_TRUE(rig.dev.PollCompletions().empty());
+}
+
+// --- libOS + BlockIndex workload ---
+
+HostOptions BlockOpts() {
+  HostOptions o;
+  o.with_nic = false;
+  o.with_kernel = false;
+  o.with_block_device = true;
+  return o;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> MakeEntries(std::size_t n) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = 10 + 2 * i;
+    entries.emplace_back(key, key * 7 + 1);
+  }
+  return entries;
+}
+
+TEST(StoragePushdownTest, IndexLookupMatchesHostDescent) {
+  TestHarness h;
+  auto& host = h.AddHost("storage", "10.0.0.1", BlockOpts());
+  auto& libos = h.Catfish(host);
+
+  const auto entries = MakeEntries(64);
+  auto index = BlockIndex::Build(libos, "/idx/kv", entries, /*fanout=*/4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->depth(), 3u);  // 16 leaves -> 4 inner -> 1 root
+  const auto prog = libos.InstallPushdownProgram(BlockIndex::LookupProgram());
+  ASSERT_TRUE(prog.ok()) << prog.status();
+  EXPECT_TRUE(host.bdev->caps().program_offload);
+
+  for (const auto& [key, value] : {entries.front(), entries[31], entries.back()}) {
+    auto host_hit = index->LookupFromHost(key);
+    ASSERT_TRUE(host_hit.ok()) << host_hit.status();
+    EXPECT_EQ(host_hit->value, value);
+    EXPECT_EQ(host_hit->steps, index->depth());
+
+    auto token = index->LookupAsync(*prog, key);
+    ASSERT_TRUE(token.ok()) << token.status();
+    auto r = libos.Wait(*token);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_TRUE(r->status.ok()) << r->status;
+    EXPECT_EQ(BlockIndex::DecodeValue(r->sga), value);
+  }
+
+  // A key that was never inserted misses identically on both paths.
+  auto host_miss = index->LookupFromHost(11);
+  EXPECT_EQ(host_miss.code(), ErrorCode::kNotFound);
+  auto miss_token = index->LookupAsync(*prog, 11);
+  ASSERT_TRUE(miss_token.ok());
+  auto miss = libos.Wait(*miss_token);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss->status.code(), ErrorCode::kNotFound) << miss->status;
+  EXPECT_EQ(libos.pending_ops(), 0u);
+}
+
+TEST(StoragePushdownTest, PushdownCutsHostCompletionsPerLookupToOne) {
+  TestHarness h;
+  auto& host = h.AddHost("storage", "10.0.0.1", BlockOpts());
+  auto& libos = h.Catfish(host);
+
+  const auto entries = MakeEntries(64);
+  auto index = BlockIndex::Build(libos, "/idx/kv", entries, /*fanout=*/4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const auto prog = libos.InstallPushdownProgram(BlockIndex::LookupProgram());
+  ASSERT_TRUE(prog.ok());
+
+  auto completions = [&] {
+    return h.sim().counters().Get(Counter::kBlockHostCompletions);
+  };
+
+  const std::uint64_t before_host = completions();
+  ASSERT_TRUE(index->LookupFromHost(entries[10].first).ok());
+  const std::uint64_t host_path = completions() - before_host;
+  EXPECT_EQ(host_path, index->depth());  // one CQ drain per level
+
+  const std::uint64_t before_push = completions();
+  auto token = index->LookupAsync(*prog, entries[10].first);
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(libos.Wait(*token)->status.ok());
+  const std::uint64_t push_path = completions() - before_push;
+  EXPECT_EQ(push_path, 1u);  // O(depth) -> 1, the point of the engine
+}
+
+TEST(StoragePushdownTest, MidChainFaultRetriesWholeChain) {
+  CatfishConfig cfg;
+  cfg.recovery.enabled = true;
+  TestHarness h;
+  auto& host = h.AddHost("storage", "10.0.0.1", BlockOpts());
+  auto& libos = h.Catfish(host, cfg);
+
+  const auto entries = MakeEntries(64);
+  auto index = BlockIndex::Build(libos, "/idx/kv", entries, /*fanout=*/4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const auto prog = libos.InstallPushdownProgram(BlockIndex::LookupProgram());
+  ASSERT_TRUE(prog.ok());
+
+  // The armed media error aborts the first chain on a device-internal step; the retry
+  // wrapper must resubmit the WHOLE chain from the root, and that second chain wins.
+  h.faults().ScheduleOpFault(host.bdev->fault_device(), FaultKind::kMediaError,
+                             h.sim().now());
+  h.sim().RunFor(kMicrosecond);
+  const std::uint64_t retries0 = h.sim().counters().Get(Counter::kRetriesAttempted);
+  const std::uint64_t chains0 = h.sim().counters().Get(Counter::kPushdownChains);
+
+  auto token = index->LookupAsync(*prog, entries[20].first);
+  ASSERT_TRUE(token.ok()) << token.status();
+  auto r = libos.Wait(*token);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->status.ok()) << r->status;
+  EXPECT_EQ(BlockIndex::DecodeValue(r->sga), entries[20].second);
+  EXPECT_GE(h.sim().counters().Get(Counter::kRetriesAttempted) - retries0, 1u);
+  EXPECT_GE(h.sim().counters().Get(Counter::kPushdownChains) - chains0, 2u);
+  EXPECT_EQ(libos.pending_ops(), 0u);
+}
+
+TEST(StoragePushdownTest, CloseWithInflightChainCancelsToken) {
+  TestHarness h;
+  auto& host = h.AddHost("storage", "10.0.0.1", BlockOpts());
+  auto& libos = h.Catfish(host);
+
+  const auto entries = MakeEntries(64);
+  auto index = BlockIndex::Build(libos, "/idx/kv", entries, /*fanout=*/4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const auto prog = libos.InstallPushdownProgram(BlockIndex::LookupProgram());
+  ASSERT_TRUE(prog.ok());
+
+  // Chain submitted but the simulation has not advanced: the completion is in flight.
+  auto token = index->LookupAsync(*prog, entries[5].first);
+  ASSERT_TRUE(token.ok()) << token.status();
+  ASSERT_TRUE(libos.Close(index->qd()).ok());
+
+  auto r = libos.Wait(*token, kMillisecond);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->status.code(), ErrorCode::kCancelled) << r->status;
+  EXPECT_EQ(libos.pending_ops(), 0u);
+
+  // The orphaned device completion must not crash or resurrect the token.
+  h.sim().RunFor(10 * kMillisecond);
+  EXPECT_EQ(libos.pending_ops(), 0u);
+}
+
+TEST(StoragePushdownTest, PushdownRootOutsideExtentIsRejected) {
+  TestHarness h;
+  auto& host = h.AddHost("storage", "10.0.0.1", BlockOpts());
+  auto& libos = h.Catfish(host);
+
+  const auto entries = MakeEntries(8);
+  auto index = BlockIndex::Build(libos, "/idx/kv", entries, /*fanout=*/4);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const auto prog = libos.InstallPushdownProgram(BlockIndex::LookupProgram());
+  ASSERT_TRUE(prog.ok());
+
+  Buffer arg = Buffer::Allocate(8);
+  auto bad = libos.PushdownRead(index->qd(), *prog, /*root_block=*/1 << 20,
+                                SgArray(std::move(arg)));
+  EXPECT_EQ(bad.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(libos.pending_ops(), 0u);  // the failed token was released
+}
+
+}  // namespace
+}  // namespace demi
