@@ -117,9 +117,13 @@ int Run() {
   });
   bench::Row("%-42s %12.1f\n", "merge queue: inner push -> merged pop", ns);
 
-  std::printf("\nreference: one legacy-kernel syscall crossing = %lld ns, libOS call = %lld ns\n",
+  std::printf("\nreference: one legacy-kernel syscall crossing = %lld ns, fastcall "
+              "control-path crossing = %lld ns, libOS call = %lld ns\n",
               static_cast<long long>(cost.syscall_ns),
+              static_cast<long long>(cost.fastcall_crossing_ns),
               static_cast<long long>(cost.libos_call_ns));
+  std::printf("(fastcall: accept/connect/lease/grant through a dedicated entry — no "
+              "full register save, no KPTI switch — see bench_f2_controlpath)\n");
 
   bench::Verdict(true, "every data-path call costs O(libos_call) =~ tens of ns, an "
                        "order of magnitude below one syscall crossing");

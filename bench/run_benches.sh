@@ -32,10 +32,11 @@ LABEL="${1:-after}"
 SMOKE="${BENCH_SMOKE:-0}"
 BASELINE="${BENCH_BASELINE_BUILD_DIR:-}"
 
-BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants bench_s1_scaling)
+BENCHES=(bench_f1_datapath bench_e1_echo bench_c1_zerocopy bench_c2_streams bench_c3_wakeups bench_e3_storage bench_t2_tenants bench_s1_scaling bench_f2_controlpath)
 TENANTS_OUT="${BENCH_TENANTS_OUT:-$REPO/BENCH_tenants.json}"
 SMP_OUT="${BENCH_SMP_OUT:-$REPO/BENCH_smp.json}"
 STORAGE_OUT="${BENCH_STORAGE_OUT:-$REPO/BENCH_storage.json}"
+CONTROLPATH_OUT="${BENCH_CONTROLPATH_OUT:-$REPO/BENCH_controlpath.json}"
 
 if [[ "$SMOKE" != "1" ]]; then
   cmake -S "$REPO" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release \
@@ -316,3 +317,32 @@ else
   } > "$STORAGE_OUT"
 fi
 echo "wrote storage section(s) ${LABELS[*]} to $STORAGE_OUT"
+
+# Control path: wall time plus the f2 bench's metrics snapshot (fastcall-vs-syscall
+# control-op pricing, one-crossing AcceptBatch drains, and the adaptive scenario's
+# policy-off vs policy-on arms with tenant slot accounting). Merged into
+# BENCH_controlpath.json so before/after pairs diff in one file.
+emit_controlpath_section() {  # label -> json on stdout
+  local label=$1 m
+  m=$(cat "$TMP/metrics-$label/bench_f2_controlpath.metrics.json" 2>/dev/null || echo '{}')
+  printf '{"wall_ms": %s, "metrics": %s}' "${WALL_MS[$label/bench_f2_controlpath]}" "$m"
+}
+
+if command -v jq >/dev/null && [[ -f "$CONTROLPATH_OUT" ]]; then
+  for label in "${LABELS[@]}"; do
+    jq --argjson section "$(emit_controlpath_section "$label")" \
+      ". + {\"$label\": \$section}" "$CONTROLPATH_OUT" > "$CONTROLPATH_OUT.tmp"
+    mv "$CONTROLPATH_OUT.tmp" "$CONTROLPATH_OUT"
+  done
+else
+  {
+    printf '{'
+    sep=''
+    for label in "${LABELS[@]}"; do
+      printf '%s\n  "%s": %s' "$sep" "$label" "$(emit_controlpath_section "$label")"
+      sep=','
+    done
+    printf '\n}\n'
+  } > "$CONTROLPATH_OUT"
+fi
+echo "wrote controlpath section(s) ${LABELS[*]} to $CONTROLPATH_OUT"

@@ -21,12 +21,19 @@ Status CatnapSocketQueue::Listen() {
 }
 
 Result<std::unique_ptr<IoQueue>> CatnapSocketQueue::TryAccept() {
-  if (!kernel_->AcceptReady(fd_)) {
-    return Status(ErrorCode::kWouldBlock);  // stay parked; no syscall burned
+  if (accepted_fds_.empty()) {
+    if (!kernel_->AcceptReady(fd_)) {
+      return Status(ErrorCode::kWouldBlock);  // stay parked; no crossing burned
+    }
+    // One crossing drains the whole backlog; later TryAccept calls are handed fds
+    // from the batch for free instead of paying a crossing per pending connection.
+    auto fds = kernel_->AcceptBatch(fd_, 64);
+    RETURN_IF_ERROR(fds.status());
+    accepted_fds_.insert(accepted_fds_.end(), fds->begin(), fds->end());
   }
-  auto new_fd = kernel_->Accept(fd_);
-  RETURN_IF_ERROR(new_fd.status());
-  return std::unique_ptr<IoQueue>(new CatnapSocketQueue(kernel_, host_, *new_fd));
+  const int new_fd = accepted_fds_.front();
+  accepted_fds_.pop_front();
+  return std::unique_ptr<IoQueue>(new CatnapSocketQueue(kernel_, host_, new_fd));
 }
 
 Status CatnapSocketQueue::StartConnect(Endpoint remote) {
@@ -176,6 +183,11 @@ Status CatnapSocketQueue::Close() {
     return OkStatus();
   }
   closed_ = true;
+  // Batched-accepted fds nobody claimed yet must not leak kernel sockets.
+  for (const int fd : accepted_fds_) {
+    kernel_->CloseFd(fd);
+  }
+  accepted_fds_.clear();
   return kernel_->CloseFd(fd_);
 }
 

@@ -66,6 +66,9 @@ class CatnapSocketQueue final : public IoQueue {
   int fd_;
   bool listening_ = false;
   bool closed_ = false;
+  // Listener-side: fds drained by the last AcceptBatch crossing, handed out one per
+  // TryAccept call so the idle-poll path pays one crossing per backlog, not per conn.
+  std::deque<int> accepted_fds_;
   FrameDecoder decoder_;
   bool peer_eof_ = false;
   Status stream_error_;

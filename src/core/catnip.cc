@@ -1,6 +1,7 @@
 #include "src/core/catnip.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/byte_order.h"
 #include "src/common/logging.h"
@@ -14,6 +15,7 @@ CatnipLibOS::CatnipLibOS(HostCpu* host, SimNic* nic, SimKernel* control_kernel,
       nic_(nic),
       kernel_(control_kernel),
       config_(std::move(config)),
+      path_policy_(config_.adaptive),
       session_rng_(config_.recovery.seed ^ 0x5e5510d15ull) {
   // Kernel-less hosts take the configured queue directly (shard index for RSS-sharded
   // workers); a control kernel's lease below overrides it.
@@ -87,6 +89,7 @@ CatnipTcpQueue::CatnipTcpQueue(CatnipLibOS* libos, TcpConnection* conn)
     breaker_ = CircuitBreaker(cfg.breaker_threshold);
     rng_ = Rng(cfg.seed ^ libos->NewSessionId());
     alive_ = std::make_shared<bool>(true);
+    heat_.set_halflife(libos->path_policy().config().heat_halflife_ns);
   }
   AttachReadyHook();  // accepted connections arrive with conn_ already live
 }
@@ -95,6 +98,7 @@ CatnipTcpQueue::~CatnipTcpQueue() {
   if (ready_hook_attached_ && conn_ != nullptr) {
     conn_->set_on_ready(nullptr);  // the connection outlives us (stack-owned)
   }
+  ReleaseFastResources();
   if (recovery_ && session_id_ != 0 && libos_->FindSession(session_id_) == this) {
     libos_->UnregisterSession(session_id_);
   }
@@ -263,6 +267,9 @@ Status CatnipTcpQueue::StartPush(QToken token, const SgArray& sga) {
   }
   // The push completes once the element enters the replay log (the session has taken
   // responsibility for delivery); a full log exerts backpressure by parking the token.
+  if (libos_->path_policy().enabled()) {
+    heat_.Record(now());
+  }
   staged_pushes_.emplace_back(token, sga);
   return OkStatus();
 }
@@ -288,6 +295,9 @@ Status CatnipTcpQueue::StartPop(QToken token) {
     res.status = stream_error_.ok() ? ConnectionReset("session failed") : stream_error_;
     libos_->CompleteOp(token, std::move(res));
     return OkStatus();
+  }
+  if (libos_->path_policy().enabled()) {
+    heat_.Record(now());
   }
   pending_pops_.push_back(token);
   if (phase_ == Phase::kFailed) {
@@ -460,14 +470,18 @@ bool CatnipTcpQueue::ProgressListener(CompletionSink& sink) {
   }
   SimKernel* kernel = libos_->kernel();
   if (kernel_listen_fd_ >= 0 && kernel != nullptr) {
+    // Batched accept: under churn the legacy backlog fills between polls; one
+    // crossing drains it instead of one crossing per pending connection.
     while (kernel->AcceptReady(kernel_listen_fd_)) {
-      auto fd = kernel->Accept(kernel_listen_fd_);
-      if (!fd.ok()) {
+      auto fds = kernel->AcceptBatch(kernel_listen_fd_, 64);
+      if (!fds.ok()) {
         break;
       }
-      Embryo embryo;
-      embryo.transport.AttachLegacyAccepted(kernel, *fd);
-      embryos_.push_back(std::move(embryo));
+      for (const int fd : *fds) {
+        Embryo embryo;
+        embryo.transport.AttachLegacyAccepted(kernel, fd);
+        embryos_.push_back(std::move(embryo));
+      }
       progress = true;
     }
   }
@@ -642,18 +656,49 @@ void CatnipTcpQueue::OnHandshakeComplete() {
   attempt_ = 0;
   in_outage_ = false;
   last_rx_activity_ = now();
+  path_since_ = now();
+  const bool voluntary = policy_switch_;
+  policy_switch_ = false;
   ArmKeepalive();
   breaker_.RecordSuccess();
   if (transport_.kind() == FailoverTransport::Kind::kLegacy) {
+    // Off the fast path — whether by policy or by failure, the flow's bypass
+    // resources go back to the tenant pool immediately.
+    ReleaseFastResources();
     if (!failed_over_) {
       failed_over_ = true;
-      libos_->host().Count(Counter::kFailovers);
-      libos_->sim().metrics().Trace(TraceKind::kFailover, now(), session_id_);
+      if (voluntary) {
+        // A policy demotion is not an outage: it counts as a demotion, never as a
+        // failover, so chaos/recovery accounting stays meaningful.
+        libos_->host().Count(Counter::kDemotions);
+        libos_->sim().metrics().Trace(TraceKind::kPathDemotion, now(), session_id_);
+      } else {
+        libos_->host().Count(Counter::kFailovers);
+        libos_->sim().metrics().Trace(TraceKind::kFailover, now(), session_id_);
+      }
     }
-  } else if (failed_over_) {
-    failed_over_ = false;
-    libos_->host().Count(Counter::kFastPathRepromotions);
-    libos_->sim().metrics().Trace(TraceKind::kRepromotion, now(), session_id_);
+  } else {
+    // On the fast path the flow must hold its tenant resources. A policy promotion
+    // claimed them before dialing; failure-driven dials (initial connect, outage
+    // recovery, auto-re-promotion) claim them here — and a flow that cannot get a
+    // slot is demoted by policy instead of squatting on the device.
+    if (libos_->path_policy().enabled() && is_client_ && !holds_fast_resources_ &&
+        !AcquireFastResources()) {
+      policy_switch_ = true;
+      SalvageDrain();
+      Redial(Target::kLegacy, /*count_as_outage=*/false);
+      return;
+    }
+    if (failed_over_) {
+      failed_over_ = false;
+      if (voluntary) {
+        libos_->host().Count(Counter::kPromotions);
+        libos_->sim().metrics().Trace(TraceKind::kPathPromotion, now(), session_id_);
+      } else {
+        libos_->host().Count(Counter::kFastPathRepromotions);
+        libos_->sim().metrics().Trace(TraceKind::kRepromotion, now(), session_id_);
+      }
+    }
   }
 }
 
@@ -689,6 +734,7 @@ void CatnipTcpQueue::Park() {
 void CatnipTcpQueue::GiveUp(Status cause) {
   ++attempt_epoch_;
   transport_.Abort();
+  ReleaseFastResources();  // a dead session must not hold bypass capacity
   stream_error_ = cause;
   phase_ = Phase::kFailed;
   if (cause.code() == ErrorCode::kRetryExhausted) {
@@ -771,13 +817,25 @@ bool CatnipTcpQueue::ProgressRecovery(CompletionSink& sink) {
       log_.EvictAcked(bytes_sent_ - transport_.unacked_bytes());
       progress |= PumpReader(/*force=*/false);
       progress |= ServePops();
+      if (libos_->path_policy().enabled()) {
+        // Load-adaptive placement: heat + hysteresis decide the path continuously;
+        // the unconditional health-based re-promotion below stays out of the way.
+        progress |= EvaluatePathPolicy();
+        break;
+      }
       // Fast-path re-promotion: once a flapped device has been continuously healthy
       // long enough, voluntarily migrate back (salvaging buffered bytes first).
+      // Both clocks must serve the dwell: the local device has been continuously
+      // healthy AND the session has sat on the legacy path that long. HealthyFor
+      // alone is vacuous when the *peer's* device died (ours never flapped, so it
+      // has been "healthy" since t=0) — without the path dwell the session would
+      // redial the dead remote the instant every failover lands, thrashing forever.
       if (phase_ == Phase::kActive && is_client_ &&
           transport_.kind() == FailoverTransport::Kind::kLegacy &&
           !libos_->stack().device_failed() &&
           health_.health() == DeviceHealth::kHealthy &&
-          health_.HealthyFor(now()) >= libos_->recovery().repromote_after_ns) {
+          health_.HealthyFor(now()) >= libos_->recovery().repromote_after_ns &&
+          now() - path_since_ >= libos_->recovery().repromote_after_ns) {
         SalvageDrain();
         Redial(Target::kFast, /*count_as_outage=*/false);
         progress = true;
@@ -790,6 +848,77 @@ bool CatnipTcpQueue::ProgressRecovery(CompletionSink& sink) {
       break;
   }
   return progress;
+}
+
+// --- adaptive path placement (DESIGN.md §15) ---
+
+bool CatnipTcpQueue::EvaluatePathPolicy() {
+  PathPolicy& policy = libos_->path_policy();
+  if (!is_client_ || phase_ != Phase::kActive) {
+    return false;  // only the connecting side drives switches (servers follow)
+  }
+  const bool on_fast = transport_.kind() == FailoverTransport::Kind::kFast;
+  const PathPolicy::Decision decision =
+      policy.Evaluate(heat_, on_fast, now(), path_since_);
+  if (decision == PathPolicy::Decision::kDemote && on_fast &&
+      libos_->kernel() != nullptr) {
+    // Cold/idle flow: hand the byte stream to the kernel path and return the bypass
+    // resources. Same live-migration machinery as failover — exactly-once replay.
+    SalvageDrain();
+    ReleaseFastResources();
+    policy_switch_ = true;
+    Redial(Target::kLegacy, /*count_as_outage=*/false);
+    return true;
+  }
+  if (decision == PathPolicy::Decision::kPromote && !on_fast &&
+      !libos_->stack().device_failed() &&
+      health_.health() == DeviceHealth::kHealthy) {
+    // Budget first (churn guard), then capacity: a flow that cannot claim a slot
+    // stays on the kernel path — no dial, nothing to unwind.
+    if (!policy.TryTakePromotion(now()) || !AcquireFastResources()) {
+      return false;
+    }
+    SalvageDrain();
+    policy_switch_ = true;
+    Redial(Target::kFast, /*count_as_outage=*/false);
+    return true;
+  }
+  return false;
+}
+
+bool CatnipTcpQueue::AcquireFastResources() {
+  if (holds_fast_resources_) {
+    return true;
+  }
+  const TenantId tenant = libos_->tenant();
+  if (tenant == kNoTenant || libos_->kernel() == nullptr) {
+    holds_fast_resources_ = true;  // untenanted device: nothing to meter
+    return true;
+  }
+  TenantRegistry* registry = libos_->kernel()->tenant_registry();
+  if (!registry->TryAcquireFlowSlot(tenant)) {
+    return false;
+  }
+  if (!registry->TryAcquireRegistration(tenant)) {
+    registry->ReleaseFlowSlot(tenant);
+    return false;
+  }
+  holds_fast_resources_ = true;
+  return true;
+}
+
+void CatnipTcpQueue::ReleaseFastResources() {
+  if (!holds_fast_resources_) {
+    return;
+  }
+  holds_fast_resources_ = false;
+  const TenantId tenant = libos_->tenant();
+  if (tenant == kNoTenant || libos_->kernel() == nullptr) {
+    return;
+  }
+  TenantRegistry* registry = libos_->kernel()->tenant_registry();
+  registry->ReleaseFlowSlot(tenant);
+  registry->ReleaseRegistration(tenant);
 }
 
 bool CatnipTcpQueue::StageToLog() {
@@ -828,7 +957,9 @@ bool CatnipTcpQueue::PumpWriter() {
         break;
       }
       wire_seq_ = next->seq;
-      Buffer seq_hdr = Buffer::Allocate(kRecoverySeqHeader);
+      // From the memory manager, not the heap: on a tenant-bound queue the wire
+      // parts must come from arenas in the tenant's DMA capability set.
+      Buffer seq_hdr = libos_->memory().AllocateHeader(kRecoverySeqHeader);
       ByteWriter writer(seq_hdr.mutable_span());
       writer.U64(next->seq);
       SgArray wire(std::move(seq_hdr));
@@ -960,7 +1091,13 @@ void CatnipTcpQueue::SalvageDrain() {
 }
 
 void CatnipTcpQueue::QueueControlFrame(const HelloFrame& hello) {
-  SgArray body(EncodeHello(hello));
+  // Re-home the encoded hello into a memory-manager buffer: control frames ride the
+  // same tenant-checked DMA path as data, so heap storage would be dropped by the
+  // device capability check.
+  const Buffer raw = EncodeHello(hello);
+  Buffer body_buf = libos_->memory().AllocateHeader(raw.size());
+  std::memcpy(body_buf.mutable_span().data(), raw.span().data(), raw.size());
+  SgArray body(std::move(body_buf));
   for (Buffer& part : EncodeFrame(body, &libos_->memory())) {
     control_parts_.push_back(std::move(part));
   }
@@ -1072,6 +1209,7 @@ Status CatnipTcpQueue::Close() {
     libos_->UnregisterSession(session_id_);
   }
   transport_.Reset();  // graceful close on whichever path is live
+  ReleaseFastResources();
   if (phase_ != Phase::kFailed) {
     phase_ = Phase::kFailed;
     stream_error_ = Cancelled("queue closed");

@@ -35,6 +35,7 @@
 #include <utility>
 
 #include "src/core/libos.h"
+#include "src/core/path_policy.h"
 #include "src/core/recovery.h"
 #include "src/hw/nic.h"
 #include "src/kernel/kernel.h"
@@ -62,6 +63,10 @@ struct CatnipConfig {
   // the NIC ring where completion-queue load signals cannot see it.
   std::size_t rx_batch = 32;
   RecoveryConfig recovery;  // disabled by default; the plain path is untouched
+  // Load-adaptive path placement (DESIGN.md §15); requires recovery mode (the
+  // switch rides FailoverTransport's live migration). Disabled by default: path
+  // changes then happen only on failure, exactly as PR 2 shipped.
+  PathPolicyConfig adaptive;
   // When set (and a control kernel exists), the libOS runs as this tenant on a
   // shared bypass device: the kernel mints a TenantId, leases a tenant-bound queue,
   // and grants every memory-manager arena into the tenant's capability set. Absent,
@@ -85,6 +90,8 @@ class CatnipLibOS final : public LibOS {
   SimKernel* kernel() { return kernel_; }
   TenantId tenant() const { return tenant_; }  // kNoTenant unless config.tenant set
   const RecoveryConfig& recovery() const { return config_.recovery; }
+  // Shared across every session of this libOS, so the promotion budget is global.
+  PathPolicy& path_policy() { return path_policy_; }
 
   Result<QDesc> SocketUdp() override;
 
@@ -110,6 +117,7 @@ class CatnipLibOS final : public LibOS {
   CatnipConfig config_;
   int nic_queue_ = 0;
   TenantId tenant_ = kNoTenant;
+  PathPolicy path_policy_{PathPolicyConfig{}};
   std::unique_ptr<NetStack> stack_;
   Rng session_rng_;
   std::unordered_map<std::uint64_t, CatnipTcpQueue*> sessions_;
@@ -149,6 +157,8 @@ class CatnipTcpQueue final : public IoQueue {
   const HealthMonitor& health() const { return health_; }
   const CircuitBreaker& breaker() const { return breaker_; }
   std::size_t replay_log_size() const { return log_.size(); }
+  const FlowHeat& heat() const { return heat_; }
+  bool holds_fast_resources() const { return holds_fast_resources_; }
 
  private:
   friend class CatnipLibOS;
@@ -196,6 +206,15 @@ class CatnipTcpQueue final : public IoQueue {
   // re-promotion dials.
   void Redial(Target target, bool count_as_outage);
   void Park();         // server: transport died; wait for the peer to reattach
+  // --- adaptive path placement (client side; DESIGN.md §15) ---
+  // Runs the heat/policy check at the tail of an active poll; returns true when a
+  // voluntary switch started.
+  bool EvaluatePathPolicy();
+  // Claims a bypass flow slot + memory registration from the tenant pool before a
+  // flow may live on the fast path; false leaves nothing held.
+  bool AcquireFastResources();
+  // Returns the claimed slot/registration so the QoS layer sees the freed capacity.
+  void ReleaseFastResources();
   void AdoptTransport(FailoverTransport transport, FrameDecoder decoder,
                       std::uint64_t peer_last_rx);
   void GiveUp(Status cause);
@@ -254,6 +273,11 @@ class CatnipTcpQueue final : public IoQueue {
   HealthMonitor health_;
   bool failed_over_ = false;   // currently running on the legacy path
   bool clean_eof_ = false;     // peer FIN consumed: stream end, not an outage
+  // --- adaptive path placement (untouched unless the libOS policy is enabled) ---
+  FlowHeat heat_;                      // decayed op-rate tracker for this flow
+  TimeNs path_since_ = 0;              // when the flow landed on its current path
+  bool policy_switch_ = false;         // the in-flight redial is a policy decision
+  bool holds_fast_resources_ = false;  // tenant flow slot + registration held
   TimeNs last_rx_activity_ = 0;   // when bytes last arrived on the transport
   bool keepalive_armed_ = false;  // at most one keepalive timer in flight
   Rng rng_{0};

@@ -105,6 +105,18 @@ CatnipLibOS& TestHarness::Catnip(Host& host, RecoveryConfig recovery) {
   return *out;
 }
 
+CatnipLibOS& TestHarness::Catnip(Host& host, CatnipConfig config) {
+  DEMI_CHECK(host.nic != nullptr);
+  if (config.ip.addr == 0) {
+    config.ip = host.ip;
+  }
+  auto libos = std::make_unique<CatnipLibOS>(host.cpu.get(), host.nic.get(),
+                                             host.kernel.get(), std::move(config));
+  auto* out = libos.get();
+  host.liboses.push_back(std::move(libos));
+  return *out;
+}
+
 CatmintLibOS& TestHarness::Catmint(Host& host) {
   DEMI_CHECK(host.rdma != nullptr);
   CatmintConfig cfg;

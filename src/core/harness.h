@@ -76,6 +76,9 @@ class TestHarness {
   CatnipLibOS& Catnip(Host& host);
   // Recovery-enabled Catnip: TCP queues become failover-capable sessions.
   CatnipLibOS& Catnip(Host& host, RecoveryConfig recovery);
+  // Full-config Catnip (adaptive path policy, tenant binding, ...); config.ip is
+  // filled from the host when left zero.
+  CatnipLibOS& Catnip(Host& host, CatnipConfig config);
   CatmintLibOS& Catmint(Host& host);
   CatfishLibOS& Catfish(Host& host, CatfishConfig config = CatfishConfig{});
 

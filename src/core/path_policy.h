@@ -1,0 +1,171 @@
+// Load-adaptive path placement: the policy engine behind continuous fast/legacy
+// arbitration (DESIGN.md §15).
+//
+// PR 2's failover machinery proved the *switch* (FailoverTransport live-migrates a
+// session between the bypass NIC and the kernel path with exactly-once replay). This
+// layer decides *when* to pull it as a load decision rather than a failure response:
+// every flow carries an exponentially-decayed op-rate tracker (FlowHeat); a per-libOS
+// PathPolicy compares that rate against hysteresis bands and demotes cold flows to the
+// kernel path (releasing their bypass queue slots / registrations back to the tenant
+// pool) while promoting hot flows to the bypass path under a promotion budget, so
+// churny flows cannot thrash the migration machinery.
+//
+// Everything here is pure virtual-time arithmetic — no host clocks, no randomness —
+// so adaptive runs stay bit-deterministic (same seed, same timeline, same decisions).
+
+#ifndef SRC_CORE_PATH_POLICY_H_
+#define SRC_CORE_PATH_POLICY_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace demi {
+
+// Exponentially-decayed per-flow op counter. Each recorded op adds 1 to a heat value
+// that halves every `halflife_ns` of virtual time; the instantaneous op rate falls out
+// of the same decay (a flow doing one op every T ns converges to heat ≈
+// halflife/(T·ln2), i.e. rate = heat·ln2/halflife).
+class FlowHeat {
+ public:
+  // The halflife folded into every Record (the owning session sets it once from
+  // PathPolicyConfig::heat_halflife_ns).
+  void set_halflife(TimeNs halflife_ns) { halflife_ns_ = halflife_ns; }
+
+  void Record(TimeNs now) {
+    Decay(now);
+    heat_ += 1.0;
+    last_op_ = now;
+  }
+
+  // Decayed ops/second at `now`. Pure double arithmetic on virtual time: same inputs,
+  // same bits, every run.
+  double OpsPerSec(TimeNs now, TimeNs halflife_ns) const {
+    if (heat_ == 0.0 || halflife_ns <= 0) {
+      return 0.0;
+    }
+    const double decayed =
+        heat_ * std::exp2(-static_cast<double>(now - last_decay_) /
+                          static_cast<double>(halflife_ns));
+    constexpr double kLn2 = 0.6931471805599453;
+    return decayed * kLn2 / static_cast<double>(halflife_ns) * 1e9;
+  }
+
+  TimeNs last_op() const { return last_op_; }
+  void Reset() {
+    heat_ = 0.0;
+    last_decay_ = 0;
+    last_op_ = 0;
+  }
+
+ private:
+  void Decay(TimeNs now) {
+    if (heat_ != 0.0 && now > last_decay_ && halflife_ns_ > 0) {
+      heat_ *= std::exp2(-static_cast<double>(now - last_decay_) /
+                         static_cast<double>(halflife_ns_));
+    }
+    last_decay_ = now;
+  }
+
+  double heat_ = 0.0;
+  TimeNs last_decay_ = 0;
+  TimeNs last_op_ = 0;
+  TimeNs halflife_ns_ = 1 * kMillisecond;
+};
+
+struct PathPolicyConfig {
+  bool enabled = false;  // off: PR 2 behavior (switch on failure only) is untouched
+
+  // Hysteresis band on the decayed op rate. A flow must exceed the promote threshold
+  // to earn the bypass path and fall below the (lower) demote threshold to lose it;
+  // the gap between them is what absorbs load noise at the band edge.
+  double promote_ops_per_sec = 50000.0;
+  double demote_ops_per_sec = 5000.0;
+
+  TimeNs heat_halflife_ns = 1 * kMillisecond;  // EWMA horizon of the rate tracker
+
+  // A flow must sit on its current path at least this long before the policy may
+  // move it again (second thrash guard, independent of the rate band).
+  TimeNs min_dwell_ns = 2 * kMillisecond;
+
+  // Promotion budget: at most `promotion_budget` promotions per `budget_window_ns`
+  // across the whole libOS. Churny flows that keep crossing the band burn the budget
+  // and stay on the kernel path instead of thrashing the migration machinery.
+  std::uint32_t promotion_budget = 4;
+  TimeNs budget_window_ns = 10 * kMillisecond;
+
+  // A flow with no ops for this long is demoted regardless of its decayed rate (it
+  // is holding bypass resources while transferring nothing).
+  TimeNs idle_demote_ns = 5 * kMillisecond;
+};
+
+// Per-libOS arbiter. Sessions ask Evaluate() on their poll path; a kPromote verdict
+// must additionally win TryTakePromotion() before the switch starts, so the budget is
+// shared across every flow of the libOS.
+class PathPolicy {
+ public:
+  explicit PathPolicy(PathPolicyConfig config) : config_(config) {}
+
+  enum class Decision : std::uint8_t { kStay = 0, kPromote, kDemote };
+
+  const PathPolicyConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+
+  // Pure function of (heat, path, clock): no side effects, so tests can probe the
+  // band edge without consuming budget.
+  Decision Evaluate(const FlowHeat& heat, bool on_fast_path, TimeNs now,
+                    TimeNs path_since) const {
+    if (!config_.enabled) {
+      return Decision::kStay;
+    }
+    if (now - path_since < config_.min_dwell_ns) {
+      return Decision::kStay;  // dwell guard: too soon to move again
+    }
+    const double rate = heat.OpsPerSec(now, config_.heat_halflife_ns);
+    if (on_fast_path) {
+      const bool idle = now - heat.last_op() >= config_.idle_demote_ns;
+      if (idle || rate < config_.demote_ops_per_sec) {
+        return Decision::kDemote;
+      }
+      return Decision::kStay;
+    }
+    if (rate > config_.promote_ops_per_sec) {
+      return Decision::kPromote;
+    }
+    return Decision::kStay;
+  }
+
+  // Consumes one unit of the windowed promotion budget. The window resets
+  // deterministically on the virtual clock (fixed epochs from t=0, not sliding).
+  bool TryTakePromotion(TimeNs now) {
+    if (config_.budget_window_ns > 0) {
+      const TimeNs epoch = now / config_.budget_window_ns;
+      if (epoch != window_epoch_) {
+        window_epoch_ = epoch;
+        window_used_ = 0;
+      }
+    }
+    if (window_used_ >= config_.promotion_budget) {
+      ++denied_;
+      return false;
+    }
+    ++window_used_;
+    ++granted_;
+    return true;
+  }
+
+  std::uint64_t promotions_granted() const { return granted_; }
+  std::uint64_t promotions_denied() const { return denied_; }
+
+ private:
+  PathPolicyConfig config_;
+  TimeNs window_epoch_ = -1;
+  std::uint32_t window_used_ = 0;
+  std::uint64_t granted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace demi
+
+#endif  // SRC_CORE_PATH_POLICY_H_

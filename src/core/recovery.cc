@@ -341,6 +341,13 @@ Buffer FailoverTransport::Recv(std::size_t max) {
         // peer's replay log evicted is lost.
         return c->Recv(max);
       }
+      if (!c->readable()) {
+        // Nothing buffered: do NOT pay a kernel crossing to learn that. Recovery
+        // sessions are densely polled, so an unconditional ReadSock here would turn
+        // every demoted/failed-over flow into a syscall-per-poll CPU burn on the
+        // host (§3.1) — the readiness probe is a shared-memory check, like epoll's.
+        return Buffer();
+      }
       auto data = kernel_->ReadSock(fd_, max);
       return data.ok() ? *data : Buffer();
     }

@@ -110,6 +110,24 @@ void TenantRegistry::ReleaseQp(TenantId t) {
   --slot.stats.live_qps;
 }
 
+bool TenantRegistry::TryAcquireFlowSlot(TenantId t) {
+  Slot_& slot = Slot(t);
+  if (isolation_enabled_ && slot.config.max_flow_slots != 0 &&
+      slot.stats.live_flow_slots >= slot.config.max_flow_slots) {
+    ++slot.stats.flow_slots_denied;
+    return false;
+  }
+  ++slot.stats.live_flow_slots;
+  return true;
+}
+
+void TenantRegistry::ReleaseFlowSlot(TenantId t) {
+  Slot_& slot = Slot(t);
+  DEMI_CHECK(slot.stats.live_flow_slots > 0);
+  --slot.stats.live_flow_slots;
+  ++slot.stats.flow_slots_released;
+}
+
 Histogram* TenantRegistry::tx_delay_histogram(TenantId t) {
   Slot_& slot = Slot(t);
   if (slot.tx_delay_hist == nullptr) {
@@ -138,6 +156,9 @@ void TenantRegistry::PublishStats(MetricsRegistry& metrics) const {
     publish("tx_bytes", slot.stats.tx_bytes);
     publish("rx_frames", slot.stats.rx_frames);
     publish("rx_bytes", slot.stats.rx_bytes);
+    publish("live_flow_slots", slot.stats.live_flow_slots);
+    publish("flow_slots_denied", slot.stats.flow_slots_denied);
+    publish("flow_slots_released", slot.stats.flow_slots_released);
   }
 }
 

@@ -57,6 +57,9 @@ struct TenantQosConfig {
   // Device-table quotas; 0 means unlimited.
   std::size_t max_registrations = 0;  // defense against registration hoarding
   std::size_t max_qps = 0;            // defense against QP churn
+  std::size_t max_flow_slots = 0;     // bypass-path flows (NIC queue slots) at once;
+                                      // the adaptive path policy acquires one per
+                                      // promoted flow and releases it on demotion
 };
 
 struct TenantStats {
@@ -72,6 +75,11 @@ struct TenantStats {
   std::uint64_t regions_granted = 0;
   std::size_t live_registrations = 0;
   std::size_t live_qps = 0;
+  // Adaptive path placement (DESIGN.md §15): bypass flow slots held right now, denials
+  // when the quota was full, and cumulative releases (demotions returning capacity).
+  std::size_t live_flow_slots = 0;
+  std::uint64_t flow_slots_denied = 0;
+  std::uint64_t flow_slots_released = 0;
 };
 
 // Deterministic token bucket refilled lazily from elapsed virtual time.
@@ -167,6 +175,10 @@ class TenantRegistry {
   void ReleaseRegistration(TenantId t);
   bool TryAcquireQp(TenantId t);
   void ReleaseQp(TenantId t);
+  // Bypass flow slots: one per flow the path policy keeps on the fast path. Demotion
+  // releases the slot so the QoS layer sees the freed capacity immediately.
+  bool TryAcquireFlowSlot(TenantId t);
+  void ReleaseFlowSlot(TenantId t);
 
   // DWRR byte quantum for one scheduler visit: base quantum scaled by weight.
   std::uint64_t quantum_bytes(TenantId t) const {

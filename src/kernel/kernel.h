@@ -45,6 +45,12 @@ struct SimKernelConfig {
   Ipv4Address ip;
   TcpConfig tcp;
   std::uint64_t seed = 3;
+  // Fastcall-style control path ("New Mechanism for Fast System Calls"): when set,
+  // control-plane operations (accept/connect/lease/grant) enter the kernel through a
+  // dedicated, registered entry point that skips the full crossing — priced at
+  // cost.fastcall_crossing_ns instead of cost.syscall_ns. Data-path ops (read/write/
+  // epoll) always pay the full crossing. Off by default: the baseline is untouched.
+  bool fastcall_enabled = false;
 };
 
 class SimKernel final : public Poller {
@@ -63,12 +69,21 @@ class SimKernel final : public Poller {
   // its I/O through kernel sockets) charges honestly.
   void ChargeSyscall();
 
+  // Flips the fastcall control-path entry at runtime (same knob as
+  // SimKernelConfig::fastcall_enabled).
+  void SetFastcallEnabled(bool on) { config_.fastcall_enabled = on; }
+  bool fastcall_enabled() const { return config_.fastcall_enabled; }
+
   // --- sockets (POSIX semantics: fds, copies, non-blocking returns) ---
 
   Result<int> Socket();
   Status Bind(int fd, std::uint16_t port);
   Status Listen(int fd);
   Result<int> Accept(int fd);  // kWouldBlock when the accept queue is empty
+  // Batched accept: ONE control crossing drains up to `max_conns` pending connections
+  // (per-connection socket bookkeeping is still paid). kWouldBlock when the backlog is
+  // empty. This is what keeps accept storms from serializing on crossings.
+  Result<std::vector<int>> AcceptBatch(int fd, std::size_t max_conns);
   // Free peek: pending connections on a listener (a thread blocked in accept()/epoll
   // costs nothing until the wakeup).
   bool AcceptReady(int fd) const;
@@ -170,6 +185,9 @@ class SimKernel final : public Poller {
   };
 
   int AllocFd();
+  // Control-plane kernel entry: the cheap fastcall crossing when enabled, the full
+  // syscall crossing otherwise. Data-path ops never route through here.
+  void ChargeControlCrossing();
   FdEntry* Entry(int fd);
   const FdEntry* Entry(int fd) const;
   std::uint32_t Readiness(const FdEntry& e) const;

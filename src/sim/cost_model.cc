@@ -11,7 +11,7 @@ std::string CostModel::Describe() const {
       "cost model (ns unless noted):\n"
       "  cpu %.1f GHz | copy %.4f ns/B (4KB=%lld)\n"
       "  kernel: syscall=%lld socket=%lld stack_tx=%lld stack_rx=%lld irq=%lld "
-      "ctxsw=%lld epoll=%lld fs_op=%lld\n"
+      "ctxsw=%lld epoll=%lld fs_op=%lld fastcall=%lld\n"
       "  libos: call=%lld ustack_tx=%lld ustack_rx=%lld mtcp_batch=%lld\n"
       "  pcie: doorbell=%lld dma=%lld dma_batch_desc=%lld nic=%lld\n"
       "  smp: cacheline=%lld ipi=%lld steal_probe=%lld\n"
@@ -25,6 +25,7 @@ std::string CostModel::Describe() const {
       static_cast<long long>(kernel_stack_tx_ns), static_cast<long long>(kernel_stack_rx_ns),
       static_cast<long long>(interrupt_ns), static_cast<long long>(context_switch_ns),
       static_cast<long long>(epoll_dispatch_ns), static_cast<long long>(kernel_fs_op_ns),
+      static_cast<long long>(fastcall_crossing_ns),
       static_cast<long long>(libos_call_ns), static_cast<long long>(user_stack_tx_ns),
       static_cast<long long>(user_stack_rx_ns), static_cast<long long>(mtcp_batch_delay_ns),
       static_cast<long long>(pcie_doorbell_ns), static_cast<long long>(pcie_dma_ns),

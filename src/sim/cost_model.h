@@ -38,6 +38,10 @@ struct CostModel {
   TimeNs interrupt_ns = 2000;       // interrupt + schedule wakeup when a blocked task runs.
   TimeNs context_switch_ns = 1500;  // full context switch (used by blocking waits).
   TimeNs epoll_dispatch_ns = 250;   // per-event epoll bookkeeping inside the kernel.
+  TimeNs fastcall_crossing_ns = 120;  // fastcall-style dedicated control-path entry:
+                                      // no full register save, no KPTI switch — used by
+                                      // accept/connect/lease/grant when the kernel's
+                                      // fastcall table is enabled (off by default).
 
   // --- User-level (libOS) path ---
   TimeNs libos_call_ns = 30;        // Demikernel "syscall": function call + qtable lookup.

@@ -96,6 +96,14 @@ std::string_view CounterName(Counter c) {
       return "pushdown_steps";
     case Counter::kBlockHostCompletions:
       return "block_host_completions";
+    case Counter::kPromotions:
+      return "promotions";
+    case Counter::kDemotions:
+      return "demotions";
+    case Counter::kFastcallCrossings:
+      return "fastcall_crossings";
+    case Counter::kAcceptsBatched:
+      return "accepts_batched";
     case Counter::kNumCounters:
       break;
   }

@@ -58,6 +58,10 @@ enum class Counter : std::size_t {
   kPushdownChains,         // device-side push-down chains started
   kPushdownSteps,          // dependent reads resubmitted device-side (no host completion)
   kBlockHostCompletions,   // block-device CQ entries drained by the host
+  kPromotions,             // policy-driven migrations legacy -> bypass path
+  kDemotions,              // policy-driven migrations bypass -> legacy path
+  kFastcallCrossings,      // control ops served via the cheap fastcall entry
+  kAcceptsBatched,         // connections accepted through one-crossing batch drains
   kNumCounters,
 };
 

@@ -66,6 +66,10 @@ std::string_view TraceKindName(TraceKind k) {
       return "repromotion";
     case TraceKind::kRetryGiveup:
       return "retry_giveup";
+    case TraceKind::kPathPromotion:
+      return "path_promotion";
+    case TraceKind::kPathDemotion:
+      return "path_demotion";
   }
   return "?";
 }

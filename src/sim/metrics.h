@@ -66,6 +66,8 @@ enum class TraceKind : std::uint8_t {
   kFailover,           // a=session id (bypass -> legacy kernel path)
   kRepromotion,        // a=session id (legacy -> bypass path)
   kRetryGiveup,        // a=session id
+  kPathPromotion,      // a=session id (policy moved a hot flow legacy -> bypass)
+  kPathDemotion,       // a=session id (policy moved a cold flow bypass -> legacy)
 };
 std::string_view TraceKindName(TraceKind k);
 

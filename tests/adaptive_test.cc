@@ -1,0 +1,372 @@
+// Load-adaptive path switching + fastcall control path (DESIGN.md §15).
+//
+// Unit layer: FlowHeat's decayed-rate arithmetic, the PathPolicy hysteresis band
+// (no thrash at the band edge), the dwell guard, and the windowed promotion budget.
+// Kernel layer: fastcall pricing of control ops and the one-crossing AcceptBatch
+// backlog drain (bare kernel and Catnap). End to end: the churn-heavy adaptive echo
+// scenario — cold flows demote and visibly return tenant flow slots, a load spike
+// promotes within budget, same seed is bit-deterministic, and a NIC death racing a
+// promotion still resolves every qtoken.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/harness.h"
+#include "src/core/path_policy.h"
+#include "src/load/adaptive_harness.h"
+
+namespace demi {
+namespace {
+
+// --- FlowHeat ---------------------------------------------------------------------
+
+TEST(FlowHeatTest, ConvergesToOpRate) {
+  FlowHeat heat;
+  heat.set_halflife(1 * kMillisecond);
+  // One op every 20us for 20 halflives: the decayed rate converges to 50k ops/s.
+  TimeNs now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    now += 20 * kMicrosecond;
+    heat.Record(now);
+  }
+  const double rate = heat.OpsPerSec(now, 1 * kMillisecond);
+  EXPECT_GT(rate, 0.8 * 50000.0);
+  EXPECT_LT(rate, 1.2 * 50000.0);
+}
+
+TEST(FlowHeatTest, DecaysWhenOpsStop) {
+  FlowHeat heat;
+  heat.set_halflife(1 * kMillisecond);
+  TimeNs now = 0;
+  for (int i = 0; i < 200; ++i) {
+    now += 20 * kMicrosecond;
+    heat.Record(now);
+  }
+  const double busy = heat.OpsPerSec(now, 1 * kMillisecond);
+  // 10 halflives of silence: the rate collapses by ~2^10.
+  const double idle = heat.OpsPerSec(now + 10 * kMillisecond, 1 * kMillisecond);
+  EXPECT_LT(idle, busy / 500.0);
+  EXPECT_EQ(heat.last_op(), now);  // last_op is the raw timestamp, not decayed
+}
+
+TEST(FlowHeatTest, SameSequenceSameBits) {
+  FlowHeat a;
+  FlowHeat b;
+  a.set_halflife(1 * kMillisecond);
+  b.set_halflife(1 * kMillisecond);
+  TimeNs now = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += 17 * kMicrosecond;
+    a.Record(now);
+    b.Record(now);
+  }
+  EXPECT_EQ(a.OpsPerSec(now, 1 * kMillisecond), b.OpsPerSec(now, 1 * kMillisecond));
+}
+
+// --- PathPolicy -------------------------------------------------------------------
+
+PathPolicyConfig TestPolicy() {
+  PathPolicyConfig cfg;
+  cfg.enabled = true;
+  cfg.promote_ops_per_sec = 50000.0;
+  cfg.demote_ops_per_sec = 5000.0;
+  cfg.heat_halflife_ns = 1 * kMillisecond;
+  cfg.min_dwell_ns = 2 * kMillisecond;
+  cfg.idle_demote_ns = 5 * kMillisecond;
+  return cfg;
+}
+
+// Drives `heat` to a steady rate of ~1e9/period_ns ops/s ending at *now.
+FlowHeat SteadyHeat(TimeNs period_ns, TimeNs* now) {
+  FlowHeat heat;
+  heat.set_halflife(1 * kMillisecond);
+  *now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    *now += period_ns;
+    heat.Record(*now);
+  }
+  return heat;
+}
+
+TEST(PathPolicyTest, MidBandRateMovesNoFlowInEitherDirection) {
+  PathPolicy policy(TestPolicy());
+  TimeNs now = 0;
+  // ~20k ops/s: above the demote threshold, below the promote threshold.
+  const FlowHeat heat = SteadyHeat(50 * kMicrosecond, &now);
+  const TimeNs since = now - 10 * kMillisecond;  // dwell long satisfied
+  EXPECT_EQ(policy.Evaluate(heat, /*on_fast_path=*/true, now, since),
+            PathPolicy::Decision::kStay);
+  EXPECT_EQ(policy.Evaluate(heat, /*on_fast_path=*/false, now, since),
+            PathPolicy::Decision::kStay);
+}
+
+TEST(PathPolicyTest, HotPromotesColdDemotes) {
+  PathPolicy policy(TestPolicy());
+  TimeNs now = 0;
+  const FlowHeat hot = SteadyHeat(10 * kMicrosecond, &now);  // ~100k ops/s
+  EXPECT_EQ(policy.Evaluate(hot, false, now, now - 10 * kMillisecond),
+            PathPolicy::Decision::kPromote);
+  EXPECT_EQ(policy.Evaluate(hot, true, now, now - 10 * kMillisecond),
+            PathPolicy::Decision::kStay);
+
+  TimeNs cold_now = 0;
+  const FlowHeat cold = SteadyHeat(1 * kMillisecond, &cold_now);  // ~1k ops/s
+  EXPECT_EQ(policy.Evaluate(cold, true, cold_now, cold_now - 10 * kMillisecond),
+            PathPolicy::Decision::kDemote);
+  EXPECT_EQ(policy.Evaluate(cold, false, cold_now, cold_now - 10 * kMillisecond),
+            PathPolicy::Decision::kStay);
+}
+
+TEST(PathPolicyTest, DwellGuardBlocksEarlyMoves) {
+  PathPolicy policy(TestPolicy());
+  FlowHeat idle;  // zero heat: demote-eligible on rate alone
+  idle.set_halflife(1 * kMillisecond);
+  const TimeNs now = 100 * kMillisecond;
+  EXPECT_EQ(policy.Evaluate(idle, true, now, now - 1 * kMillisecond),
+            PathPolicy::Decision::kStay);  // dwell not served yet
+  EXPECT_EQ(policy.Evaluate(idle, true, now, now - 2 * kMillisecond),
+            PathPolicy::Decision::kDemote);
+}
+
+TEST(PathPolicyTest, IdleFlowDemotesEvenIfRecentlyHot) {
+  PathPolicy policy(TestPolicy());
+  TimeNs now = 0;
+  FlowHeat heat = SteadyHeat(10 * kMicrosecond, &now);
+  // 6ms of silence: rate decays AND the idle guard fires independently.
+  EXPECT_EQ(policy.Evaluate(heat, true, now + 6 * kMillisecond,
+                            now - 10 * kMillisecond),
+            PathPolicy::Decision::kDemote);
+}
+
+TEST(PathPolicyTest, PromotionBudgetIsPerWindowAndDeterministic) {
+  PathPolicyConfig cfg = TestPolicy();
+  cfg.promotion_budget = 2;
+  cfg.budget_window_ns = 10 * kMillisecond;
+  PathPolicy policy(cfg);
+  EXPECT_TRUE(policy.TryTakePromotion(1 * kMillisecond));
+  EXPECT_TRUE(policy.TryTakePromotion(2 * kMillisecond));
+  EXPECT_FALSE(policy.TryTakePromotion(3 * kMillisecond));  // budget burned
+  EXPECT_FALSE(policy.TryTakePromotion(9 * kMillisecond));
+  // Next fixed window epoch: the budget refills.
+  EXPECT_TRUE(policy.TryTakePromotion(10 * kMillisecond));
+  EXPECT_EQ(policy.promotions_granted(), 3u);
+  EXPECT_EQ(policy.promotions_denied(), 2u);
+}
+
+TEST(PathPolicyTest, DisabledPolicyNeverMoves) {
+  PathPolicyConfig cfg = TestPolicy();
+  cfg.enabled = false;
+  PathPolicy policy(cfg);
+  TimeNs now = 0;
+  const FlowHeat hot = SteadyHeat(10 * kMicrosecond, &now);
+  FlowHeat idle;
+  EXPECT_EQ(policy.Evaluate(hot, false, now, 0), PathPolicy::Decision::kStay);
+  EXPECT_EQ(policy.Evaluate(idle, true, now, 0), PathPolicy::Decision::kStay);
+}
+
+// --- fastcall crossing + AcceptBatch (bare kernel) ---------------------------------
+
+TEST(FastcallTest, ControlOpsUseFastcallPricingWhenEnabled) {
+  TestHarness h;
+  auto& server = h.AddHost("server", "10.0.0.1");
+  auto& client = h.AddHost("client", "10.0.0.2");
+  SimKernel& sk = *server.kernel;
+  const int lfd = *sk.Socket();
+  ASSERT_TRUE(sk.Bind(lfd, 7).ok());
+  ASSERT_TRUE(sk.Listen(lfd).ok());
+
+  client.kernel->SetFastcallEnabled(true);
+  auto& counters = h.sim().counters();
+  const std::uint64_t syscalls_before = counters.Get(Counter::kSyscalls);
+  ASSERT_EQ(counters.Get(Counter::kFastcallCrossings), 0u);
+
+  const int cfd = *client.kernel->Socket();  // data-plane setup: full syscall
+  EXPECT_EQ(counters.Get(Counter::kSyscalls), syscalls_before + 1);
+  ASSERT_TRUE(client.kernel->Connect(cfd, Endpoint{server.ip, 7}).ok());
+  // Connect is a control op: one fastcall crossing, no new full syscall.
+  EXPECT_EQ(counters.Get(Counter::kFastcallCrossings), 1u);
+  EXPECT_EQ(counters.Get(Counter::kSyscalls), syscalls_before + 1);
+}
+
+TEST(FastcallTest, AcceptBatchDrainsBacklogInOneCrossing) {
+  constexpr int kConns = 6;
+  TestHarness h;
+  auto& server = h.AddHost("server", "10.0.0.1");
+  auto& client = h.AddHost("client", "10.0.0.2");
+  SimKernel& sk = *server.kernel;
+  const int lfd = *sk.Socket();
+  ASSERT_TRUE(sk.Bind(lfd, 7).ok());
+  ASSERT_TRUE(sk.Listen(lfd).ok());
+
+  std::vector<int> cfds;
+  for (int i = 0; i < kConns; ++i) {
+    const int fd = *client.kernel->Socket();
+    ASSERT_TRUE(client.kernel->Connect(fd, Endpoint{server.ip, 7}).ok());
+    cfds.push_back(fd);
+  }
+  ASSERT_TRUE(h.RunUntil([&] {
+    for (const int fd : cfds) {
+      if (!client.kernel->ConnectSucceeded(fd)) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  // The clients saw their SYN-ACKs; give the final ACKs time to land so every
+  // connection is actually sitting in the server's accept backlog.
+  h.sim().RunFor(1 * kMillisecond);
+  ASSERT_TRUE(sk.AcceptReady(lfd));
+
+  auto& counters = h.sim().counters();
+  const std::uint64_t syscalls_before = counters.Get(Counter::kSyscalls);
+  auto fds = sk.AcceptBatch(lfd, 64);
+  ASSERT_TRUE(fds.ok());
+  EXPECT_EQ(fds->size(), static_cast<std::size_t>(kConns));
+  // The whole backlog drained for ONE kernel crossing.
+  EXPECT_EQ(counters.Get(Counter::kSyscalls), syscalls_before + 1);
+  EXPECT_EQ(counters.Get(Counter::kAcceptsBatched), static_cast<std::uint64_t>(kConns));
+}
+
+TEST(FastcallTest, CatnapAcceptStormDrainsDequeWithoutExtraCrossings) {
+  constexpr int kConns = 6;
+  TestHarness h;
+  auto& server = h.AddHost("server", "10.0.0.1");
+  auto& client = h.AddHost("client", "10.0.0.2");
+  CatnapLibOS& libos = h.Catnap(server);
+  const QDesc lqd = *libos.Socket();
+  ASSERT_TRUE(libos.Bind(lqd, 7).ok());
+  ASSERT_TRUE(libos.Listen(lqd).ok());
+
+  std::vector<int> cfds;
+  for (int i = 0; i < kConns; ++i) {
+    const int fd = *client.kernel->Socket();
+    ASSERT_TRUE(client.kernel->Connect(fd, Endpoint{server.ip, 7}).ok());
+    cfds.push_back(fd);
+  }
+  ASSERT_TRUE(h.RunUntil([&] {
+    for (const int fd : cfds) {
+      if (!client.kernel->ConnectSucceeded(fd)) {
+        return false;
+      }
+    }
+    return true;
+  }));
+  // As above: wait for the final ACKs so the whole storm is in the backlog.
+  h.sim().RunFor(1 * kMillisecond);
+
+  auto& counters = h.sim().counters();
+  const std::uint64_t syscalls_before = counters.Get(Counter::kSyscalls);
+  for (int i = 0; i < kConns; ++i) {
+    auto qd = libos.Accept(lqd);
+    ASSERT_TRUE(qd.ok()) << "accept " << i << ": " << qd.status();
+  }
+  // First Accept batch-drained the backlog into the libOS; the rest popped the
+  // cached fds with zero kernel crossings.
+  EXPECT_EQ(counters.Get(Counter::kSyscalls), syscalls_before + 1);
+  EXPECT_EQ(counters.Get(Counter::kAcceptsBatched), static_cast<std::uint64_t>(kConns));
+}
+
+// --- end to end: the churn-heavy adaptive echo scenario ----------------------------
+
+AdaptiveHarnessConfig ScenarioConfig() {
+  AdaptiveHarnessConfig cfg;
+  cfg.hot_flows = 2;
+  cfg.cold_flows = 4;
+  cfg.hot_period_ns = 20 * kMicrosecond;
+  cfg.cold_period_ns = 2 * kMillisecond;
+  cfg.churn_waves = 8;
+  cfg.churn_wave_size = 6;
+  cfg.churn_period_ns = 4 * kMillisecond;
+  cfg.adaptive = true;
+  cfg.fastcall = true;
+  cfg.policy = PathPolicyConfig{};
+  cfg.max_flow_slots = 6;  // roomy: all six flows fit at connect time
+  cfg.run_ns = 50 * kMillisecond;
+  cfg.seed = 41;
+  return cfg;
+}
+
+TEST(AdaptiveScenarioTest, ColdFlowsDemoteAndReturnFlowSlots) {
+  AdaptiveEchoHarness h(ScenarioConfig());
+  const AdaptiveScenarioResult r = h.Run();
+
+  EXPECT_GT(r.hot_completed, 0u);
+  EXPECT_GT(r.cold_completed, 0u);
+  EXPECT_GT(r.churn_completed, 0u);
+  // Every cold flow left the bypass path exactly once; the hot flows never did.
+  EXPECT_GE(r.demotions, 4u);
+  EXPECT_EQ(r.promotions, 0u);
+  // Demotion RETURNED capacity: only the hot flows still hold bypass slots.
+  EXPECT_EQ(r.live_flow_slots, 2u);
+  EXPECT_GE(r.flow_slots_released, 4u);
+  // Hot flows keep bypass latency; demoted flows pay the kernel path.
+  EXPECT_LT(r.hot_p50_ns, r.cold_p50_ns);
+  // The control path ran on fastcall pricing and batched its accepts.
+  EXPECT_GT(r.fastcall_crossings, 0u);
+  EXPECT_GT(r.accepts_batched, 0u);
+  EXPECT_EQ(h.client_libos().pending_ops(), 0u);
+}
+
+TEST(AdaptiveScenarioTest, LoadSpikePromotesWithinBudget) {
+  AdaptiveHarnessConfig cfg = ScenarioConfig();
+  cfg.cold_hot_flip_ns = 25 * kMillisecond;  // every cold flow turns hot mid-run
+  // A demoted flow's rounds are paced by the ~70us kernel-path RTT, so its op rate
+  // tops out near 28k/s no matter how hot the offered load: the promote threshold
+  // must sit below what the slow path can physically exhibit (see DESIGN.md §15).
+  cfg.policy.promote_ops_per_sec = 20000.0;
+  cfg.policy.promotion_budget = 2;
+  cfg.policy.budget_window_ns = 1 * kSecond;  // one window covers the whole run
+  AdaptiveEchoHarness h(cfg);
+  const AdaptiveScenarioResult r = h.Run();
+
+  EXPECT_GE(r.demotions, 4u);
+  // Four flows want back up but the budget admits exactly two.
+  EXPECT_EQ(r.promotions, 2u);
+  EXPECT_EQ(h.client_libos().path_policy().promotions_granted(), 2u);
+  EXPECT_GT(h.client_libos().path_policy().promotions_denied(), 0u);
+  EXPECT_EQ(r.live_flow_slots, 4u);  // 2 hot + 2 promoted
+  EXPECT_EQ(h.client_libos().pending_ops(), 0u);
+}
+
+TEST(AdaptiveScenarioTest, SameSeedIsBitDeterministic) {
+  AdaptiveHarnessConfig cfg = ScenarioConfig();
+  cfg.cold_hot_flip_ns = 25 * kMillisecond;
+  std::uint64_t digest0 = 0;
+  std::uint64_t digest1 = 0;
+  {
+    AdaptiveEchoHarness h(cfg);
+    digest0 = h.Run().digest;
+  }
+  {
+    AdaptiveEchoHarness h(cfg);
+    digest1 = h.Run().digest;
+  }
+  EXPECT_EQ(digest0, digest1);
+
+  cfg.seed = 42;
+  AdaptiveEchoHarness h(cfg);
+  EXPECT_NE(h.Run().digest, digest0);  // the digest actually sees the timeline
+}
+
+TEST(AdaptiveChaosTest, NicDeathRacingPromotionsResolvesEveryToken) {
+  AdaptiveHarnessConfig cfg = ScenarioConfig();
+  cfg.cold_hot_flip_ns = 10 * kMillisecond;
+  AdaptiveEchoHarness h(cfg);
+  // Kill the client's bypass NIC just as the first promotion redials: in-flight
+  // switches must resolve through the failover machinery, not hang.
+  h.harness().faults().ScheduleDeviceFailure(h.client_host().nic->fault_device(),
+                                             10 * kMillisecond + 50 * kMicrosecond);
+  const AdaptiveScenarioResult r = h.Run();
+
+  EXPECT_GT(r.hot_completed, 0u);
+  EXPECT_GT(r.cold_completed, 0u);
+  // The hot flows were on the bypass path when it died: they failed over.
+  EXPECT_GE(h.harness().sim().counters().Get(Counter::kFailovers), 1u);
+  EXPECT_EQ(h.harness().sim().counters().Get(Counter::kRetryGiveups), 0u);
+  // Every qtoken resolved typed — nothing left pending after the drain.
+  EXPECT_EQ(h.client_libos().pending_ops(), 0u);
+}
+
+}  // namespace
+}  // namespace demi
